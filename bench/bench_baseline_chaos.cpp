@@ -1,0 +1,101 @@
+// Baseline comparison (Sec. 2.2): iGreedy vs CHAOS-query enumeration
+// (Fan et al. [25]) vs pure speed-of-light detection (Madory et al. [35]).
+//
+// CHAOS enumerates DNS deployments accurately (server ids are exact) but
+// returns nothing for non-DNS anycast and never geolocates; SOL detection
+// gives a bit, no counts; iGreedy is service-agnostic and geolocates, at
+// the cost of conservative counts. The table makes the design-space
+// trade-off of the paper's related-work discussion concrete.
+#include "anycast/analysis/baselines.hpp"
+#include "anycast/core/igreedy.hpp"
+#include "anycast/rng/random.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace anycast;
+
+std::vector<core::Measurement> rtt_measurements(
+    const net::SimulatedInternet& internet,
+    std::span<const net::VantagePoint> vps, ipaddr::IPv4Address target,
+    std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  std::vector<core::Measurement> out;
+  for (const net::VantagePoint& vp : vps) {
+    double best = -1.0;
+    for (int k = 0; k < 3; ++k) {
+      const auto reply =
+          internet.probe(vp, target, net::Protocol::kIcmpEcho, gen);
+      if (reply.kind == net::ReplyKind::kEchoReply &&
+          (best < 0.0 || reply.rtt_ms < best)) {
+        best = reply.rtt_ms;
+      }
+    }
+    if (best > 0.0) out.push_back({vp.id, vp.believed_location, best});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace anycast::bench;
+
+  net::WorldConfig world_config;
+  world_config.seed = 2015;
+  world_config.unicast_alive_slash24 = 100;
+  world_config.unicast_dead_slash24 = 100;
+  const net::SimulatedInternet internet(world_config);
+  const auto vps = net::make_planetlab({.node_count = 300, .seed = 9});
+  const core::IGreedy igreedy(geo::world_index());
+
+  print_title(
+      "Baselines — iGreedy vs CHAOS [25] vs ECS [15,45] vs SOL [35]");
+  std::printf("  %-18s %6s | %8s %8s %8s %8s | %8s %8s\n", "target",
+              "truth", "SOL det", "CHAOS#", "ECS#", "iGreedy#", "geoloc",
+              "");
+
+  const char* kTargets[] = {"L-ROOT,US",    "OPENDNS,US", "CLOUDFLARENET,US",
+                            "EDGECAST,US",  "FACEBOOK,US", "MICROSOFT,US",
+                            "GOOGLE,US",    "LLNW,US",    "PROLEXIC,US"};
+  bool chaos_gap_seen = false;
+  bool ecs_gap_seen = false;
+  for (const char* name : kTargets) {
+    const net::Deployment* deployment = internet.deployment_by_name(name);
+    std::size_t deployment_index = 0;
+    for (std::size_t d = 0; d < internet.deployments().size(); ++d) {
+      if (&internet.deployments()[d] == deployment) deployment_index = d;
+    }
+    const auto target = ipaddr::IPv4Address(
+        deployment->prefixes[0].network().value() | 1);
+    const auto measurements = rtt_measurements(internet, vps, target, 3);
+    const bool sol = core::IGreedy::detect(measurements);
+    const core::Result result = igreedy.analyze(measurements);
+    const analysis::ChaosResult chaos =
+        analysis::chaos_enumerate(internet, vps, target, 4);
+    const analysis::EcsResult ecs = analysis::ecs_enumerate(
+        internet, deployment_index, /*client_subnets=*/20000, 5);
+    std::size_t geolocated = 0;
+    for (const core::Replica& replica : result.replicas) {
+      if (replica.city != nullptr) ++geolocated;
+    }
+    const auto opt = [](bool applicable, std::size_t count) {
+      return applicable ? std::to_string(count) : std::string("N/A");
+    };
+    std::printf("  %-18s %6zu | %8s %8s %8s %8zu | %8zu %8s\n", name,
+                deployment->sites.size(), sol ? "yes" : "no",
+                opt(chaos.applicable, chaos.replica_count()).c_str(),
+                opt(ecs.applicable, ecs.replica_count()).c_str(),
+                result.replicas.size(), geolocated, "");
+    if (!chaos.applicable && result.anycast) chaos_gap_seen = true;
+    if (!ecs.applicable && result.anycast) ecs_gap_seen = true;
+  }
+  std::printf(
+      "\n  CHAOS counts are exact where DNS runs but blind elsewhere and\n"
+      "  never geolocates. ECS sweeps recover an adopter's FULL L7\n"
+      "  footprint from one VP, but adoption is sparse and the technique\n"
+      "  says nothing about BGP catchments. SOL detection [35] gives only\n"
+      "  the anycast bit. iGreedy is the only service-agnostic option that\n"
+      "  also geolocates — the design argument of Sec. 2.2.\n");
+  return chaos_gap_seen && ecs_gap_seen ? 0 : 1;
+}

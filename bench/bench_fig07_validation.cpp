@@ -1,0 +1,62 @@
+// Fig. 7 — "Validation with CloudFlare and EdgeCast ASes": per-/24
+// true-positive rate of the city classification against ground truth,
+// GT/PAI coverage, and the median error of misclassifications.
+//
+// Paper: CF TPR 77%, median error 434 km, GT/PAI fairly high; EC TPR 65%,
+// median error 287 km, GT/PAI fairly low. In the simulator the GT is the
+// set of sites reachable from the platform's catchments and the PAI is the
+// full advertised site list.
+#include "anycast/analysis/validation.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace anycast;
+  using namespace anycast::bench;
+
+  BenchConfig config;
+  config.census_count = 2;
+  config.unicast_alive_slash24 = 4000;  // validation only needs anycast
+  config.unicast_silent_slash24 = 4000;
+  config.unicast_dead_slash24 = 4000;
+  const BenchWorld world(config);
+  const analysis::CensusReport report = analyze_combined(world);
+
+  print_title("Fig. 7 — validation against per-deployment ground truth");
+  std::printf("  %-18s %22s %22s %22s\n", "AS", "GT/PAI (paper/meas)",
+              "TPR (paper/meas)", "median err km (p/m)");
+
+  struct Row {
+    const char* whois;
+    const char* paper_gt_pai;
+    const char* paper_tpr;
+    const char* paper_error;
+  };
+  const Row rows[] = {
+      {"CLOUDFLARENET,US", "high (~0.8)", "0.77", "434"},
+      {"EDGECAST,US", "low (~0.4)", "0.65", "287"},
+  };
+
+  bool sane = true;
+  for (const Row& row : rows) {
+    const net::Deployment* deployment =
+        world.internet.deployment_by_name(row.whois);
+    const analysis::ValidationMetrics metrics = validate_deployment(
+        world.internet, world.vps, *deployment, report.prefixes());
+    std::printf("  %-18s %10s / %-9s %10s / %-9s %10s / %-9s\n", row.whois,
+                row.paper_gt_pai,
+                (fmt(metrics.gt_over_pai, 2) + "±" +
+                 fmt(metrics.gt_over_pai_stddev, 2))
+                    .c_str(),
+                row.paper_tpr,
+                (fmt(metrics.tpr, 2) + "±" + fmt(metrics.tpr_stddev, 2))
+                    .c_str(),
+                row.paper_error, fmt(metrics.median_error_km, 0).c_str());
+    sane = sane && metrics.tpr > 0.4 && metrics.tpr <= 1.0 &&
+           metrics.evaluated_prefixes > 0;
+  }
+  std::printf(
+      "\n  shape: classification agrees at city level for most /24s; the\n"
+      "  misclassified remainder lands a few hundred km away (population\n"
+      "  bias picks a neighbouring metropolis, Sec. 3.4).\n");
+  return sane ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// Fig. 12 — "CDF of geographically distinct replicas per IP/24
+// (individual censuses and overall)".
+//
+// Individual censuses produce nearly overlapping CDFs; the min-RTT
+// combination dominates them (better recall) and detects ~200 more
+// anycast /24s than an average single census.
+#include "anycast/analysis/stats.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace anycast;
+  using namespace anycast::bench;
+
+  const BenchWorld world{};
+
+  struct Series {
+    std::string label;
+    std::size_t anycast_ip24 = 0;
+    std::vector<double> replicas;
+  };
+  std::vector<Series> series;
+  for (std::size_t c = 0; c < world.censuses.size(); ++c) {
+    Series s;
+    s.label = "census " + std::to_string(c + 1) + " (" +
+              std::to_string(world.summaries[c].active_vps) + " VPs)";
+    const auto outcomes = analyze_data(world, world.censuses[c]);
+    s.anycast_ip24 = outcomes.size();
+    for (const auto& outcome : outcomes) {
+      s.replicas.push_back(
+          static_cast<double>(outcome.result.replicas.size()));
+    }
+    series.push_back(std::move(s));
+  }
+  Series combined;
+  combined.label = "combination";
+  const auto combined_outcomes = analyze_data(world, world.combined);
+  combined.anycast_ip24 = combined_outcomes.size();
+  for (const auto& outcome : combined_outcomes) {
+    combined.replicas.push_back(
+        static_cast<double>(outcome.result.replicas.size()));
+  }
+  series.push_back(std::move(combined));
+
+  print_title("Fig. 12 — CDF of replicas per anycast /24");
+  std::printf("  %-22s %9s |", "series", "IP/24");
+  for (const int x : {2, 5, 10, 15, 20, 25}) std::printf("  P(R<=%2d)", x);
+  std::printf("\n");
+  for (const Series& s : series) {
+    const analysis::Empirical dist(s.replicas);
+    std::printf("  %-22s %9zu |", s.label.c_str(), s.anycast_ip24);
+    for (const int x : {2, 5, 10, 15, 20, 25}) {
+      std::printf("  %7.2f", dist.cdf(x));
+    }
+    std::printf("\n");
+  }
+
+  print_subtitle("combination effect (Sec. 4.1)");
+  double mean_single = 0.0;
+  for (std::size_t c = 0; c + 1 < series.size(); ++c) {
+    mean_single += static_cast<double>(series[c].anycast_ip24);
+  }
+  mean_single /= static_cast<double>(series.size() - 1);
+  const double extra =
+      static_cast<double>(series.back().anycast_ip24) - mean_single;
+  print_compare("extra anycast /24 vs avg census", "~200", fmt(extra, 0));
+  // Per-census curves overlap; combination dominates.
+  bool sane = extra >= 0.0;
+  for (std::size_t c = 0; c + 1 < series.size(); ++c) {
+    sane = sane && series.back().anycast_ip24 >= series[c].anycast_ip24;
+  }
+  return sane ? 0 : 1;
+}

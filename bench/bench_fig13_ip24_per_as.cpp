@@ -1,0 +1,49 @@
+// Fig. 13 — "Number of IPs/24 per AS": about half of anycast ASes announce
+// exactly one /24; ~10% announce 10 or more; the named giants are
+// CloudFlare (328), Google (102), EdgeCast (37), Prolexic (21), Apple (6),
+// Twitter (3), Level3 (2), LinkedIn (1).
+#include "anycast/analysis/stats.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace anycast;
+  using namespace anycast::bench;
+
+  BenchConfig config;
+  config.census_count = 2;
+  const BenchWorld world(config);
+  const analysis::CensusReport report = analyze_combined(world);
+
+  const analysis::Empirical dist(report.ip24_per_as());
+
+  print_title("Fig. 13 — detected anycast /24s per AS (" +
+              std::to_string(dist.size()) + " ASes)");
+  std::printf("  %-38s %16s %16s\n", "point", "paper", "measured");
+  print_compare("ASes with exactly one /24", "~50%",
+                fmt_pct(dist.cdf(1.0), 0));
+  print_compare("ASes with >= 10 /24s", "~10%",
+                fmt_pct(dist.ccdf(9.0), 0));
+
+  print_subtitle("named deployments (detected vs announced)");
+  struct Named {
+    const char* whois;
+    int paper;
+  };
+  const Named named[] = {
+      {"CLOUDFLARENET,US", 328}, {"GOOGLE,US", 102}, {"EDGECAST,US", 37},
+      {"PROLEXIC,US", 21},       {"APPLE-ENGINE", 6}, {"TWITTER-NETW", 3},
+      {"LEVEL3,US", 2},          {"LINKEDIN,US", 1},
+  };
+  std::printf("  %-20s %10s %10s\n", "AS", "paper", "measured");
+  bool sane = true;
+  for (const Named& entry : named) {
+    const analysis::AsReport* as_report = report.by_name(entry.whois);
+    const std::size_t detected =
+        as_report == nullptr ? 0 : as_report->detected_ip24;
+    std::printf("  %-20s %10d %10zu\n", entry.whois, entry.paper, detected);
+    sane = sane && detected <= static_cast<std::size_t>(entry.paper);
+  }
+  sane = sane && dist.cdf(1.0) > 0.3 && dist.cdf(1.0) < 0.7 &&
+         dist.ccdf(9.0) > 0.04 && dist.ccdf(9.0) < 0.2;
+  return sane ? 0 : 1;
+}

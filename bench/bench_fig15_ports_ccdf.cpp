@@ -1,0 +1,56 @@
+// Fig. 15 — "Complementary CDF of the number of open TCP ports per AS":
+// most ASes expose a handful of ports; the tail is carried by Incapsula
+// (~313, a proxying DDoS-mitigation service) and OVH (~10,148, the
+// seedbox-hosting effect of Sec. 4.3).
+#include "anycast/analysis/stats.hpp"
+#include "anycast/portscan/scanner.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace anycast;
+  using namespace anycast::bench;
+
+  net::WorldConfig world_config;
+  world_config.seed = 2015;
+  world_config.unicast_alive_slash24 = 100;
+  world_config.unicast_dead_slash24 = 100;
+  const net::SimulatedInternet internet(world_config);
+  const portscan::PortScanner scanner(internet);
+  const auto scans = scanner.scan_all(internet.deployments().subspan(0, 100));
+
+  std::vector<double> ports_per_as;
+  for (const portscan::DeploymentScan& scan : scans) {
+    ports_per_as.push_back(static_cast<double>(scan.open_ports.size()));
+  }
+  const analysis::Empirical dist(ports_per_as);
+
+  print_title("Fig. 15 — CCDF of open TCP ports per AS (top-100 ASes)");
+  std::printf("  %10s %12s\n", "x (ports)", "P(X >= x)");
+  for (const double x : {1.0, 2.0, 4.0, 5.0, 10.0, 100.0, 300.0, 1000.0,
+                         10000.0}) {
+    std::printf("  %10.0f %12.2f\n", x, dist.ccdf(x - 1.0));
+  }
+
+  print_subtitle("checks");
+  std::printf("  %-38s %16s %16s\n", "metric", "paper", "measured");
+  print_compare("ASes with >= 1 open port", "81/100",
+                fmt_pct(dist.ccdf(0.0), 0));
+  print_compare("ASes with >= 5 open ports", "~10-20%",
+                fmt_pct(dist.ccdf(4.0), 0));
+  print_compare("ASes with >= 4 distinct ports", "22",
+                fmt_int(static_cast<std::uint64_t>(
+                    dist.ccdf(3.0) * static_cast<double>(dist.size()))));
+
+  const portscan::PortScanner full(internet);
+  const auto ovh = full.scan(*internet.deployment_by_name("OVH,FR"));
+  const auto incapsula =
+      full.scan(*internet.deployment_by_name("INCAPSULA,US"));
+  print_compare("OVH open ports", "10,148", fmt_int(ovh.open_ports.size()));
+  print_compare("Incapsula open ports", "313",
+                fmt_int(incapsula.open_ports.size()));
+
+  const bool sane = ovh.open_ports.size() > 9500 &&
+                    incapsula.open_ports.size() > 250 &&
+                    dist.ccdf(0.0) > 0.7;
+  return sane ? 0 : 1;
+}

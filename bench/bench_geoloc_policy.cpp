@@ -1,0 +1,64 @@
+// Ablation — geolocation policy (Sec. 2.1 / 3.4).
+//
+// The paper's classifier picks the most populated city in each MIS disk
+// (population alone gives ~75% city-level accuracy). This bench compares
+// that policy against pure proximity (nearest city to the disk centre) and
+// no side channel at all (keep disk centres), on the CloudFlare ground
+// truth.
+#include "anycast/analysis/validation.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace anycast;
+using namespace anycast::bench;
+
+analysis::ValidationMetrics run_policy(const BenchWorld& world,
+                                       core::CityPolicy policy) {
+  core::Options options;
+  options.city_policy = policy;
+  const analysis::CensusAnalyzer analyzer(world.vps, geo::world_index(),
+                                          options);
+  const analysis::CensusReport report(
+      world.internet, analyzer.analyze(world.combined, world.hitlist));
+  const net::Deployment* cloudflare =
+      world.internet.deployment_by_name("CLOUDFLARENET,US");
+  return validate_deployment(world.internet, world.vps, *cloudflare,
+                             report.prefixes());
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig config;
+  config.census_count = 2;
+  config.unicast_alive_slash24 = 2000;
+  config.unicast_silent_slash24 = 2000;
+  config.unicast_dead_slash24 = 2000;
+  const BenchWorld world(config);
+
+  print_title("Ablation — city-classification policy (CloudFlare GT)");
+  std::printf("  %-22s %8s %12s %16s\n", "policy", "TPR", "median err",
+              "replicas eval");
+
+  const std::pair<const char*, core::CityPolicy> policies[] = {
+      {"largest-population", core::CityPolicy::kLargestPopulation},
+      {"nearest-to-center", core::CityPolicy::kNearestToCenter},
+      {"none (disk centres)", core::CityPolicy::kNone},
+  };
+  double population_tpr = 0.0;
+  for (const auto& [label, policy] : policies) {
+    const analysis::ValidationMetrics metrics = run_policy(world, policy);
+    if (policy == core::CityPolicy::kLargestPopulation) {
+      population_tpr = metrics.tpr;
+    }
+    std::printf("  %-22s %7.0f%% %9.0f km %16zu\n", label,
+                metrics.tpr * 100.0, metrics.median_error_km,
+                metrics.evaluated_replicas);
+  }
+  std::printf(
+      "\n  paper: population bias alone discriminates ~75%% of cases; with\n"
+      "  no side channel there is no city classification at all (TPR 0),\n"
+      "  which is why the MLE classifier is load-bearing.\n");
+  return population_tpr > 0.45 ? 0 : 1;
+}

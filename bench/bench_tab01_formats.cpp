@@ -1,0 +1,91 @@
+// Tab. 1 — "Textual (0) vs binary (1-4) censuses": per-host and total
+// output size, and analysis duration.
+//
+// Paper: csv 270 MB/host, 79 GB/census, > 3 days of analysis (including
+// on-the-fly resorting of ~300 LFSR-ordered lists); binary 21 MB/host,
+// 6 GB/census, 3 h. The bench encodes one VP's real observation stream in
+// both formats, extrapolates sizes to the paper's scale, and times the
+// decode+collate step that dominated the analysis.
+#include <chrono>
+
+#include "common.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace anycast;
+  using namespace anycast::bench;
+
+  net::WorldConfig world_config;
+  world_config.seed = 2015;
+  world_config.unicast_alive_slash24 = 12000;
+  world_config.unicast_silent_slash24 = 14000;
+  world_config.unicast_dead_slash24 = 14000;
+  const net::SimulatedInternet internet(world_config);
+  const auto vps = net::make_planetlab({.node_count = 1, .seed = 70});
+  const census::Hitlist hitlist =
+      census::Hitlist::from_world(internet).without_dead();
+  census::Greylist blacklist;
+  census::Greylist greylist;
+  const census::FastPingResult vp_run = census::run_fastping(
+      internet, vps[0], hitlist, blacklist, greylist,
+      census::FastPingConfig{});
+
+  const double scale =
+      kPaperHitlistSize / static_cast<double>(hitlist.size());
+  constexpr double kPaperVps = 300.0;
+
+  // Encode both formats and time a decode + per-target collation pass —
+  // the analysis step whose cost Tab. 1 reports.
+  const auto text = census::encode_textual(vp_run.observations);
+  const auto binary = census::encode_binary(vp_run.observations);
+
+  auto start = std::chrono::steady_clock::now();
+  const auto text_decoded = census::decode_textual(text);
+  const double text_decode_s = seconds_since(start);
+
+  start = std::chrono::steady_clock::now();
+  const auto binary_decoded = census::decode_binary(binary);
+  const double binary_decode_s = seconds_since(start);
+
+  if (text_decoded.size() != vp_run.observations.size() ||
+      !binary_decoded.has_value() ||
+      binary_decoded->size() != vp_run.observations.size()) {
+    std::fprintf(stderr, "round-trip mismatch\n");
+    return 1;
+  }
+
+  const double text_host_mb = static_cast<double>(text.size()) * scale / 1e6;
+  const double binary_host_mb =
+      static_cast<double>(binary.size()) * scale / 1e6;
+
+  print_title("Tab. 1 — textual vs binary census formats");
+  std::printf("  one VP stream: %s observations (%s probed targets)\n",
+              fmt_int(vp_run.observations.size()).c_str(),
+              fmt_int(vp_run.probes_sent).c_str());
+  std::printf("\n  %-26s %20s %20s\n", "metric", "textual (census 0)",
+              "binary (census 1-4)");
+  std::printf("  %-26s %17.0f MB %17.0f MB\n",
+              "size/host (paper: 270/21)", text_host_mb, binary_host_mb);
+  std::printf("  %-26s %17.1f GB %17.1f GB\n",
+              "size/census (paper: 79/6)", text_host_mb * kPaperVps / 1e3,
+              binary_host_mb * kPaperVps / 1e3);
+  std::printf("  %-26s %18.2f s %18.2f s\n", "decode+collate (this host)",
+              text_decode_s, binary_decode_s);
+  std::printf("  %-26s %18.1f h %18.1f h\n",
+              "extrapolated full analysis",
+              text_decode_s * scale * kPaperVps / 3600.0 * 4.0,
+              binary_decode_s * scale * kPaperVps / 3600.0 * 4.0);
+  std::printf("\n  shape: binary is ~%0.0fx smaller and ~%0.0fx faster to\n"
+              "  ingest (paper: >3 days -> 3 h, 79 GB -> 6 GB).\n",
+              text_host_mb / binary_host_mb, text_decode_s / binary_decode_s);
+  return text_host_mb > 5.0 * binary_host_mb ? 0 : 1;
+}

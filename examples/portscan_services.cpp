@@ -1,0 +1,56 @@
+// Anycast service census (Sec. 4.3): portscan the top anycast deployments,
+// classify open ports against the well-known registry, and print the
+// per-AS service and software inventory — the data behind Figs. 14-16.
+#include <cstdio>
+#include <string>
+
+#include "anycast/net/internet.hpp"
+#include "anycast/portscan/scanner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace anycast;
+
+  const std::size_t rows = argc > 1 ? std::stoul(argv[1]) : 15;
+
+  net::WorldConfig world_config;
+  world_config.seed = 2015;
+  world_config.unicast_alive_slash24 = 100;
+  world_config.unicast_dead_slash24 = 100;
+  const net::SimulatedInternet internet(world_config);
+  const portscan::PortScanner scanner(internet);
+
+  const auto scans = scanner.scan_all(internet.deployments().subspan(0, 100));
+  const portscan::ScanStatistics stats = portscan::summarize(scans);
+  std::printf(
+      "scanned %zu ASes: %llu responsive IPs, %llu distinct open ports, "
+      "%llu well-known services, %llu software packages\n\n",
+      scans.size(),
+      static_cast<unsigned long long>(stats.ips_responsive),
+      static_cast<unsigned long long>(stats.distinct_open_ports),
+      static_cast<unsigned long long>(stats.well_known),
+      static_cast<unsigned long long>(stats.software_packages));
+
+  std::printf("%-18s %6s %8s  %s\n", "AS", "IPs", "ports", "services");
+  for (std::size_t i = 0; i < rows && i < scans.size(); ++i) {
+    const portscan::DeploymentScan& scan = scans[i];
+    std::string services;
+    int listed = 0;
+    for (const portscan::PortHit& hit : scan.open_ports) {
+      if (hit.service.empty()) continue;
+      if (listed == 6) {
+        services += ", ...";
+        break;
+      }
+      if (listed > 0) services += ", ";
+      services += std::string(hit.service);
+      if (!hit.software.empty()) {
+        services += "[" + std::string(hit.software) + "]";
+      }
+      ++listed;
+    }
+    std::printf("%-18s %6u %8zu  %s\n",
+                scan.deployment->whois_name.c_str(), scan.ips_responsive,
+                scan.open_ports.size(), services.c_str());
+  }
+  return stats.ases_with_open_port > 0 ? 0 : 1;
+}

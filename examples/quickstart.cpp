@@ -1,0 +1,66 @@
+// Quickstart: detect, enumerate, and geolocate one anycast deployment.
+//
+// Builds a simulated Internet, probes one CloudFlare /24 from a
+// PlanetLab-like platform, and runs the iGreedy analysis — the minimal
+// end-to-end path through the library.
+#include <cstdio>
+#include <vector>
+
+#include "anycast/core/igreedy.hpp"
+#include "anycast/geo/city_index.hpp"
+#include "anycast/net/internet.hpp"
+#include "anycast/net/platform.hpp"
+#include "anycast/rng/random.hpp"
+
+int main() {
+  using namespace anycast;
+
+  // A small world: the full anycast catalog, light unicast background.
+  net::WorldConfig world_config;
+  world_config.unicast_alive_slash24 = 2000;
+  world_config.unicast_dead_slash24 = 2000;
+  const net::SimulatedInternet internet(world_config);
+
+  // ~300 PlanetLab-like vantage points.
+  const auto vps = net::make_planetlab({.node_count = 300, .seed = 42});
+
+  // Pick a CloudFlare anycast /24 and ping it from every VP.
+  const net::Deployment* cloudflare =
+      internet.deployment_by_name("CLOUDFLARENET,US");
+  if (cloudflare == nullptr) {
+    std::fprintf(stderr, "catalog is missing CloudFlare?\n");
+    return 1;
+  }
+  const ipaddr::IPv4Address target = ipaddr::IPv4Address(
+      cloudflare->prefixes.front().network().value() | 1);
+  std::printf("target: %s (%s, %zu sites worldwide)\n",
+              target.to_string().c_str(), cloudflare->whois_name.c_str(),
+              cloudflare->sites.size());
+
+  rng::Xoshiro256 gen(7);
+  std::vector<core::Measurement> measurements;
+  for (const net::VantagePoint& vp : vps) {
+    const net::ProbeReply reply =
+        internet.probe(vp, target, net::Protocol::kIcmpEcho, gen);
+    if (reply.kind == net::ReplyKind::kEchoReply) {
+      measurements.push_back(
+          core::Measurement{vp.id, vp.believed_location, reply.rtt_ms});
+    }
+  }
+  std::printf("echo replies: %zu / %zu VPs\n", measurements.size(),
+              vps.size());
+
+  // Detection + enumeration + geolocation.
+  const core::IGreedy igreedy(geo::world_index());
+  const core::Result result = igreedy.analyze(measurements);
+  std::printf("anycast: %s  (replicas: %zu, iGreedy iterations: %d)\n",
+              result.anycast ? "YES" : "no", result.replicas.size(),
+              result.iterations);
+  for (const core::Replica& replica : result.replicas) {
+    std::printf("  replica near %-18s disk radius %7.0f km (VP %u)\n",
+                replica.city != nullptr ? replica.city->display().c_str()
+                                        : "(no city in disk)",
+                replica.disk.radius_km(), replica.vp_id);
+  }
+  return result.anycast ? 0 : 1;
+}

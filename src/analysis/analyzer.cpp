@@ -1,0 +1,85 @@
+#include "anycast/analysis/analyzer.hpp"
+
+#include <algorithm>
+
+#include "anycast/geodesy/disk.hpp"
+
+namespace anycast::analysis {
+
+CensusAnalyzer::CensusAnalyzer(std::span<const net::VantagePoint> vps,
+                               const geo::CityIndex& cities,
+                               core::Options options)
+    : vps_(vps),
+      cities_(&cities),
+      options_(options),
+      igreedy_(cities, options) {
+  vp_distance_km_.resize(vps.size() * vps.size());
+  for (std::size_t i = 0; i < vps.size(); ++i) {
+    for (std::size_t j = i + 1; j < vps.size(); ++j) {
+      const double km = geodesy::distance_km(vps[i].believed_location,
+                                             vps[j].believed_location);
+      vp_distance_km_[i * vps.size() + j] = km;
+      vp_distance_km_[j * vps.size() + i] = km;
+    }
+  }
+}
+
+bool CensusAnalyzer::detect(std::span<const census::VpRtt> row) const {
+  // Radii from the per-VP minimum RTTs; a pair of VPs whose mutual
+  // distance exceeds the radius sum cannot both contain the target.
+  // Row entries are vp-sorted and unique; all arithmetic is precomputed
+  // distances, no trigonometry on the hot path.
+  thread_local std::vector<double> radii;
+  radii.clear();
+  radii.reserve(row.size());
+  for (const census::VpRtt& sample : row) {
+    radii.push_back(sample.rtt_ms <= options_.max_rtt_ms
+                        ? geodesy::rtt_to_radius_km(sample.rtt_ms)
+                        : -1.0);
+  }
+  const std::size_t n = row.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (radii[i] < 0.0) continue;
+    const std::size_t vi = row[i].vp;
+    const double* distance_row = &vp_distance_km_[vi * vps_.size()];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (radii[j] < 0.0) continue;
+      if (distance_row[row[j].vp] > radii[i] + radii[j]) return true;
+    }
+  }
+  return false;
+}
+
+core::Result CensusAnalyzer::analyze_row(
+    std::span<const census::VpRtt> row) const {
+  std::vector<core::Measurement> measurements;
+  measurements.reserve(row.size());
+  for (const census::VpRtt& sample : row) {
+    core::Measurement m;
+    m.vp_id = sample.vp;
+    m.vp_location = vps_[sample.vp].believed_location;
+    m.rtt_ms = sample.rtt_ms;
+    measurements.push_back(m);
+  }
+  return igreedy_.analyze(measurements);
+}
+
+std::vector<TargetOutcome> CensusAnalyzer::analyze(
+    const census::CensusData& data, const census::Hitlist& hitlist,
+    std::size_t min_vps) const {
+  std::vector<TargetOutcome> out;
+  const std::size_t targets = std::min(data.target_count(), hitlist.size());
+  for (std::uint32_t t = 0; t < targets; ++t) {
+    const auto row = data.measurements(t);
+    if (row.size() < min_vps) continue;
+    if (!detect(row)) continue;
+    TargetOutcome outcome;
+    outcome.target_index = t;
+    outcome.slash24_index = hitlist[t].representative.slash24_index();
+    outcome.result = analyze_row(row);
+    if (outcome.result.anycast) out.push_back(std::move(outcome));
+  }
+  return out;
+}
+
+}  // namespace anycast::analysis

@@ -1,0 +1,56 @@
+#include "anycast/analysis/baselines.hpp"
+
+#include "anycast/geo/city_data.hpp"
+#include "anycast/rng/distributions.hpp"
+#include "anycast/rng/random.hpp"
+
+namespace anycast::analysis {
+
+ChaosResult chaos_enumerate(const net::SimulatedInternet& internet,
+                            std::span<const net::VantagePoint> vps,
+                            ipaddr::IPv4Address target, std::uint64_t seed,
+                            int probes_per_vp) {
+  ChaosResult result;
+  rng::Xoshiro256 gen(seed);
+  for (const net::VantagePoint& vp : vps) {
+    for (int k = 0; k < probes_per_vp; ++k) {
+      ++result.queries_sent;
+      if (const auto id = internet.chaos_query(vp, target, gen)) {
+        ++result.answers;
+        result.applicable = true;
+        result.server_ids.insert(*id);
+      }
+    }
+  }
+  return result;
+}
+
+EcsResult ecs_enumerate(const net::SimulatedInternet& internet,
+                        std::size_t deployment_index,
+                        std::size_t client_subnets, std::uint64_t seed) {
+  EcsResult result;
+  rng::Xoshiro256 gen(seed);
+  const auto cities = geo::world_cities();
+  std::vector<double> weights;
+  weights.reserve(cities.size());
+  for (const geo::City& city : cities) {
+    weights.push_back(static_cast<double>(city.population));
+  }
+  for (std::size_t i = 0; i < client_subnets; ++i) {
+    ++result.queries_sent;
+    // A client subnet somewhere in the populated world.
+    const geo::City& city = cities[rng::weighted_index(gen, weights)];
+    const geodesy::GeoPoint client = geodesy::destination(
+        city.location(), rng::uniform(gen, 0.0, 360.0),
+        rng::exponential(gen, 50.0));
+    const net::ReplicaSite* pop =
+        internet.ecs_query(deployment_index, client);
+    if (pop != nullptr) {
+      result.applicable = true;
+      result.pops.insert(pop);
+    }
+  }
+  return result;
+}
+
+}  // namespace anycast::analysis

@@ -1,0 +1,123 @@
+#include "anycast/analysis/diff.hpp"
+
+#include <algorithm>
+
+namespace anycast::analysis {
+
+CensusSnapshot::CensusSnapshot(std::span<const TargetOutcome> outcomes) {
+  prefixes_.reserve(outcomes.size());
+  for (const TargetOutcome& outcome : outcomes) {
+    PrefixSnapshot snapshot;
+    snapshot.slash24_index = outcome.slash24_index;
+    snapshot.replica_count = outcome.result.replicas.size();
+    for (const core::Replica& replica : outcome.result.replicas) {
+      if (replica.city != nullptr) snapshot.cities.insert(replica.city);
+    }
+    prefixes_.push_back(std::move(snapshot));
+  }
+  std::sort(prefixes_.begin(), prefixes_.end(),
+            [](const PrefixSnapshot& a, const PrefixSnapshot& b) {
+              return a.slash24_index < b.slash24_index;
+            });
+}
+
+const PrefixSnapshot* CensusSnapshot::find(std::uint32_t slash24) const {
+  const auto it = std::lower_bound(
+      prefixes_.begin(), prefixes_.end(), slash24,
+      [](const PrefixSnapshot& snapshot, std::uint32_t index) {
+        return snapshot.slash24_index < index;
+      });
+  if (it != prefixes_.end() && it->slash24_index == slash24) return &*it;
+  return nullptr;
+}
+
+std::string_view to_string(PrefixChange::Kind kind) {
+  switch (kind) {
+    case PrefixChange::Kind::kAppeared: return "appeared";
+    case PrefixChange::Kind::kDisappeared: return "disappeared";
+    case PrefixChange::Kind::kGrew: return "grew";
+    case PrefixChange::Kind::kShrank: return "shrank";
+    case PrefixChange::Kind::kMoved: return "moved";
+  }
+  return "?";
+}
+
+std::size_t CensusDiff::count(PrefixChange::Kind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(changes.begin(), changes.end(),
+                    [kind](const PrefixChange& change) {
+                      return change.kind == kind;
+                    }));
+}
+
+namespace {
+
+void city_delta(const PrefixSnapshot& before, const PrefixSnapshot& after,
+                PrefixChange& change) {
+  for (const geo::City* city : after.cities) {
+    if (!before.cities.contains(city)) change.cities_gained.push_back(city);
+  }
+  for (const geo::City* city : before.cities) {
+    if (!after.cities.contains(city)) change.cities_lost.push_back(city);
+  }
+}
+
+}  // namespace
+
+CensusDiff diff_censuses(const CensusSnapshot& before,
+                         const CensusSnapshot& after,
+                         std::size_t min_replica_delta) {
+  CensusDiff diff;
+  // Walk the union of both sorted prefix lists.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  const auto& a = before.prefixes();
+  const auto& b = after.prefixes();
+  while (i < a.size() || j < b.size()) {
+    if (j == b.size() ||
+        (i < a.size() && a[i].slash24_index < b[j].slash24_index)) {
+      PrefixChange change;
+      change.kind = PrefixChange::Kind::kDisappeared;
+      change.slash24_index = a[i].slash24_index;
+      change.replicas_before = a[i].replica_count;
+      diff.changes.push_back(std::move(change));
+      ++i;
+    } else if (i == a.size() || b[j].slash24_index < a[i].slash24_index) {
+      PrefixChange change;
+      change.kind = PrefixChange::Kind::kAppeared;
+      change.slash24_index = b[j].slash24_index;
+      change.replicas_after = b[j].replica_count;
+      diff.changes.push_back(std::move(change));
+      ++j;
+    } else {
+      const PrefixSnapshot& old_snapshot = a[i];
+      const PrefixSnapshot& new_snapshot = b[j];
+      const std::size_t delta =
+          old_snapshot.replica_count > new_snapshot.replica_count
+              ? old_snapshot.replica_count - new_snapshot.replica_count
+              : new_snapshot.replica_count - old_snapshot.replica_count;
+      if (delta >= min_replica_delta ||
+          old_snapshot.cities != new_snapshot.cities) {
+        PrefixChange change;
+        change.slash24_index = old_snapshot.slash24_index;
+        change.replicas_before = old_snapshot.replica_count;
+        change.replicas_after = new_snapshot.replica_count;
+        if (delta >= min_replica_delta) {
+          change.kind = new_snapshot.replica_count >
+                                old_snapshot.replica_count
+                            ? PrefixChange::Kind::kGrew
+                            : PrefixChange::Kind::kShrank;
+        } else {
+          change.kind = PrefixChange::Kind::kMoved;
+        }
+        city_delta(old_snapshot, new_snapshot, change);
+        diff.changes.push_back(std::move(change));
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return diff;
+}
+
+}  // namespace anycast::analysis

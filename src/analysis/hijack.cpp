@@ -1,0 +1,47 @@
+#include "anycast/analysis/hijack.hpp"
+
+namespace anycast::analysis {
+
+HijackMonitor::HijackMonitor(std::span<const net::VantagePoint> vps,
+                             const geo::CityIndex& cities,
+                             core::Options options)
+    : analyzer_(vps, cities, options) {}
+
+void HijackMonitor::set_reference(const census::CensusData& reference,
+                                  const census::Hitlist& hitlist,
+                                  std::size_t min_vps) {
+  unicast_reference_.clear();
+  const std::size_t targets =
+      std::min(reference.target_count(), hitlist.size());
+  for (std::uint32_t t = 0; t < targets; ++t) {
+    const auto row = reference.measurements(t);
+    if (row.size() < min_vps) continue;
+    if (!analyzer_.detect(row)) {
+      unicast_reference_.insert(
+          hitlist[t].representative.slash24_index());
+    }
+  }
+}
+
+std::vector<HijackAlarm> HijackMonitor::scan(
+    const census::CensusData& data, const census::Hitlist& hitlist,
+    std::size_t min_vps) const {
+  std::vector<HijackAlarm> alarms;
+  const std::size_t targets = std::min(data.target_count(), hitlist.size());
+  for (std::uint32_t t = 0; t < targets; ++t) {
+    const std::uint32_t slash24 =
+        hitlist[t].representative.slash24_index();
+    if (!unicast_reference_.contains(slash24)) continue;
+    const auto row = data.measurements(t);
+    if (row.size() < min_vps) continue;
+    if (!analyzer_.detect(row)) continue;
+    HijackAlarm alarm;
+    alarm.slash24_index = slash24;
+    alarm.target_index = t;
+    alarm.result = analyzer_.analyze_row(row);
+    alarms.push_back(std::move(alarm));
+  }
+  return alarms;
+}
+
+}  // namespace anycast::analysis

@@ -1,0 +1,61 @@
+// Census analysis driver: from collected RTTs to anycast verdicts.
+//
+// Processing a census means running detection over O(10^6) responsive
+// targets and full iGreedy only on the few that violate the speed of
+// light. Detection here is exact pairwise disjointness but runs on a
+// precomputed VP-to-VP distance matrix, so the per-target cost is pure
+// arithmetic — this is the optimisation that brought the paper's analysis
+// from days (Census 0) to under three hours (Sec. 3.5).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "anycast/census/census.hpp"
+#include "anycast/census/hitlist.hpp"
+#include "anycast/core/igreedy.hpp"
+#include "anycast/net/types.hpp"
+
+namespace anycast::analysis {
+
+/// Analysis outcome for one target that was detected as anycast.
+struct TargetOutcome {
+  std::uint32_t target_index = 0;   // dense hitlist index
+  std::uint32_t slash24_index = 0;  // the /24 it represents
+  core::Result result;
+};
+
+class CensusAnalyzer {
+ public:
+  /// `vps` must outlive the analyzer; believed VP locations are used (the
+  /// analysis can only know what the platform metadata claims).
+  CensusAnalyzer(std::span<const net::VantagePoint> vps,
+                 const geo::CityIndex& cities, core::Options options = {});
+
+  /// Detection sweep + full iGreedy on detected targets. Only targets with
+  /// at least `min_vps` echo replies are considered (a single disk can
+  /// never violate the speed of light).
+  [[nodiscard]] std::vector<TargetOutcome> analyze(
+      const census::CensusData& data, const census::Hitlist& hitlist,
+      std::size_t min_vps = 2) const;
+
+  /// The cheap detection predicate on one target row.
+  [[nodiscard]] bool detect(std::span<const census::VpRtt> row) const;
+
+  /// Full iGreedy on one target row (used for detected targets and for
+  /// focused studies like the Fig. 5 platform comparison).
+  [[nodiscard]] core::Result analyze_row(
+      std::span<const census::VpRtt> row) const;
+
+  [[nodiscard]] std::size_t vp_count() const { return vps_.size(); }
+
+ private:
+  std::span<const net::VantagePoint> vps_;
+  const geo::CityIndex* cities_;
+  core::Options options_;
+  core::IGreedy igreedy_;
+  std::vector<double> vp_distance_km_;  // dense vp x vp matrix
+};
+
+}  // namespace anycast::analysis

@@ -1,0 +1,62 @@
+// Baseline anycast-detection techniques the paper compares against
+// (Sec. 2.2):
+//
+// - CHAOS-query enumeration (Fan et al. [25]): ask the target a DNS
+//   CHAOS-class TXT query from every VP and count distinct server ids.
+//   Enumerates well for DNS, but is neither capable of geolocation nor
+//   applicable beyond DNS.
+// - Speed-of-light detection (Madory et al. [35]): the disjoint-disk test
+//   alone — detection without enumeration or geolocation. Exposed via
+//   core::IGreedy::detect; wrapped here for symmetric benchmarking.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <span>
+#include <string>
+
+#include "anycast/net/internet.hpp"
+
+namespace anycast::analysis {
+
+struct ChaosResult {
+  bool applicable = false;            // did anything answer CHAOS at all?
+  std::set<std::string> server_ids;   // distinct replica identifiers
+  std::size_t queries_sent = 0;
+  std::size_t answers = 0;
+
+  /// The technique's replica-count estimate (0 when not applicable).
+  [[nodiscard]] std::size_t replica_count() const {
+    return server_ids.size();
+  }
+  /// CHAOS "detection": more than one distinct id.
+  [[nodiscard]] bool anycast() const { return server_ids.size() >= 2; }
+};
+
+/// Runs the CHAOS enumeration from every VP (`probes_per_vp` retries to
+/// ride out loss). Deterministic in `seed`.
+ChaosResult chaos_enumerate(const net::SimulatedInternet& internet,
+                            std::span<const net::VantagePoint> vps,
+                            ipaddr::IPv4Address target, std::uint64_t seed,
+                            int probes_per_vp = 2);
+
+/// ECS-based L7 footprint mapping (Calder et al. [15], Streibelt et al.
+/// [45]): from a single vantage point, sweep client subnets spread over
+/// the globe and collect the PoPs the operator's ECS-aware DNS maps them
+/// to. Superb recall for adopters; nothing at all otherwise.
+struct EcsResult {
+  bool applicable = false;
+  std::set<const net::ReplicaSite*> pops;
+  std::size_t queries_sent = 0;
+
+  [[nodiscard]] std::size_t replica_count() const { return pops.size(); }
+};
+
+/// Sweeps `client_subnets` synthetic client locations drawn from the
+/// population-weighted world (what sweeping real /24s achieves).
+/// Deterministic in `seed`.
+EcsResult ecs_enumerate(const net::SimulatedInternet& internet,
+                        std::size_t deployment_index,
+                        std::size_t client_subnets, std::uint64_t seed);
+
+}  // namespace anycast::analysis

@@ -1,0 +1,79 @@
+// Longitudinal census comparison (Sec. 5, "Longitudinal view").
+//
+// "With later censuses, we observed small but interesting changes in the
+// anycast landscape. Taking periodic censuses and analyzing the time
+// evolution over longer timescales would allow to track evolution of IP
+// anycast deployments." CensusDiff compares two analysis snapshots and
+// itemises the landscape changes: prefixes that became anycast, prefixes
+// that stopped being anycast, and deployments whose geographic footprint
+// grew or shrank.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "anycast/analysis/analyzer.hpp"
+
+namespace anycast::analysis {
+
+/// Footprint snapshot of one anycast /24 at one census epoch.
+struct PrefixSnapshot {
+  std::uint32_t slash24_index = 0;
+  std::size_t replica_count = 0;
+  std::set<const geo::City*> cities;
+};
+
+/// A comparable snapshot of one census's analysis output.
+class CensusSnapshot {
+ public:
+  CensusSnapshot() = default;
+  explicit CensusSnapshot(std::span<const TargetOutcome> outcomes);
+
+  [[nodiscard]] const std::vector<PrefixSnapshot>& prefixes() const {
+    return prefixes_;
+  }
+  [[nodiscard]] const PrefixSnapshot* find(std::uint32_t slash24) const;
+  [[nodiscard]] std::size_t size() const { return prefixes_.size(); }
+
+ private:
+  std::vector<PrefixSnapshot> prefixes_;  // sorted by slash24_index
+};
+
+/// One changed prefix in a diff.
+struct PrefixChange {
+  enum class Kind {
+    kAppeared,     // newly anycast (or newly detected)
+    kDisappeared,  // no longer detected as anycast
+    kGrew,         // more replicas than before
+    kShrank,       // fewer replicas than before
+    kMoved,        // same count, different city set
+  };
+  Kind kind = Kind::kAppeared;
+  std::uint32_t slash24_index = 0;
+  std::size_t replicas_before = 0;
+  std::size_t replicas_after = 0;
+  /// Cities gained/lost (empty for pure appear/disappear records).
+  std::vector<const geo::City*> cities_gained;
+  std::vector<const geo::City*> cities_lost;
+};
+
+std::string_view to_string(PrefixChange::Kind kind);
+
+/// The landscape delta between two census epochs.
+struct CensusDiff {
+  std::vector<PrefixChange> changes;  // sorted by slash24_index
+
+  [[nodiscard]] std::size_t count(PrefixChange::Kind kind) const;
+  [[nodiscard]] bool stable() const { return changes.empty(); }
+};
+
+/// Computes before -> after. Footprint changes below `min_replica_delta`
+/// are treated as measurement noise and reported as kMoved only when the
+/// city sets differ, or suppressed entirely when they match.
+CensusDiff diff_censuses(const CensusSnapshot& before,
+                         const CensusSnapshot& after,
+                         std::size_t min_replica_delta = 1);
+
+}  // namespace anycast::analysis

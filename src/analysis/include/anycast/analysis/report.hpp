@@ -1,0 +1,96 @@
+// Census characterisation: joining analysis outcomes with the AS world.
+//
+// Implements the Sec. 4 aggregation: each detected anycast /24 is mapped
+// a-posteriori to its announcing AS, then per-AS statistics (geographic
+// footprint, /24 footprint, cities, countries) and the cross-checks against
+// the CAIDA top-100 and Alexa-100k ranks produce the "at a glance" table of
+// Fig. 10, the category breakdown of Fig. 11, and the per-AS footprint
+// distributions of Figs. 12-13.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "anycast/analysis/analyzer.hpp"
+#include "anycast/net/internet.hpp"
+
+namespace anycast::analysis {
+
+/// One detected anycast /24 joined with ground truth.
+struct PrefixReport {
+  std::uint32_t slash24_index = 0;
+  const net::Deployment* deployment = nullptr;  // nullptr: detected on a
+                                                // /24 we cannot attribute
+  std::int32_t prefix_index = -1;
+  core::Result result;
+};
+
+/// Per-AS aggregation across its detected /24s.
+struct AsReport {
+  const net::Deployment* deployment = nullptr;
+  std::size_t detected_ip24 = 0;
+  double mean_replicas = 0.0;
+  double stddev_replicas = 0.0;
+  std::size_t max_replicas = 0;
+  std::uint64_t total_replicas = 0;
+  std::set<const geo::City*> cities;          // classified replica cities
+  std::set<std::string_view> countries;
+};
+
+/// One row of the Fig. 10 summary table.
+struct GlanceRow {
+  std::string label;
+  std::size_t ip24 = 0;
+  std::size_t ases = 0;
+  std::size_t cities = 0;
+  std::size_t countries = 0;
+  std::uint64_t replicas = 0;
+};
+
+class CensusReport {
+ public:
+  /// Joins outcomes with the world's route table / deployments.
+  CensusReport(const net::SimulatedInternet& internet,
+               std::vector<TargetOutcome> outcomes);
+
+  [[nodiscard]] std::span<const PrefixReport> prefixes() const {
+    return prefixes_;
+  }
+  /// Per-AS reports, sorted by decreasing mean geographic footprint (the
+  /// x-axis order of Fig. 9).
+  [[nodiscard]] std::span<const AsReport> ases() const { return ases_; }
+
+  /// Fig. 10 rows.
+  [[nodiscard]] GlanceRow glance_all() const;
+  [[nodiscard]] GlanceRow glance_min_replicas(std::size_t min_mean) const;
+  [[nodiscard]] GlanceRow glance_caida_top100() const;
+  [[nodiscard]] GlanceRow glance_alexa() const;
+
+  /// Fig. 11: share of ASes per category, over ASes whose mean footprint
+  /// is at least `min_mean_replicas`.
+  [[nodiscard]] std::map<net::Category, std::size_t> category_breakdown(
+      double min_mean_replicas = 0.0) const;
+
+  /// Fig. 12 input: detected replica count per anycast /24.
+  [[nodiscard]] std::vector<double> replicas_per_prefix() const;
+
+  /// Fig. 13 input: detected anycast /24 count per AS.
+  [[nodiscard]] std::vector<double> ip24_per_as() const;
+
+  [[nodiscard]] const AsReport* by_name(std::string_view whois) const;
+
+ private:
+  GlanceRow glance_filtered(
+      std::string label,
+      const std::vector<const AsReport*>& selected) const;
+
+  std::vector<PrefixReport> prefixes_;
+  std::vector<AsReport> ases_;
+  std::map<const net::Deployment*, std::vector<std::size_t>> by_deployment_;
+};
+
+}  // namespace anycast::analysis

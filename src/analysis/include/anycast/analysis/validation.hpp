@@ -1,0 +1,44 @@
+// Geolocation validation against ground truth (Sec. 3.4, Fig. 7).
+//
+// The paper validates the census against HTTP-header ground truth for
+// CloudFlare (CF-RAY) and EdgeCast (Server): per-/24 true-positive rate of
+// the city classification, the median error of misclassifications, and the
+// fraction of the publicly advertised infrastructure (PAI) that the
+// platform-measured ground truth (GT) covers. In the simulator the GT is
+// the set of sites actually reachable from the platform's catchments, and
+// the PAI is the deployment's full site list.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "anycast/analysis/report.hpp"
+#include "anycast/net/internet.hpp"
+
+namespace anycast::analysis {
+
+struct ValidationMetrics {
+  /// Fraction of /24s whose classification agrees with GT at city level
+  /// (a /24 counts as agreeing when the majority of its enumerated
+  /// replicas match a GT site's city).
+  double tpr = 0.0;
+  double tpr_stddev = 0.0;         // across the AS's /24s
+  /// Median distance (km) from a misclassified replica to the nearest
+  /// true site of its /24.
+  double median_error_km = 0.0;
+  /// |GT| / |PAI|: how much of the advertised footprint the platform can
+  /// see at all (upper bound on any latency method's recall).
+  double gt_over_pai = 0.0;
+  double gt_over_pai_stddev = 0.0;
+  std::size_t evaluated_prefixes = 0;
+  std::size_t evaluated_replicas = 0;
+  std::size_t misclassified_replicas = 0;
+};
+
+/// Validates all detected /24s of one deployment.
+ValidationMetrics validate_deployment(
+    const net::SimulatedInternet& internet,
+    std::span<const net::VantagePoint> vps, const net::Deployment& deployment,
+    std::span<const PrefixReport> prefixes);
+
+}  // namespace anycast::analysis

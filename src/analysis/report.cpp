@@ -1,0 +1,179 @@
+#include "anycast/analysis/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace anycast::analysis {
+
+CensusReport::CensusReport(const net::SimulatedInternet& internet,
+                           std::vector<TargetOutcome> outcomes) {
+  prefixes_.reserve(outcomes.size());
+  for (TargetOutcome& outcome : outcomes) {
+    PrefixReport report;
+    report.slash24_index = outcome.slash24_index;
+    report.result = std::move(outcome.result);
+    const net::TargetInfo* info = internet.target_for(
+        ipaddr::IPv4Address::from_slash24_index(outcome.slash24_index));
+    if (info != nullptr && info->kind == net::TargetInfo::Kind::kAnycast) {
+      report.deployment =
+          &internet.deployments()[static_cast<std::size_t>(
+              info->deployment_index)];
+      report.prefix_index = info->prefix_index;
+    }
+    prefixes_.push_back(std::move(report));
+  }
+
+  for (std::size_t i = 0; i < prefixes_.size(); ++i) {
+    by_deployment_[prefixes_[i].deployment].push_back(i);
+  }
+
+  for (const auto& [deployment, indices] : by_deployment_) {
+    if (deployment == nullptr) continue;  // unattributed detections
+    AsReport as_report;
+    as_report.deployment = deployment;
+    as_report.detected_ip24 = indices.size();
+    double sum = 0.0;
+    double sum_squares = 0.0;
+    for (const std::size_t idx : indices) {
+      const auto& replicas = prefixes_[idx].result.replicas;
+      const auto count = static_cast<double>(replicas.size());
+      sum += count;
+      sum_squares += count * count;
+      as_report.total_replicas += replicas.size();
+      as_report.max_replicas = std::max(as_report.max_replicas,
+                                        replicas.size());
+      for (const core::Replica& replica : replicas) {
+        if (replica.city != nullptr) {
+          as_report.cities.insert(replica.city);
+          as_report.countries.insert(replica.city->country);
+        }
+      }
+    }
+    const auto n = static_cast<double>(indices.size());
+    as_report.mean_replicas = sum / n;
+    const double variance =
+        std::max(0.0, sum_squares / n -
+                          as_report.mean_replicas * as_report.mean_replicas);
+    as_report.stddev_replicas = std::sqrt(variance);
+    ases_.push_back(std::move(as_report));
+  }
+  std::sort(ases_.begin(), ases_.end(),
+            [](const AsReport& a, const AsReport& b) {
+              if (a.mean_replicas != b.mean_replicas) {
+                return a.mean_replicas > b.mean_replicas;
+              }
+              return a.deployment->whois_name < b.deployment->whois_name;
+            });
+}
+
+GlanceRow CensusReport::glance_filtered(
+    std::string label, const std::vector<const AsReport*>& selected) const {
+  GlanceRow row;
+  row.label = std::move(label);
+  std::set<const geo::City*> cities;
+  std::set<std::string_view> countries;
+  for (const AsReport* as_report : selected) {
+    ++row.ases;
+    row.ip24 += as_report->detected_ip24;
+    row.replicas += as_report->total_replicas;
+    cities.insert(as_report->cities.begin(), as_report->cities.end());
+    countries.insert(as_report->countries.begin(),
+                     as_report->countries.end());
+  }
+  row.cities = cities.size();
+  row.countries = countries.size();
+  return row;
+}
+
+GlanceRow CensusReport::glance_all() const {
+  std::vector<const AsReport*> all;
+  all.reserve(ases_.size());
+  for (const AsReport& as_report : ases_) all.push_back(&as_report);
+  return glance_filtered("All", all);
+}
+
+GlanceRow CensusReport::glance_min_replicas(std::size_t min_mean) const {
+  std::vector<const AsReport*> selected;
+  for (const AsReport& as_report : ases_) {
+    if (as_report.max_replicas >= min_mean) selected.push_back(&as_report);
+  }
+  return glance_filtered(">=" + std::to_string(min_mean) + " Replicas",
+                         selected);
+}
+
+GlanceRow CensusReport::glance_caida_top100() const {
+  std::vector<const AsReport*> selected;
+  for (const AsReport& as_report : ases_) {
+    if (as_report.deployment->caida_rank > 0) selected.push_back(&as_report);
+  }
+  return glance_filtered("∩ CAIDA-100", selected);
+}
+
+GlanceRow CensusReport::glance_alexa() const {
+  // Prefix-level: only the /24s that actually host an Alexa-100k front
+  // page count (Fig. 10's 242 /24s across 15 ASes — roughly one site per
+  // /24), not the full footprint of the hosting ASes.
+  GlanceRow row;
+  row.label = "∩ Alexa-100k";
+  std::set<const net::Deployment*> ases;
+  std::set<const geo::City*> cities;
+  std::set<std::string_view> countries;
+  for (const PrefixReport& prefix : prefixes_) {
+    if (prefix.deployment == nullptr || prefix.prefix_index < 0 ||
+        !prefix.deployment->prefix_hosts_alexa(
+            static_cast<std::size_t>(prefix.prefix_index))) {
+      continue;
+    }
+    ++row.ip24;
+    ases.insert(prefix.deployment);
+    row.replicas += prefix.result.replicas.size();
+    for (const core::Replica& replica : prefix.result.replicas) {
+      if (replica.city != nullptr) {
+        cities.insert(replica.city);
+        countries.insert(replica.city->country);
+      }
+    }
+  }
+  row.ases = ases.size();
+  row.cities = cities.size();
+  row.countries = countries.size();
+  return row;
+}
+
+std::map<net::Category, std::size_t> CensusReport::category_breakdown(
+    double min_mean_replicas) const {
+  std::map<net::Category, std::size_t> breakdown;
+  for (const AsReport& as_report : ases_) {
+    if (as_report.mean_replicas >= min_mean_replicas) {
+      ++breakdown[as_report.deployment->category];
+    }
+  }
+  return breakdown;
+}
+
+std::vector<double> CensusReport::replicas_per_prefix() const {
+  std::vector<double> out;
+  out.reserve(prefixes_.size());
+  for (const PrefixReport& prefix : prefixes_) {
+    out.push_back(static_cast<double>(prefix.result.replicas.size()));
+  }
+  return out;
+}
+
+std::vector<double> CensusReport::ip24_per_as() const {
+  std::vector<double> out;
+  out.reserve(ases_.size());
+  for (const AsReport& as_report : ases_) {
+    out.push_back(static_cast<double>(as_report.detected_ip24));
+  }
+  return out;
+}
+
+const AsReport* CensusReport::by_name(std::string_view whois) const {
+  for (const AsReport& as_report : ases_) {
+    if (as_report.deployment->whois_name == whois) return &as_report;
+  }
+  return nullptr;
+}
+
+}  // namespace anycast::analysis

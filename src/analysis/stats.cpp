@@ -1,0 +1,104 @@
+#include "anycast/analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace anycast::analysis {
+
+Empirical::Empirical(std::vector<double> values)
+    : values_(std::move(values)) {
+  if (values_.empty()) {
+    throw std::invalid_argument("Empirical: empty sample");
+  }
+  std::sort(values_.begin(), values_.end());
+}
+
+double Empirical::cdf(double x) const {
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+double Empirical::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  if (values_.size() == 1) return values_.front();
+  // Linear interpolation between order statistics.
+  const double position = q * static_cast<double>(values_.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const double fraction = position - static_cast<double>(lower);
+  if (lower + 1 >= values_.size()) return values_.back();
+  return values_[lower] * (1.0 - fraction) + values_[lower + 1] * fraction;
+}
+
+double Empirical::min() const { return values_.front(); }
+double Empirical::max() const { return values_.back(); }
+
+double Empirical::mean() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+double Empirical::stddev() const {
+  const double mu = mean();
+  double sum = 0.0;
+  for (const double v : values_) sum += (v - mu) * (v - mu);
+  return std::sqrt(sum / static_cast<double>(values_.size()));
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double n = static_cast<double>(xs.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double covariance = 0.0;
+  double vx = 0.0;
+  double vy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    covariance += dx * dy;
+    vx += dx * dx;
+    vy += dy * dy;
+  }
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return covariance / std::sqrt(vx * vy);
+}
+
+std::vector<double> average_ranks(std::span<const double> values) {
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(values.size(), 0.0);
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() &&
+           values[order[j + 1]] == values[order[i]]) {
+      ++j;
+    }
+    const double average =
+        (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = average;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const auto rx = average_ranks(xs);
+  const auto ry = average_ranks(ys);
+  return pearson(rx, ry);
+}
+
+}  // namespace anycast::analysis

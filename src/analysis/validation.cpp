@@ -1,0 +1,90 @@
+#include "anycast/analysis/validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "anycast/analysis/stats.hpp"
+#include "anycast/geodesy/geopoint.hpp"
+
+namespace anycast::analysis {
+
+ValidationMetrics validate_deployment(
+    const net::SimulatedInternet& internet,
+    std::span<const net::VantagePoint> vps,
+    const net::Deployment& deployment,
+    std::span<const PrefixReport> prefixes) {
+  ValidationMetrics metrics;
+  std::vector<double> per_prefix_tpr;
+  std::vector<double> per_prefix_gt_pai;
+  std::vector<double> errors_km;
+
+  // Deployment index for catchment queries.
+  std::size_t deployment_index = 0;
+  for (std::size_t d = 0; d < internet.deployments().size(); ++d) {
+    if (&internet.deployments()[d] == &deployment) {
+      deployment_index = d;
+      break;
+    }
+  }
+
+  for (const PrefixReport& prefix : prefixes) {
+    if (prefix.deployment != &deployment || prefix.prefix_index < 0) {
+      continue;
+    }
+    // GT: sites actually reachable from the platform (what per-replica
+    // HTTP headers measured from the same VPs would reveal).
+    const auto gt_sites = internet.reachable_sites(
+        vps, deployment_index,
+        static_cast<std::size_t>(prefix.prefix_index));
+    if (gt_sites.empty()) continue;
+    per_prefix_gt_pai.push_back(static_cast<double>(gt_sites.size()) /
+                                static_cast<double>(deployment.sites.size()));
+
+    std::size_t matched = 0;
+    std::size_t classified = 0;
+    for (const core::Replica& replica : prefix.result.replicas) {
+      if (replica.city == nullptr) continue;
+      ++classified;
+      ++metrics.evaluated_replicas;
+      const bool match = std::any_of(
+          gt_sites.begin(), gt_sites.end(),
+          [&](const net::ReplicaSite* site) {
+            return site->city == replica.city;
+          });
+      if (match) {
+        ++matched;
+      } else {
+        ++metrics.misclassified_replicas;
+        double nearest_km = geodesy::kMaxDistanceKm;
+        for (const net::ReplicaSite* site : gt_sites) {
+          nearest_km = std::min(
+              nearest_km,
+              geodesy::distance_km(replica.location, site->location));
+        }
+        errors_km.push_back(nearest_km);
+      }
+    }
+    if (classified > 0) {
+      per_prefix_tpr.push_back(static_cast<double>(matched) /
+                               static_cast<double>(classified));
+      ++metrics.evaluated_prefixes;
+    }
+  }
+
+  if (!per_prefix_tpr.empty()) {
+    const Empirical tpr(per_prefix_tpr);
+    metrics.tpr = tpr.mean();
+    metrics.tpr_stddev = tpr.stddev();
+  }
+  if (!per_prefix_gt_pai.empty()) {
+    const Empirical gt_pai(per_prefix_gt_pai);
+    metrics.gt_over_pai = gt_pai.mean();
+    metrics.gt_over_pai_stddev = gt_pai.stddev();
+  }
+  if (!errors_km.empty()) {
+    metrics.median_error_km = Empirical(errors_km).median();
+  }
+  return metrics;
+}
+
+}  // namespace anycast::analysis

@@ -1,0 +1,102 @@
+#include "anycast/census/census.hpp"
+
+#include <algorithm>
+
+#include "anycast/rng/random.hpp"
+
+namespace anycast::census {
+
+void CensusData::record(std::uint32_t target_index, std::uint16_t vp,
+                        float rtt_ms) {
+  auto& row = rows_[target_index];
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), vp,
+      [](const VpRtt& entry, std::uint16_t v) { return entry.vp < v; });
+  if (it != row.end() && it->vp == vp) {
+    it->rtt_ms = std::min(it->rtt_ms, rtt_ms);
+  } else {
+    row.insert(it, VpRtt{vp, rtt_ms});
+  }
+}
+
+std::size_t CensusData::responsive_targets(std::size_t min_vps) const {
+  std::size_t count = 0;
+  for (const auto& row : rows_) {
+    if (row.size() >= min_vps) ++count;
+  }
+  return count;
+}
+
+void CensusData::combine_min(const CensusData& other) {
+  if (rows_.size() < other.rows_.size()) rows_.resize(other.rows_.size());
+  for (std::size_t t = 0; t < other.rows_.size(); ++t) {
+    const auto& theirs = other.rows_[t];
+    auto& ours = rows_[t];
+    if (theirs.empty()) continue;
+    if (ours.empty()) {
+      ours = theirs;
+      continue;
+    }
+    // Merge two vp-sorted rows, taking minima on common VPs.
+    std::vector<VpRtt> merged;
+    merged.reserve(ours.size() + theirs.size());
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < ours.size() && j < theirs.size()) {
+      if (ours[i].vp < theirs[j].vp) {
+        merged.push_back(ours[i++]);
+      } else if (theirs[j].vp < ours[i].vp) {
+        merged.push_back(theirs[j++]);
+      } else {
+        merged.push_back(
+            VpRtt{ours[i].vp, std::min(ours[i].rtt_ms, theirs[j].rtt_ms)});
+        ++i;
+        ++j;
+      }
+    }
+    for (; i < ours.size(); ++i) merged.push_back(ours[i]);
+    for (; j < theirs.size(); ++j) merged.push_back(theirs[j]);
+    ours = std::move(merged);
+  }
+}
+
+CensusOutput run_census(const net::SimulatedInternet& internet,
+                        std::span<const net::VantagePoint> vps,
+                        const Hitlist& hitlist, Greylist& blacklist,
+                        const FastPingConfig& config) {
+  CensusOutput out;
+  out.data = CensusData(hitlist.size());
+  out.summary.vp_duration_hours.reserve(vps.size());
+
+  Greylist census_greylist;
+  for (const net::VantagePoint& vp : vps) {
+    // Per-census node churn (deterministic in the census seed).
+    if (config.vp_availability < 1.0) {
+      rng::SplitMix64 mixer(config.seed ^
+                            (0xA5A5A5A5ull * (vp.id + 0x9E37ull)));
+      mixer.next();
+      const double u =
+          static_cast<double>(mixer.next() >> 11) * 0x1.0p-53;
+      if (u >= config.vp_availability) continue;
+    }
+    ++out.summary.active_vps;
+    FastPingResult vp_result = run_fastping(internet, vp, hitlist, blacklist,
+                                            census_greylist, config);
+    out.summary.probes_sent += vp_result.probes_sent;
+    out.summary.echo_replies += vp_result.echo_replies;
+    out.summary.errors += vp_result.errors;
+    out.summary.timeouts += vp_result.timeouts;
+    out.summary.vp_duration_hours.push_back(vp_result.duration_hours);
+    for (const Observation& obs : vp_result.observations) {
+      if (obs.kind == net::ReplyKind::kEchoReply) {
+        out.data.record(obs.target_index, static_cast<std::uint16_t>(vp.id),
+                        static_cast<float>(obs.rtt_ms));
+      }
+    }
+  }
+  out.summary.greylist_new = census_greylist.size();
+  blacklist.merge(census_greylist);
+  return out;
+}
+
+}  // namespace anycast::census

@@ -1,0 +1,80 @@
+#include "anycast/census/fastping.hpp"
+
+#include <algorithm>
+
+#include "anycast/rng/distributions.hpp"
+#include "anycast/rng/lfsr.hpp"
+
+namespace anycast::census {
+
+double reply_drop_probability(double probe_rate_pps, double threshold_pps,
+                              double slope) {
+  if (probe_rate_pps <= threshold_pps || threshold_pps <= 0.0) return 0.0;
+  return std::min(0.9, slope * (probe_rate_pps / threshold_pps - 1.0));
+}
+
+double vp_drop_threshold(const net::VantagePoint& vp,
+                         const FastPingConfig& config) {
+  rng::SplitMix64 mixer(config.seed ^ (0x9E3779B97F4A7C15ull * (vp.id + 1)));
+  mixer.next();
+  const double u = static_cast<double>(mixer.next() >> 11) * 0x1.0p-53;
+  return config.min_drop_threshold_pps +
+         u * (config.max_drop_threshold_pps - config.min_drop_threshold_pps);
+}
+
+FastPingResult run_fastping(const net::SimulatedInternet& internet,
+                            const net::VantagePoint& vp,
+                            const Hitlist& hitlist, const Greylist& blacklist,
+                            Greylist& greylist,
+                            const FastPingConfig& config) {
+  FastPingResult result;
+  if (hitlist.size() == 0) return result;
+  result.drop_probability = reply_drop_probability(
+      config.probe_rate_pps, vp_drop_threshold(vp, config),
+      config.drop_slope);
+
+  rng::Xoshiro256 gen(config.seed ^ (vp.id * 0xD1B54A32D192ED03ull));
+  // LFSR-ordered walk: every VP visits the same cycle from a different
+  // offset, so no target sees bursts from many VPs at once (Sec. 3.5).
+  rng::LfsrPermutation order(static_cast<std::uint32_t>(hitlist.size()),
+                             static_cast<std::uint32_t>(vp.id * 2654435761u +
+                                                        1u));
+  result.observations.reserve(hitlist.size());
+  const double seconds_per_probe =
+      vp.host_load / std::max(1.0, config.probe_rate_pps);
+  double clock_s = 0.0;
+  while (const auto index = order.next()) {
+    const HitlistEntry& entry = hitlist[*index];
+    const std::uint32_t slash24 = entry.representative.slash24_index();
+    if (blacklist.contains(slash24)) continue;
+    ++result.probes_sent;
+    clock_s += seconds_per_probe;
+
+    const net::ProbeReply reply =
+        internet.probe(vp, entry.representative, net::Protocol::kIcmpEcho,
+                       gen, result.drop_probability);
+    Observation obs;
+    obs.target_index = *index;
+    obs.time_s = clock_s;
+    obs.kind = reply.kind;
+    obs.rtt_ms = reply.rtt_ms;
+    result.observations.push_back(obs);
+
+    switch (reply.kind) {
+      case net::ReplyKind::kEchoReply:
+        ++result.echo_replies;
+        break;
+      case net::ReplyKind::kTimeout:
+        ++result.timeouts;
+        break;
+      default:
+        ++result.errors;
+        greylist.add(slash24, reply.kind);
+        break;
+    }
+  }
+  result.duration_hours = clock_s / 3600.0;
+  return result;
+}
+
+}  // namespace anycast::census

@@ -1,0 +1,25 @@
+#include "anycast/census/greylist.hpp"
+
+namespace anycast::census {
+
+bool Greylist::add(std::uint32_t slash24_index, net::ReplyKind kind) {
+  const bool inserted = members_.insert(slash24_index).second;
+  if (inserted) {
+    switch (kind) {
+      case net::ReplyKind::kAdminProhibited: ++admin_filtered_; break;
+      case net::ReplyKind::kHostProhibited: ++host_prohibited_; break;
+      case net::ReplyKind::kNetProhibited: ++net_prohibited_; break;
+      default: break;
+    }
+  }
+  return inserted;
+}
+
+void Greylist::merge(const Greylist& other) {
+  members_.insert(other.members_.begin(), other.members_.end());
+  admin_filtered_ += other.admin_filtered_;
+  host_prohibited_ += other.host_prohibited_;
+  net_prohibited_ += other.net_prohibited_;
+}
+
+}  // namespace anycast::census

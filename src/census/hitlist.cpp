@@ -1,0 +1,33 @@
+#include "anycast/census/hitlist.hpp"
+
+#include "anycast/net/internet.hpp"
+
+namespace anycast::census {
+
+Hitlist Hitlist::from_world(const net::SimulatedInternet& internet) {
+  std::vector<HitlistEntry> entries;
+  entries.reserve(internet.targets().size());
+  for (const net::TargetInfo& info : internet.targets()) {
+    HitlistEntry entry;
+    // Representative: host .1 of the /24 for live space; an arbitrary host
+    // for never-responding /24s (as the provider's hitlist does).
+    entry.representative =
+        ipaddr::IPv4Address::from_slash24_index(info.slash24_index, 1);
+    entry.score =
+        info.kind == net::TargetInfo::Kind::kDead ? std::int8_t{-2}
+                                                  : std::int8_t{3};
+    entries.push_back(entry);
+  }
+  return Hitlist(std::move(entries));
+}
+
+Hitlist Hitlist::without_dead() const {
+  std::vector<HitlistEntry> kept;
+  kept.reserve(entries_.size());
+  for (const HitlistEntry& entry : entries_) {
+    if (entry.score > -2) kept.push_back(entry);
+  }
+  return Hitlist(std::move(kept));
+}
+
+}  // namespace anycast::census

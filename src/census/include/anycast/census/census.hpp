@@ -1,0 +1,80 @@
+// Census orchestration: run all VPs, collect RTTs, combine censuses.
+//
+// A census probes every hitlist target from every VP (unlike unicast
+// censuses, targets cannot be split across VPs — Sec. 2.2). The collected
+// per-(VP, target) minimum RTTs are the input to the iGreedy analysis;
+// multiple censuses are combined by taking the per-pair minimum, which
+// pushes each measurement toward the propagation delay and raises recall
+// (Sec. 4.1, Fig. 12: the combination finds ~200 more anycast /24s than an
+// average individual census).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "anycast/census/fastping.hpp"
+#include "anycast/census/greylist.hpp"
+#include "anycast/census/hitlist.hpp"
+#include "anycast/net/internet.hpp"
+
+namespace anycast::census {
+
+/// One RTT sample: which VP, and the minimum RTT it saw to the target.
+struct VpRtt {
+  std::uint16_t vp = 0;
+  float rtt_ms = 0.0F;
+};
+
+/// Per-target collected measurements for one census (or a combination).
+/// Indexed by dense hitlist target id; each row is sorted by VP id.
+class CensusData {
+ public:
+  CensusData() = default;
+  explicit CensusData(std::size_t target_count) : rows_(target_count) {}
+
+  /// Records a measurement, keeping the minimum per (target, vp).
+  void record(std::uint32_t target_index, std::uint16_t vp, float rtt_ms);
+
+  [[nodiscard]] std::span<const VpRtt> measurements(
+      std::uint32_t target_index) const {
+    return rows_[target_index];
+  }
+  [[nodiscard]] std::size_t target_count() const { return rows_.size(); }
+
+  /// Number of targets with at least `min_vps` measurements.
+  [[nodiscard]] std::size_t responsive_targets(std::size_t min_vps = 1) const;
+
+  /// Point-wise minimum with `other` (same hitlist required): the
+  /// censuses-combination step.
+  void combine_min(const CensusData& other);
+
+ private:
+  std::vector<std::vector<VpRtt>> rows_;
+};
+
+/// Aggregate census accounting (the Fig. 4 funnel and Fig. 8 inputs).
+struct CensusSummary {
+  std::uint64_t probes_sent = 0;
+  std::uint64_t echo_replies = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t timeouts = 0;
+  std::size_t greylist_new = 0;    // targets newly greylisted this census
+  std::size_t active_vps = 0;      // VPs that were up for this census
+  std::vector<double> vp_duration_hours;  // one entry per active VP
+};
+
+/// Runs one full census: every VP probes every non-blacklisted target,
+/// new offenders land in the greylist which is merged into `blacklist`
+/// afterwards (the Sec. 3.3 workflow). Deterministic in config.seed.
+struct CensusOutput {
+  CensusData data;
+  CensusSummary summary;
+};
+
+CensusOutput run_census(const net::SimulatedInternet& internet,
+                        std::span<const net::VantagePoint> vps,
+                        const Hitlist& hitlist, Greylist& blacklist,
+                        const FastPingConfig& config);
+
+}  // namespace anycast::census

@@ -1,0 +1,51 @@
+// Census record formats: textual CSV vs stripped-down binary.
+//
+// Tab. 1: the first census was logged as CSV (270 MB/node, 79 GB total,
+// >3 days to analyse, partly due to disk fragmentation); later censuses use
+// a binary format carrying only a timestamp offset, the delay, and an ICMP
+// flag whose *sign* encodes the greylist return codes (9, 10, 13) — about
+// 20 MB/node, 6 GB/census, 3 h analysis. Both formats are implemented so
+// the bench can regenerate the table's size ratios from identical data.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "anycast/net/types.hpp"
+
+namespace anycast::census {
+
+/// One probe outcome as the prober emits it.
+struct Observation {
+  std::uint32_t target_index = 0;  // dense hitlist index
+  double time_s = 0.0;             // seconds since census start
+  net::ReplyKind kind = net::ReplyKind::kTimeout;
+  double rtt_ms = 0.0;             // valid when kind == kEchoReply
+};
+
+/// CSV: "time_s,target_index,rtt_ms,code\n" with full floating precision —
+/// the wasteful format of Census 0.
+std::string encode_textual(std::span<const Observation> observations);
+std::vector<Observation> decode_textual(const std::string& text);
+
+/// Binary: 8-byte header (magic + count) then 6 bytes per observation:
+///   int16  delay field — RTT in 1/100 ms when positive; when negative,
+///          the ICMP code with flipped sign (-9/-10/-13), or -1 = timeout;
+///   uint32 target index : 24 bits | time offset in ~seconds : 8 bits.
+/// RTTs above int16 range saturate (anything that far is a useless disk).
+std::vector<std::uint8_t> encode_binary(
+    std::span<const Observation> observations);
+
+/// Decodes a binary buffer. Returns nullopt on a malformed buffer
+/// (bad magic, truncated payload).
+std::optional<std::vector<Observation>> decode_binary(
+    std::span<const std::uint8_t> bytes);
+
+/// Bytes per observation in each format (for the Tab. 1 size accounting).
+std::size_t textual_bytes(std::span<const Observation> observations);
+constexpr std::size_t binary_bytes_per_observation() { return 6; }
+
+}  // namespace anycast::census

@@ -1,0 +1,50 @@
+// On-disk census storage and collation.
+//
+// Each VP uploads one binary file per census to the central repository
+// (Fig. 1). Because of the LFSR probing order, "the order of the target
+// IPs in all files is not the same, meaning that an on-the-fly sorting of
+// about 300 lists containing millions of targets is needed" (Sec. 3.5) —
+// `collate_census_files` performs exactly that step, producing the
+// per-target RTT rows the analyzer consumes.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "anycast/census/census.hpp"
+#include "anycast/census/record.hpp"
+
+namespace anycast::census {
+
+/// Identity of one VP's census upload.
+struct CensusFileHeader {
+  std::uint32_t vp_id = 0;
+  std::uint32_t census_id = 0;
+};
+
+/// Writes one VP's observation stream as a binary census file.
+/// Throws std::runtime_error on I/O failure.
+void write_census_file(const std::filesystem::path& path,
+                       const CensusFileHeader& header,
+                       std::span<const Observation> observations);
+
+/// Reads a census file back. Returns nullopt on a missing, truncated, or
+/// corrupted file (the analysis must survive partial uploads).
+struct CensusFile {
+  CensusFileHeader header;
+  std::vector<Observation> observations;
+};
+std::optional<CensusFile> read_census_file(
+    const std::filesystem::path& path);
+
+/// Collates per-VP census files into per-target RTT rows: the on-the-fly
+/// sort across LFSR-ordered lists. Unreadable files are skipped and
+/// counted in `skipped_files` (when non-null). `target_count` sizes the
+/// result (hitlist size).
+CensusData collate_census_files(
+    std::span<const std::filesystem::path> paths, std::size_t target_count,
+    std::size_t* skipped_files = nullptr);
+
+}  // namespace anycast::census

@@ -1,0 +1,110 @@
+#include "anycast/census/storage.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace anycast::census {
+namespace {
+
+constexpr std::uint32_t kFileMagic = 0x46434E41;  // "ANCF"
+
+void append32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value >> 16));
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+}
+
+std::uint32_t load32(const std::uint8_t* at) {
+  return static_cast<std::uint32_t>(at[0]) |
+         (static_cast<std::uint32_t>(at[1]) << 8) |
+         (static_cast<std::uint32_t>(at[2]) << 16) |
+         (static_cast<std::uint32_t>(at[3]) << 24);
+}
+
+/// RAII stdio handle: good enough for bulk binary I/O without iostream's
+/// locale machinery on the hot path.
+struct File {
+  std::FILE* handle = nullptr;
+  explicit File(const std::filesystem::path& path, const char* mode)
+      : handle(std::fopen(path.string().c_str(), mode)) {}
+  ~File() {
+    if (handle != nullptr) std::fclose(handle);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+};
+
+}  // namespace
+
+void write_census_file(const std::filesystem::path& path,
+                       const CensusFileHeader& header,
+                       std::span<const Observation> observations) {
+  std::vector<std::uint8_t> buffer;
+  buffer.reserve(12 + observations.size() * binary_bytes_per_observation() +
+                 8);
+  append32(buffer, kFileMagic);
+  append32(buffer, header.vp_id);
+  append32(buffer, header.census_id);
+  const auto payload = encode_binary(observations);
+  buffer.insert(buffer.end(), payload.begin(), payload.end());
+
+  const File file(path, "wb");
+  if (file.handle == nullptr) {
+    throw std::runtime_error("cannot open census file for writing: " +
+                             path.string());
+  }
+  if (std::fwrite(buffer.data(), 1, buffer.size(), file.handle) !=
+      buffer.size()) {
+    throw std::runtime_error("short write on census file: " + path.string());
+  }
+}
+
+std::optional<CensusFile> read_census_file(
+    const std::filesystem::path& path) {
+  const File file(path, "rb");
+  if (file.handle == nullptr) return std::nullopt;
+  std::vector<std::uint8_t> buffer;
+  std::uint8_t chunk[64 * 1024];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof chunk, file.handle)) > 0) {
+    buffer.insert(buffer.end(), chunk, chunk + got);
+  }
+  if (buffer.size() < 12 || load32(buffer.data()) != kFileMagic) {
+    return std::nullopt;
+  }
+  CensusFile out;
+  out.header.vp_id = load32(buffer.data() + 4);
+  out.header.census_id = load32(buffer.data() + 8);
+  const std::span<const std::uint8_t> payload(buffer.data() + 12,
+                                              buffer.size() - 12);
+  auto decoded = decode_binary(payload);
+  if (!decoded.has_value()) return std::nullopt;
+  out.observations = std::move(*decoded);
+  return out;
+}
+
+CensusData collate_census_files(
+    std::span<const std::filesystem::path> paths, std::size_t target_count,
+    std::size_t* skipped_files) {
+  CensusData data(target_count);
+  std::size_t skipped = 0;
+  for (const std::filesystem::path& path : paths) {
+    const auto file = read_census_file(path);
+    if (!file.has_value()) {
+      ++skipped;
+      continue;
+    }
+    for (const Observation& obs : file->observations) {
+      if (obs.kind != net::ReplyKind::kEchoReply) continue;
+      if (obs.target_index >= target_count) continue;  // damaged record
+      data.record(obs.target_index,
+                  static_cast<std::uint16_t>(file->header.vp_id),
+                  static_cast<float>(obs.rtt_ms));
+    }
+  }
+  if (skipped_files != nullptr) *skipped_files = skipped;
+  return data;
+}
+
+}  // namespace anycast::census

@@ -1,0 +1,168 @@
+#include "anycast/core/igreedy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace anycast::core {
+
+std::vector<geodesy::Disk> IGreedy::make_disks(
+    std::span<const Measurement> measurements,
+    std::vector<std::uint32_t>* vp_ids) const {
+  // Collapse to one disk per VP at its minimum RTT: queueing jitter only
+  // ever inflates RTT, so the minimum is the best propagation estimate.
+  std::unordered_map<std::uint32_t, Measurement> best;
+  best.reserve(measurements.size());
+  for (const Measurement& m : measurements) {
+    if (m.rtt_ms <= 0.0 || m.rtt_ms > options_.max_rtt_ms) continue;
+    const auto [it, inserted] = best.emplace(m.vp_id, m);
+    if (!inserted && m.rtt_ms < it->second.rtt_ms) it->second = m;
+  }
+  std::vector<geodesy::Disk> disks;
+  disks.reserve(best.size());
+  vp_ids->clear();
+  vp_ids->reserve(best.size());
+  // Deterministic order (by VP id) regardless of hash-map iteration.
+  std::vector<const Measurement*> ordered;
+  ordered.reserve(best.size());
+  for (const auto& [id, m] : best) ordered.push_back(&m);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Measurement* a, const Measurement* b) {
+              return a->vp_id < b->vp_id;
+            });
+  for (const Measurement* m : ordered) {
+    disks.push_back(geodesy::Disk::from_rtt(m->vp_location, m->rtt_ms));
+    vp_ids->push_back(m->vp_id);
+  }
+  return disks;
+}
+
+Replica IGreedy::geolocate(const geodesy::Disk& disk,
+                           std::uint32_t vp_id) const {
+  Replica replica;
+  replica.disk = disk;
+  replica.vp_id = vp_id;
+  replica.location = disk.center();
+  switch (options_.city_policy) {
+    case CityPolicy::kLargestPopulation:
+      replica.city = cities_->most_populated_in(disk);
+      break;
+    case CityPolicy::kNearestToCenter: {
+      const geo::City* nearest = cities_->nearest(disk.center());
+      if (nearest != nullptr && disk.contains(nearest->location())) {
+        replica.city = nearest;
+      }
+      break;
+    }
+    case CityPolicy::kNone:
+      break;
+  }
+  if (replica.city != nullptr) replica.location = replica.city->location();
+  return replica;
+}
+
+bool IGreedy::detect(std::span<const Measurement> measurements,
+                     double max_rtt_ms) {
+  // Cheapest form: disks per VP-minimum, pairwise disjointness.
+  std::unordered_map<std::uint32_t, double> best;
+  std::unordered_map<std::uint32_t, geodesy::GeoPoint> where;
+  for (const Measurement& m : measurements) {
+    if (m.rtt_ms <= 0.0 || m.rtt_ms > max_rtt_ms) continue;
+    const auto it = best.find(m.vp_id);
+    if (it == best.end() || m.rtt_ms < it->second) {
+      best[m.vp_id] = m.rtt_ms;
+      where[m.vp_id] = m.vp_location;
+    }
+  }
+  std::vector<geodesy::Disk> disks;
+  disks.reserve(best.size());
+  for (const auto& [id, rtt] : best) {
+    disks.push_back(geodesy::Disk::from_rtt(where[id], rtt));
+  }
+  return has_disjoint_pair(disks);
+}
+
+Result IGreedy::analyze(std::span<const Measurement> measurements) const {
+  Result result;
+  std::vector<std::uint32_t> vp_ids;
+  std::vector<geodesy::Disk> disks = make_disks(measurements, &vp_ids);
+  result.usable_measurements = disks.size();
+  if (disks.empty()) return result;
+
+  // Detection is the strict speed-of-light criterion: at least one pair of
+  // disjoint disks. The collapse-and-resolve iteration below raises
+  // enumeration recall but must not drive detection — an overlapping disk
+  // whose city classification happens to fall outside a neighbour is not
+  // evidence of anycast.
+  result.anycast = has_disjoint_pair(disks);
+  if (!result.anycast) {
+    // Unicast (or undetectable): classic latency geolocation in the
+    // smallest disk.
+    std::size_t smallest = 0;
+    for (std::size_t i = 1; i < disks.size(); ++i) {
+      if (disks[i].radius_km() < disks[smallest].radius_km()) smallest = i;
+    }
+    result.replicas.push_back(geolocate(disks[smallest], vp_ids[smallest]));
+    result.first_round_replicas = 1;
+    return result;
+  }
+
+  // Working state: `fixed` holds replicas already geolocated (their disks
+  // collapsed onto the classified city); `open` indexes disks not yet part
+  // of the solution.
+  std::vector<Replica> fixed;
+  std::vector<std::size_t> open(disks.size());
+  for (std::size_t i = 0; i < open.size(); ++i) open[i] = i;
+
+  for (int round = 0; round < options_.max_iterations; ++round) {
+    // Candidate disks this round: open disks that do not intersect any
+    // collapsed replica point (those are already explained by a replica).
+    std::vector<std::size_t> candidates;
+    candidates.reserve(open.size());
+    for (const std::size_t idx : open) {
+      const bool explained = std::any_of(
+          fixed.begin(), fixed.end(), [&](const Replica& replica) {
+            return disks[idx].contains(replica.location);
+          });
+      if (!explained) candidates.push_back(idx);
+    }
+    if (candidates.empty()) break;
+
+    std::vector<geodesy::Disk> candidate_disks;
+    candidate_disks.reserve(candidates.size());
+    for (const std::size_t idx : candidates) {
+      candidate_disks.push_back(disks[idx]);
+    }
+    const std::vector<std::size_t> picked =
+        options_.exact_enumeration ? exact_mis(candidate_disks)
+                                   : greedy_mis(candidate_disks);
+    if (picked.empty()) break;
+    if (round == 0) result.first_round_replicas = picked.size();
+
+    // Geolocate this round's disks and collapse them.
+    bool progress = false;
+    for (const std::size_t p : picked) {
+      const std::size_t idx = candidates[p];
+      Replica replica = geolocate(disks[idx], vp_ids[idx]);
+      // Collapse (Fig. 3e): reclassification at the same city as an
+      // existing replica adds no information.
+      const bool duplicate = std::any_of(
+          fixed.begin(), fixed.end(), [&](const Replica& existing) {
+            return existing.city != nullptr && existing.city == replica.city;
+          });
+      if (!duplicate || replica.city == nullptr) {
+        fixed.push_back(replica);
+        progress = true;
+      }
+      // Disk is consumed either way.
+      open.erase(std::remove(open.begin(), open.end(), idx), open.end());
+    }
+    ++result.iterations;
+    if (!progress) break;
+  }
+
+  result.replicas = std::move(fixed);
+  return result;
+}
+
+}  // namespace anycast::core

@@ -1,0 +1,5 @@
+#include "anycast/geo/city.hpp"
+
+// City is a plain aggregate; its inline members need no out-of-line
+// definitions. This translation unit anchors the header for build systems
+// that dislike header-only targets inside a library.

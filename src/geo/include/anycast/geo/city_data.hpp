@@ -1,0 +1,21 @@
+// Embedded world-city table.
+//
+// The paper uses a GeoNames-style database of populated places; offline we
+// embed a curated table of ~500 cities covering every continent, all major
+// peering/IXP locations, and the specific places the paper's validation
+// discusses (e.g. Ashburn VA vs Philadelphia PA for the OpenDNS
+// population-bias case study of Sec. 3.4). Coordinates are city centres to
+// ~0.01 degree; populations are metro-area estimates. Precision beyond that
+// is irrelevant at the >100 km scale of latency geolocation.
+#pragma once
+
+#include <span>
+
+#include "anycast/geo/city.hpp"
+
+namespace anycast::geo {
+
+/// The full embedded table, sorted by descending population.
+std::span<const City> world_cities();
+
+}  // namespace anycast::geo

@@ -1,0 +1,57 @@
+// Spatial queries over the city table.
+//
+// The geolocation step repeatedly asks "which cities lie inside this disk,
+// and which has the largest population?". The index sorts cities by
+// latitude so a disk query scans only the latitude band the disk can reach,
+// then filters by exact great-circle distance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "anycast/geo/city.hpp"
+#include "anycast/geodesy/disk.hpp"
+
+namespace anycast::geo {
+
+/// Immutable spatial index over a set of cities.
+class CityIndex {
+ public:
+  /// Indexes the given cities (views must outlive the index). The default
+  /// constructor indexes the embedded world table.
+  CityIndex();
+  explicit CityIndex(std::span<const City> cities);
+
+  /// All cities whose centre lies inside `disk`, in descending population
+  /// order.
+  [[nodiscard]] std::vector<const City*> cities_in(
+      const geodesy::Disk& disk) const;
+
+  /// The most populated city inside `disk` — the paper's geolocation
+  /// criterion ("picking the largest city in that disk"). Nullptr when the
+  /// disk holds no known city.
+  [[nodiscard]] const City* most_populated_in(const geodesy::Disk& disk) const;
+
+  /// The city nearest to `point` (nullptr only for an empty index).
+  /// Used to resolve simulator sites and to score geolocation error.
+  [[nodiscard]] const City* nearest(const geodesy::GeoPoint& point) const;
+
+  /// Case-sensitive lookup by exact name; nullptr when absent.
+  [[nodiscard]] const City* by_name(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const { return by_latitude_.size(); }
+
+ private:
+  template <typename Visitor>  // Visitor(const City&)
+  void visit_band(const geodesy::Disk& disk, Visitor&& visit) const;
+
+  std::vector<const City*> by_latitude_;  // ascending latitude
+};
+
+/// Process-wide index over the embedded world-city table.
+const CityIndex& world_index();
+
+}  // namespace anycast::geo

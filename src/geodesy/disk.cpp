@@ -1,0 +1,14 @@
+#include "anycast/geodesy/disk.hpp"
+
+namespace anycast::geodesy {
+
+std::string Disk::to_string() const {
+  return "Disk{" + center_.to_string() + ", r=" +
+         std::to_string(radius_km_) + "km}";
+}
+
+double gap_km(const Disk& a, const Disk& b) {
+  return distance_km(a.center(), b.center()) - a.radius_km() - b.radius_km();
+}
+
+}  // namespace anycast::geodesy

@@ -1,0 +1,69 @@
+#include "anycast/geodesy/geopoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace anycast::geodesy {
+namespace {
+
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+constexpr double kRadToDeg = 180.0 / std::numbers::pi;
+
+double normalize_longitude(double lon) {
+  lon = std::fmod(lon + 180.0, 360.0);
+  if (lon < 0.0) lon += 360.0;
+  return lon - 180.0;
+}
+
+}  // namespace
+
+GeoPoint::GeoPoint(double latitude_deg, double longitude_deg)
+    : latitude_deg_(std::clamp(latitude_deg, -90.0, 90.0)),
+      longitude_deg_(normalize_longitude(longitude_deg)) {}
+
+std::string GeoPoint::to_string() const {
+  return "(" + std::to_string(latitude_deg_) + ", " +
+         std::to_string(longitude_deg_) + ")";
+}
+
+double distance_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.latitude() * kDegToRad;
+  const double lat2 = b.latitude() * kDegToRad;
+  const double dlat = (b.latitude() - a.latitude()) * kDegToRad;
+  const double dlon = (b.longitude() - a.longitude()) * kDegToRad;
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlon = std::sin(dlon / 2.0);
+  const double h = sin_dlat * sin_dlat +
+                   std::cos(lat1) * std::cos(lat2) * sin_dlon * sin_dlon;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+GeoPoint destination(const GeoPoint& origin, double bearing_deg,
+                     double distance_km) {
+  const double lat1 = origin.latitude() * kDegToRad;
+  const double lon1 = origin.longitude() * kDegToRad;
+  const double bearing = bearing_deg * kDegToRad;
+  const double angular = distance_km / kEarthRadiusKm;
+  const double lat2 =
+      std::asin(std::sin(lat1) * std::cos(angular) +
+                std::cos(lat1) * std::sin(angular) * std::cos(bearing));
+  const double lon2 =
+      lon1 + std::atan2(std::sin(bearing) * std::sin(angular) * std::cos(lat1),
+                        std::cos(angular) - std::sin(lat1) * std::sin(lat2));
+  return GeoPoint(lat2 * kRadToDeg, lon2 * kRadToDeg);
+}
+
+double initial_bearing_deg(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.latitude() * kDegToRad;
+  const double lat2 = b.latitude() * kDegToRad;
+  const double dlon = (b.longitude() - a.longitude()) * kDegToRad;
+  const double y = std::sin(dlon) * std::cos(lat2);
+  const double x = std::cos(lat1) * std::sin(lat2) -
+                   std::sin(lat1) * std::cos(lat2) * std::cos(dlon);
+  double bearing = std::atan2(y, x) * kRadToDeg;
+  if (bearing < 0.0) bearing += 360.0;
+  return bearing;
+}
+
+}  // namespace anycast::geodesy

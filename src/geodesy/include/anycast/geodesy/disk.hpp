@@ -1,0 +1,86 @@
+// Latency disks: the geometric core of anycast detection.
+//
+// A round-trip time of rtt_ms measured from a vantage point bounds the
+// target's location to a spherical cap ("disk") centred on the VP whose
+// radius is the distance light can travel in fibre in rtt_ms/2:
+//
+//     radius_km = (rtt_ms / 2) * (2/3) * c  ~=  rtt_ms * 100 km/ms.
+//
+// If two such disks for the same target do not intersect, no single
+// location can satisfy both measurements — a speed-of-light violation —
+// so the target must be anycast (Fig. 2/3 of the paper).
+#pragma once
+
+#include <string>
+
+#include "anycast/geodesy/geopoint.hpp"
+
+namespace anycast::geodesy {
+
+/// Speed of light in vacuum, km/ms.
+inline constexpr double kSpeedOfLightKmPerMs = 299.792458;
+
+/// Propagation speed in optical fibre: refraction index ~1.5, so 2/3 c.
+inline constexpr double kFiberSpeedKmPerMs = kSpeedOfLightKmPerMs * 2.0 / 3.0;
+
+/// Largest distance a packet can have covered one-way given a round trip
+/// of `rtt_ms` milliseconds.
+constexpr double rtt_to_radius_km(double rtt_ms) {
+  return rtt_ms / 2.0 * kFiberSpeedKmPerMs;
+}
+
+/// The minimum RTT physically possible between two points `km` apart.
+constexpr double distance_to_min_rtt_ms(double km) {
+  return 2.0 * km / kFiberSpeedKmPerMs;
+}
+
+/// A spherical cap: all points within `radius_km` of `center`.
+class Disk {
+ public:
+  Disk() = default;
+  Disk(GeoPoint center, double radius_km)
+      : center_(center), radius_km_(radius_km < 0.0 ? 0.0 : radius_km) {}
+
+  /// The disk implied by measuring `rtt_ms` from a VP at `vantage`.
+  static Disk from_rtt(GeoPoint vantage, double rtt_ms) {
+    return Disk(vantage, rtt_to_radius_km(rtt_ms));
+  }
+
+  [[nodiscard]] const GeoPoint& center() const { return center_; }
+  [[nodiscard]] double radius_km() const { return radius_km_; }
+
+  [[nodiscard]] bool contains(const GeoPoint& point) const {
+    return distance_km(center_, point) <= radius_km_;
+  }
+
+  /// True when the two caps share at least one point.
+  [[nodiscard]] bool intersects(const Disk& other) const {
+    return distance_km(center_, other.center_) <=
+           radius_km_ + other.radius_km_;
+  }
+
+  /// True when `other` lies entirely within this disk.
+  [[nodiscard]] bool contains(const Disk& other) const {
+    return distance_km(center_, other.center_) + other.radius_km_ <=
+           radius_km_;
+  }
+
+  /// True when the whole sphere is covered (radius at least half the
+  /// circumference); such disks constrain nothing.
+  [[nodiscard]] bool covers_sphere() const {
+    return radius_km_ >= kMaxDistanceKm;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  GeoPoint center_;
+  double radius_km_ = 0.0;
+};
+
+/// Gap between two disks along the great circle joining their centres
+/// (negative when they overlap). Two non-positive-gap disks can host a
+/// single target; a positive gap is a speed-of-light violation.
+double gap_km(const Disk& a, const Disk& b);
+
+}  // namespace anycast::geodesy

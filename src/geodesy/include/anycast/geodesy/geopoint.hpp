@@ -1,0 +1,52 @@
+// Points on the sphere and great-circle arithmetic.
+//
+// All of iGreedy's geometry happens on a spherical Earth model: latency
+// disks are spherical caps, and "distance" always means great-circle
+// (haversine) distance in kilometres.
+#pragma once
+
+#include <compare>
+#include <string>
+
+namespace anycast::geodesy {
+
+/// Mean Earth radius, km (IUGG).
+inline constexpr double kEarthRadiusKm = 6371.0;
+
+/// Half Earth circumference: the maximum possible great-circle distance.
+inline constexpr double kMaxDistanceKm = 20015.1;
+
+/// A (latitude, longitude) pair in degrees. Latitude in [-90, 90],
+/// longitude normalised to [-180, 180).
+class GeoPoint {
+ public:
+  constexpr GeoPoint() = default;
+  GeoPoint(double latitude_deg, double longitude_deg);
+
+  [[nodiscard]] double latitude() const { return latitude_deg_; }
+  [[nodiscard]] double longitude() const { return longitude_deg_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const GeoPoint&, const GeoPoint&) = default;
+
+ private:
+  double latitude_deg_ = 0.0;
+  double longitude_deg_ = 0.0;
+};
+
+/// Great-circle distance between two points, km (haversine formula —
+/// numerically stable for small separations, exact enough for the
+/// >100 km scales of anycast geolocation).
+double distance_km(const GeoPoint& a, const GeoPoint& b);
+
+/// The point reached by travelling `distance_km` from `origin` along the
+/// initial bearing `bearing_deg` (clockwise from north). Used by the
+/// simulator to scatter replicas and by tests to construct exact geometry.
+GeoPoint destination(const GeoPoint& origin, double bearing_deg,
+                     double distance_km);
+
+/// Initial great-circle bearing from `a` to `b`, degrees in [0, 360).
+double initial_bearing_deg(const GeoPoint& a, const GeoPoint& b);
+
+}  // namespace anycast::geodesy

@@ -1,0 +1,49 @@
+#include "anycast/ipaddr/aggregate.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace anycast::ipaddr {
+
+std::vector<Prefix> aggregate_slash24_range(std::uint32_t first_slash24,
+                                            std::uint32_t count) {
+  std::vector<Prefix> out;
+  std::uint64_t cursor = first_slash24;
+  std::uint64_t remaining = count;
+  while (remaining > 0) {
+    // The largest aligned power-of-two block starting at `cursor` that
+    // fits in `remaining`.
+    const std::uint64_t alignment =
+        cursor == 0 ? (std::uint64_t{1} << 24)
+                    : (cursor & (~cursor + 1));  // lowest set bit
+    std::uint64_t block = std::min<std::uint64_t>(alignment,
+                                                  std::bit_floor(remaining));
+    const int length = 24 - std::countr_zero(block);
+    out.push_back(Prefix(
+        IPv4Address::from_slash24_index(static_cast<std::uint32_t>(cursor),
+                                        0),
+        length));
+    cursor += block;
+    remaining -= block;
+  }
+  return out;
+}
+
+std::vector<Prefix> aggregate_slash24_set(
+    std::vector<std::uint32_t> indices) {
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  std::vector<Prefix> out;
+  std::size_t i = 0;
+  while (i < indices.size()) {
+    std::size_t j = i;
+    while (j + 1 < indices.size() && indices[j + 1] == indices[j] + 1) ++j;
+    const auto run = aggregate_slash24_range(
+        indices[i], static_cast<std::uint32_t>(j - i + 1));
+    out.insert(out.end(), run.begin(), run.end());
+    i = j + 1;
+  }
+  return out;
+}
+
+}  // namespace anycast::ipaddr

@@ -1,0 +1,26 @@
+// CIDR aggregation: from /24 runs back to announced prefixes.
+//
+// Deployments allocate contiguous runs of /24s but announce them as the
+// minimal set of CIDR blocks (BGP aggregation, Sec. 3.1: "larger prefixes
+// may be anycast only in part due to BGP prefix aggregation"). This module
+// computes that minimal covering set, the inverse of Prefix::split_slash24.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "anycast/ipaddr/prefix.hpp"
+
+namespace anycast::ipaddr {
+
+/// Minimal set of CIDR prefixes exactly covering the /24-index range
+/// [first_slash24, first_slash24 + count). Prefixes come out in address
+/// order, each no longer than /24. Empty when count == 0.
+std::vector<Prefix> aggregate_slash24_range(std::uint32_t first_slash24,
+                                            std::uint32_t count);
+
+/// Minimal CIDR cover of an arbitrary (unsorted, possibly duplicated)
+/// set of /24 indices.
+std::vector<Prefix> aggregate_slash24_set(std::vector<std::uint32_t> indices);
+
+}  // namespace anycast::ipaddr

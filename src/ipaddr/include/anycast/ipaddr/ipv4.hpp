@@ -1,0 +1,61 @@
+// IPv4 address value type.
+//
+// The census operates at /24 granularity (the minimum BGP-routable prefix
+// length, per Sec. 3.1 of the paper), so this module provides cheap
+// conversions between a /32 address, its covering /24, and the dense index
+// of that /24 inside the 2^24-entry "slash-24 space" that the hitlist and
+// the LFSR probe permutation both use.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace anycast::ipaddr {
+
+/// An IPv4 address held as a host-order 32-bit integer.
+class IPv4Address {
+ public:
+  constexpr IPv4Address() = default;
+  constexpr explicit IPv4Address(std::uint32_t value) : value_(value) {}
+  constexpr IPv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad notation ("192.0.2.1"). Returns nullopt on any
+  /// syntax error (missing octets, values > 255, stray characters).
+  static std::optional<IPv4Address> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// Index of this address's covering /24 in the dense /24 space [0, 2^24).
+  [[nodiscard]] constexpr std::uint32_t slash24_index() const {
+    return value_ >> 8;
+  }
+
+  /// First address (".0") of the covering /24.
+  [[nodiscard]] constexpr IPv4Address slash24_base() const {
+    return IPv4Address(value_ & 0xFFFFFF00u);
+  }
+
+  /// Reconstructs an address from a /24 index plus a host byte.
+  static constexpr IPv4Address from_slash24_index(std::uint32_t index,
+                                                  std::uint8_t host = 1) {
+    return IPv4Address((index << 8) | host);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(IPv4Address, IPv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace anycast::ipaddr

@@ -1,0 +1,79 @@
+// CIDR prefixes and /24 arithmetic.
+//
+// BGP practice ignores prefixes longer than /24 (RFC 4786 operational
+// guidance cited in Sec. 3.1), so /24 is the census granularity: every
+// announced prefix is split into the /24s it covers, each probed through a
+// single representative address, and results are re-aggregated to announced
+// prefixes a posteriori via longest-prefix match (see prefix_table.hpp).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "anycast/ipaddr/ipv4.hpp"
+
+namespace anycast::ipaddr {
+
+/// A CIDR prefix such as 192.0.2.0/24. The network address is stored
+/// canonicalised (host bits cleared).
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+
+  /// Builds a prefix, clearing any host bits in `network`.
+  /// `length` must be in [0, 32]; out-of-range lengths are clamped.
+  constexpr Prefix(IPv4Address network, int length)
+      : length_(length < 0 ? 0 : (length > 32 ? 32 : length)),
+        network_(IPv4Address(network.value() & mask_for(length_))) {}
+
+  /// Parses "a.b.c.d/len". Returns nullopt on syntax error or len > 32.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  /// The covering /24 of an address, the census unit.
+  static constexpr Prefix slash24_of(IPv4Address address) {
+    return Prefix(address.slash24_base(), 24);
+  }
+
+  [[nodiscard]] constexpr IPv4Address network() const { return network_; }
+  [[nodiscard]] constexpr int length() const { return length_; }
+  [[nodiscard]] constexpr std::uint32_t mask() const {
+    return mask_for(length_);
+  }
+  [[nodiscard]] constexpr IPv4Address last_address() const {
+    return IPv4Address(network_.value() | ~mask());
+  }
+  [[nodiscard]] constexpr bool contains(IPv4Address address) const {
+    return (address.value() & mask()) == network_.value();
+  }
+  [[nodiscard]] constexpr bool contains(const Prefix& other) const {
+    return other.length_ >= length_ && contains(other.network_);
+  }
+
+  /// Number of /24 subnets this prefix covers (1 when length >= 24).
+  [[nodiscard]] constexpr std::uint32_t slash24_count() const {
+    return length_ >= 24 ? 1u : (1u << (24 - length_));
+  }
+
+  /// Enumerates the /24 prefixes covered by this prefix. A prefix longer
+  /// than /24 yields its single covering /24 (paper: sub-/24 announcements
+  /// are each tested once via their covering /24).
+  [[nodiscard]] std::vector<Prefix> split_slash24() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  static constexpr std::uint32_t mask_for(int length) {
+    return length == 0 ? 0u : (~std::uint32_t{0} << (32 - length));
+  }
+
+  int length_ = 0;
+  IPv4Address network_;
+};
+
+}  // namespace anycast::ipaddr

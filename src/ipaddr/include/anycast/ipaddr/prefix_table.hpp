@@ -1,0 +1,47 @@
+// Longest-prefix-match table mapping addresses back to announced prefixes.
+//
+// The census probes at /24 granularity; mapping each anycast /24 back to the
+// BGP prefix (and origin AS) that announced it happens a posteriori with
+// this table (Sec. 3.1: "the mapping between /24 and announced prefixes is
+// still possible a posteriori").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "anycast/ipaddr/prefix.hpp"
+
+namespace anycast::ipaddr {
+
+/// One routing-table entry: an announced prefix and an opaque payload
+/// (typically the origin AS number).
+struct Route {
+  Prefix prefix;
+  std::uint32_t origin_as = 0;
+};
+
+/// An immutable longest-prefix-match table built once from a route dump.
+/// Lookup is a binary search over network addresses followed by a short
+/// backward scan over candidate covering prefixes — adequate for the
+/// O(10^4) route tables the simulator produces and free of per-node
+/// allocation, unlike a trie.
+class PrefixTable {
+ public:
+  PrefixTable() = default;
+  explicit PrefixTable(std::vector<Route> routes);
+
+  /// Longest-prefix match. Returns nullopt when no route covers `address`.
+  [[nodiscard]] std::optional<Route> lookup(IPv4Address address) const;
+
+  [[nodiscard]] std::size_t size() const { return routes_.size(); }
+
+  /// Total number of /24s covered by all (deduplicated) routes; used for
+  /// the hitlist-coverage cross-check of Sec. 3.1.
+  [[nodiscard]] std::uint64_t covered_slash24_count() const;
+
+ private:
+  std::vector<Route> routes_;  // sorted by (network, length)
+};
+
+}  // namespace anycast::ipaddr

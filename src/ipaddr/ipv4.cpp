@@ -1,0 +1,40 @@
+#include "anycast/ipaddr/ipv4.hpp"
+
+#include <charconv>
+
+namespace anycast::ipaddr {
+
+std::optional<IPv4Address> IPv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* cursor = text.data();
+  const char* const end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    if (octet > 0) {
+      if (cursor == end || *cursor != '.') return std::nullopt;
+      ++cursor;
+    }
+    unsigned parsed = 0;
+    auto [next, ec] = std::from_chars(cursor, end, parsed);
+    if (ec != std::errc{} || next == cursor || parsed > 255) {
+      return std::nullopt;
+    }
+    // Reject leading zeros like "01" which std::from_chars accepts.
+    if (next - cursor > 1 && *cursor == '0') return std::nullopt;
+    value = (value << 8) | parsed;
+    cursor = next;
+  }
+  if (cursor != end) return std::nullopt;
+  return IPv4Address(value);
+}
+
+std::string IPv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+}  // namespace anycast::ipaddr

@@ -1,0 +1,42 @@
+#include "anycast/ipaddr/prefix.hpp"
+
+#include <charconv>
+
+namespace anycast::ipaddr {
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto address = IPv4Address::parse(text.substr(0, slash));
+  if (!address) return std::nullopt;
+  const std::string_view len_text = text.substr(slash + 1);
+  int length = -1;
+  auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(),
+                      length);
+  if (ec != std::errc{} || next != len_text.data() + len_text.size() ||
+      length < 0 || length > 32) {
+    return std::nullopt;
+  }
+  return Prefix(*address, length);
+}
+
+std::vector<Prefix> Prefix::split_slash24() const {
+  std::vector<Prefix> out;
+  if (length_ >= 24) {
+    out.push_back(slash24_of(network_));
+    return out;
+  }
+  out.reserve(slash24_count());
+  const std::uint32_t base = network_.value() >> 8;
+  for (std::uint32_t i = 0; i < slash24_count(); ++i) {
+    out.push_back(Prefix(IPv4Address((base + i) << 8), 24));
+  }
+  return out;
+}
+
+std::string Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace anycast::ipaddr

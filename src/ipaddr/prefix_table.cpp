@@ -1,0 +1,65 @@
+#include "anycast/ipaddr/prefix_table.hpp"
+
+#include <algorithm>
+
+namespace anycast::ipaddr {
+
+PrefixTable::PrefixTable(std::vector<Route> routes) : routes_(std::move(routes)) {
+  std::sort(routes_.begin(), routes_.end(),
+            [](const Route& a, const Route& b) {
+              if (a.prefix.network() != b.prefix.network()) {
+                return a.prefix.network() < b.prefix.network();
+              }
+              return a.prefix.length() < b.prefix.length();
+            });
+  routes_.erase(std::unique(routes_.begin(), routes_.end(),
+                            [](const Route& a, const Route& b) {
+                              return a.prefix == b.prefix;
+                            }),
+                routes_.end());
+}
+
+std::optional<Route> PrefixTable::lookup(IPv4Address address) const {
+  // A covering prefix of `address` at length L has network == address & mask,
+  // so probe each length from most to least specific with a binary search.
+  // 33 searches over a sorted vector beats a pointer-chasing trie for the
+  // table sizes the simulator produces, and is exact.
+  for (int length = 32; length >= 0; --length) {
+    const Prefix candidate(address, length);
+    auto it = std::lower_bound(
+        routes_.begin(), routes_.end(), candidate,
+        [](const Route& route, const Prefix& want) {
+          if (route.prefix.network() != want.network()) {
+            return route.prefix.network() < want.network();
+          }
+          return route.prefix.length() < want.length();
+        });
+    if (it != routes_.end() && it->prefix == candidate) return *it;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t PrefixTable::covered_slash24_count() const {
+  // Merge routes into disjoint /24 intervals and count them.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> intervals;
+  intervals.reserve(routes_.size());
+  for (const Route& route : routes_) {
+    const std::uint32_t first = route.prefix.network().slash24_index();
+    const std::uint32_t count = route.prefix.slash24_count();
+    intervals.emplace_back(first, first + count);
+  }
+  std::sort(intervals.begin(), intervals.end());
+  std::uint64_t total = 0;
+  std::uint32_t high_water = 0;
+  bool any = false;
+  for (const auto& [begin, end] : intervals) {
+    const std::uint32_t from = (!any || begin > high_water) ? begin
+                               : high_water;
+    if (end > from) total += end - from;
+    if (!any || end > high_water) high_water = end;
+    any = true;
+  }
+  return total;
+}
+
+}  // namespace anycast::ipaddr

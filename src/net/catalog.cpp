@@ -1,0 +1,452 @@
+#include "anycast/net/catalog.hpp"
+
+#include <algorithm>
+
+#include "anycast/net/services.hpp"
+#include <deque>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "anycast/rng/distributions.hpp"
+#include "anycast/rng/random.hpp"
+
+namespace anycast::net {
+namespace {
+
+using enum Category;
+using enum PortProfile;
+
+// The Fig. 9 top-100 table, ordered by decreasing geographic footprint.
+// `sites` is the deployment's true number of PoPs (the census detects a
+// subset); `ip24` counts anycast /24s (sums to 897 as in Fig. 10);
+// `caida_rank` marks the 8 ASes in the CAIDA top-100 (their ip24 sums to
+// 19); `alexa_sites` marks the 15 ASes hosting Alexa-100k front pages
+// (~240 sites, ~one /24 each).
+constexpr AsSpec kTop100[] = {
+    // asn, whois, category, tier1, sites, ip24, caida, alexa, profile
+    {13335, "CLOUDFLARENET,US", kCdn, false, 45, 328, 0, 188, kCloudflare},
+    {1280, "ISC-AS,US", kDns, false, 40, 10, 0, 0, kDnsSsh},
+    {6939, "HURRICANE,US", kIsp, false, 38, 5, 4, 0, kIspBgp},
+    {36408, "CDNETWORKSUS-", kCdn, false, 34, 8, 0, 0, kCdnStandard},
+    {32934, "FACEBOOK,US", kSocialNetwork, false, 32, 6, 0, 1, kWebBasic},
+    {42909, "COMMUNITYDNS,", kDns, false, 30, 6, 0, 0, kDnsOnly},
+    {36621, "XGTLD,US", kDns, false, 29, 4, 0, 0, kDnsOnly},
+    {20144, "L-ROOT,US", kDns, false, 28, 1, 0, 0, kDnsOnly},
+    // Microsoft's true footprint is far larger than what a sparse platform
+    // can see (Fig. 5: 21 replicas from PlanetLab vs 54 from RIPE); many of
+    // its sites are regionally peered, so the measured Fig. 9 rank is 9th.
+    {8075, "MICROSOFT,US", kCloud, false, 56, 13, 0, 0, kMicrosoft},
+    {29216, "I-ROOT,SE", kDns, false, 26, 1, 0, 0, kDnsOnly},
+    {7342, "VERISIGN-INC", kDns, false, 25, 16, 0, 0, kDnsOnly},
+    {22822, "LLNW,US", kCdn, false, 24, 12, 0, 0, kCdnExtended},
+    {33480, "ARYAKA-ARIN,", kCloud, false, 23, 4, 0, 0, kWebBasic},
+    {714, "APPLE-ENGINE", kCdn, false, 22, 6, 0, 0, kWebDns},
+    {30670, "CEDEXIS,US", kSecurity, false, 21, 4, 0, 0, kWebDns},
+    {20446, "HIGHWINDS3,U", kCdn, false, 21, 7, 0, 1, kCdnStandard},
+    {8674, "NETNOD-IX,SE", kDns, false, 20, 4, 0, 0, kDnsOnly},
+    {36692, "OPENDNS,US", kSecurity, false, 20, 6, 0, 0, kWebDns},
+    {42, "WOODYNET-1,U", kDns, false, 19, 18, 0, 0, kDnsOnly},
+    {39837, "LGTLD,US", kDns, false, 19, 4, 0, 0, kDnsOnly},
+    {35208, "LIECHTENSTEI", kUnknown, false, 18, 1, 0, 0, kNone},
+    {54113, "FASTLY,US", kCdn, false, 18, 8, 0, 5, kCdnStandard},
+    {30637, "CACHENETWORK", kCdn, false, 17, 5, 0, 1, kCdnStandard},
+    {33047, "INSTART,US", kCdn, false, 17, 4, 0, 1, kWebBasic},
+    {55195, "DNSCAST-AS,U", kDns, false, 16, 20, 0, 0, kDnsOnly},
+    {15169, "GOOGLE,US", kCloud, false, 16, 102, 0, 11, kGoogle},
+    {14153, "EDGECAST-IR,", kCdn, false, 15, 6, 0, 0, kEdgecast},
+    {27, "UMDNET,US", kUnknown, false, 15, 1, 0, 0, kNone},
+    {33517, "DYNDNS,US", kDns, false, 14, 12, 0, 0, kDnsOnly},
+    {62597, "NSONE,US", kDns, false, 14, 6, 0, 0, kDnsOnly},
+    {26608, "EASYLINK4,US", kOther, false, 13, 2, 0, 0, kMail},
+    {34010, "YAHOO-AN2,US", kWebPortal, false, 13, 5, 0, 2, kWebDns},
+    {12008, "ULTRADNS,US", kDns, false, 13, 16, 0, 0, kDnsOnly},
+    {16276, "OVH,FR", kCloud, false, 12, 8, 0, 0, kOvh},
+    {35236, "LIECHTENSTEI", kUnknown, false, 12, 1, 0, 0, kNone},
+    {12041, "AS-AFILIAS1,", kDns, false, 12, 8, 0, 0, kDnsOnly},
+    {2635, "AUTOMATTIC,U", kOther, false, 12, 12, 0, 4, kWebBasic},
+    {3257, "TINET-BACKBO", kIsp, true, 11, 4, 9, 0, kIspMgmt},
+    {6461, "ABOVENET-CUS", kIsp, false, 11, 3, 0, 0, kNone},
+    {16509, "AMAZON-02,US", kCloud, false, 11, 12, 0, 3, kWebDns},
+    {1273, "CW,GB", kIsp, false, 10, 1, 12, 0, kNone},
+    {3356, "LEVEL3,US", kIsp, true, 10, 2, 1, 0, kIspMgmt},
+    // EdgeCast peers regionally: its true footprint is ~2.4x what a sparse
+    // platform can measure (Fig. 7's low GT/PAI), so the measured Fig. 9
+    // rank stays ~43rd despite 24 sites.
+    {15133, "EDGECAST,US", kCdn, false, 24, 37, 0, 10, kEdgecast},
+    {13414, "TWITTER-NETW", kSocialNetwork, false, 10, 3, 0, 1, kWebBasic},
+    {19551, "INCAPSULA,US", kCdn, false, 10, 6, 0, 1, kIncapsula},
+    {21775, "AGTLD,US", kDns, false, 9, 4, 0, 0, kDnsOnly},
+    {18366, "AUSREGISTRY-", kDns, false, 9, 5, 0, 0, kDnsOnly},
+    {60890, "CENTRALNIC-A", kDns, false, 9, 2, 0, 0, kDnsOnly},
+    {174, "COGENT-2149,", kIsp, false, 9, 2, 2, 0, kNone},
+    {30131, "HGTLD,US", kDns, false, 9, 4, 0, 0, kDnsOnly},
+    {33438, "HIGHWINDS4,U", kCdn, false, 8, 3, 0, 0, kCdnStandard},
+    {25152, "K-ROOT-SERVE", kDns, false, 8, 1, 0, 0, kDnsOnly},
+    {23393, "NETRIPLEX01,", kDns, false, 8, 2, 0, 0, kDnsOnly},
+    {15224, "OMNITURE,US", kOther, false, 8, 2, 0, 0, kWebBasic},
+    {36351, "SOFTLAYER,US", kCloud, false, 8, 6, 0, 0, kHostingLarge},
+    {63727, "WANGSU-US,US", kCdn, false, 8, 5, 0, 0, kCdnStandard},
+    {34082, "YAHOO-FC,US", kWebPortal, false, 8, 2, 0, 0, kWebBasic},
+    {40009, "BITGRAVITY,U", kCdn, false, 7, 12, 0, 1, kCdnExtended},
+    {11537, "ABILENE,US", kOther, false, 7, 1, 0, 0, kNone},
+    {62713, "ADVAN-CAST,U", kUnknown, false, 7, 1, 0, 0, kNone},
+    {39570, "ASATTLDSE", kDns, false, 7, 2, 0, 0, kDnsOnly},
+    {8100, "AS-QUADRANET", kCloud, false, 7, 4, 0, 0, kHostingLarge},
+    {6453, "AS6453,US", kIsp, true, 7, 3, 7, 0, kIspBgp},
+    {2686, "ATT,EU", kIsp, false, 7, 1, 15, 0, kIspMgmt},
+    {29869, "CENTRALNIC-A", kDns, false, 6, 2, 0, 0, kDnsOnly},
+    {209, "CENTURYLINK-", kIsp, true, 6, 3, 0, 0, kIspMgmt},
+    {38880, "CONEXIM-AS-A", kCloud, false, 6, 1, 0, 0, kNone},
+    {21622, "EGTLD,US", kDns, false, 6, 1, 0, 0, kDnsOnly},
+    {42671, "KGTLD,US", kDns, false, 6, 1, 0, 0, kDnsOnly},
+    {43516, "MNS-AS,NO", kOther, false, 6, 4, 0, 0, kMedia},
+    {1921, "NICAT,AT", kDns, false, 6, 4, 0, 0, kDnsOnly},
+    {23708, "VITAL-DNS,US", kDns, false, 6, 1, 0, 0, kDnsOnly},
+    {62715, "WHS-ANYCAST-", kSecurity, false, 6, 1, 0, 0, kWebDns},
+    {21313, "ZGTLD,US", kDns, false, 6, 1, 0, 0, kDnsOnly},
+    {10910, "INTERNAP-BLK", kCloud, false, 6, 4, 0, 0, kHostingLarge},
+    {63408, "NETAPP-ANYCA", kOther, false, 5, 1, 0, 0, kNone},
+    {1239, "SPRINTLINK,U", kIsp, true, 5, 1, 6, 0, kNone},
+    {32770, "AUSREGISTRY-", kDns, false, 5, 2, 0, 0, kDnsOnly},
+    {3561, "CENTURYLINK-", kIsp, false, 5, 1, 0, 0, kNone},
+    {61129, "DNSIMPLE,US", kDns, false, 5, 2, 0, 0, kDnsOnly},
+    {33070, "DYN-HC,US", kDns, false, 5, 5, 0, 0, kDnsOnly},
+    {26609, "EASYLINK2,US", kOther, false, 5, 1, 0, 0, kMail},
+    {62698, "EDNS,CA", kDns, false, 5, 1, 0, 0, kNone},
+    {61337, "ESGOB-ANYCAS", kDns, false, 5, 1, 0, 0, kNone},
+    {12824, "HOMEPL-AS,PL", kCloud, false, 5, 1, 0, 0, kNone},
+    {14413, "LINKEDIN,US", kSocialNetwork, false, 5, 1, 0, 0, kWebBasic},
+    {18608, "MASERGY,US", kCloud, false, 5, 1, 0, 0, kNone},
+    {31792, "MEDIAMATH-IN", kOther, false, 5, 1, 0, 0, kNone},
+    {29550, "MII-2,GB", kCdn, false, 5, 4, 0, 0, kCdnStandard},
+    {40824, "MII-XPC,US", kCdn, false, 5, 1, 0, 0, kCdnStandard},
+    {13768, "PEER1,US", kCloud, false, 5, 4, 0, 0, kHostingLarge},
+    {34309, "PHH-AS,DE", kCdn, false, 5, 1, 0, 0, kCdnStandard},
+    {62874, "PRETECS,CA", kCdn, false, 5, 1, 0, 0, kNone},
+    {32787, "PROLEXIC,US", kSecurity, false, 5, 21, 0, 10, kWebDns},
+    {7819, "QUANTCAST,US", kOther, false, 5, 1, 0, 0, kWebBasic},
+    {18705, "RIMBLACKBERR", kOther, false, 5, 2, 0, 0, kMail},
+    {39392, "SUPERNETWORK", kCloud, false, 5, 4, 0, 0, kHostingLarge},
+    {62838, "UNOVA-1,CA", kDns, false, 5, 1, 0, 0, kDnsOnly},
+    {39743, "VOXILITY,RO", kCloud, false, 5, 4, 0, 0, kHostingLarge},
+    {60721, "ZVONKOVA-AS", kUnknown, false, 5, 1, 0, 0, kNone},
+};
+
+// Software fingerprints keyed by (whois, port). Absent entries mean nmap
+// could not identify the daemon ("44 of 67 port-53 ASes unknown").
+std::string_view software_for(std::string_view whois, std::uint16_t port) {
+  const bool http = port == 80 || port == 8080;
+  const bool https = port == 443 || port == 8443;
+  // DNS daemons on 53.
+  if (port == 53) {
+    for (std::string_view bind_user :
+         {"ISC-AS,US", "VERISIGN-INC", "COMMUNITYDNS,", "WOODYNET-1,U",
+          "ULTRADNS,US", "DNSCAST-AS,U", "NSONE,US", "AS-AFILIAS1,",
+          "NICAT,AT", "DYN-HC,US", "DNSIMPLE,US", "NETRIPLEX01,",
+          "I-ROOT,SE", "DYNDNS,US", "NETNOD-IX,SE"}) {
+      if (whois == bind_user) return "ISC BIND";
+    }
+    if (whois == "K-ROOT-SERVE" || whois == "L-ROOT,US" ||
+        whois == "APPLE-ENGINE") {
+      return "NLnet Labs NSD";
+    }
+    if (whois == "OPENDNS,US") return "OpenDNS";
+    if (whois == "MICROSOFT,US") return "Microsoft DNS";
+    return {};
+  }
+  if (whois == "CLOUDFLARENET,US" && (http || https)) {
+    return "cloudflare-nginx";
+  }
+  if (whois == "EDGECAST,US" || whois == "EDGECAST-IR,") {
+    if (http) return "ECAcc/ECS";
+    if (https) return "ECD";
+  }
+  if (whois == "GOOGLE,US") {
+    if (http || https) return "Google httpd";
+    if (port == 25 || port == 587) return "Google gsmtp";
+    if (port == 143 || port == 993) return "Gmail imapd";
+    if (port == 110 || port == 995) return "Gmail pop3d";
+  }
+  if (whois == "MICROSOFT,US") {
+    if (port == 80) return "Microsoft HTTP";
+    if (port == 443) return "Microsoft IIS";
+    if (port == 135) return "Microsoft RPC";
+    if (port == 1433) return "Microsoft SQL";
+  }
+  if (port == 22) return "OpenSSH";
+  if (port == 3306) return "MySQL";
+  if (port == 5252) return "movaz-ssc";
+  if (http || https) {
+    for (std::string_view nginx_user :
+         {"OPENDNS,US", "AUTOMATTIC,U", "CDNETWORKSUS-", "HIGHWINDS3,U",
+          "HIGHWINDS4,U", "WANGSU-US,US", "AMAZON-02,US"}) {
+      if (whois == nginx_user) return "nginx";
+    }
+    for (std::string_view apache_user :
+         {"APPLE-ENGINE", "OMNITURE,US", "OVH,FR", "AS-QUADRANET"}) {
+      if (whois == apache_user) return "Apache httpd";
+    }
+    for (std::string_view lighttpd_user :
+         {"YAHOO-AN2,US", "YAHOO-FC,US", "MII-2,GB", "MII-XPC,US"}) {
+      if (whois == lighttpd_user) return "lighttpd";
+    }
+    if (whois == "FASTLY,US" || whois == "CACHENETWORK") return "Varnish";
+    if (whois == "BITGRAVITY,U") return "bitasicv2";
+    if (whois == "CEDEXIS,US") return "CFS 0213";
+    if (whois == "INSTART,US") return "instart/160";
+    if (whois == "PHH-AS,DE") return "thttpd";
+    if (whois == "SUPERNETWORK") return "cPanel httpd";
+    if (whois == "SOFTLAYER,US") return "Apache Tomcat";
+    if (whois == "INCAPSULA,US") return "sslstrip";
+  }
+  return {};
+}
+
+void add_ports(std::vector<ServicePort>& out, const AsSpec& spec,
+               std::initializer_list<std::uint16_t> ports) {
+  for (std::uint16_t port : ports) {
+    const auto known = classify_port(port);
+    out.push_back(ServicePort{port, known && known->commonly_ssl,
+                              software_for(spec.whois, port)});
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(Category category) {
+  switch (category) {
+    case kDns: return "DNS";
+    case kCdn: return "CDN";
+    case kCloud: return "Cloud";
+    case kIsp: return "ISP";
+    case kSecurity: return "Security";
+    case kSocialNetwork: return "Social";
+    case kWebPortal: return "Portal";
+    case kOther: return "Other";
+    case kUnknown: return "Unknown";
+  }
+  return "?";
+}
+
+std::string_view to_string(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kIcmpEcho: return "ICMP";
+    case Protocol::kTcpSyn53: return "TCP-53";
+    case Protocol::kTcpSyn80: return "TCP-80";
+    case Protocol::kDnsUdp: return "DNS/UDP";
+    case Protocol::kDnsTcp: return "DNS/TCP";
+  }
+  return "?";
+}
+
+std::span<const AsSpec> top100_specs() {
+  return {std::begin(kTop100), std::end(kTop100)};
+}
+
+bool profile_serves_dns(PortProfile profile) {
+  // Having TCP/53 open (for zone transfers etc.) is not the same as
+  // answering DNS queries: HTTP CDNs like EdgeCast expose the port but run
+  // no resolver, which is exactly the "binary recall" effect of Fig. 6.
+  switch (profile) {
+    case kDnsOnly:
+    case kDnsSsh:
+    case kWebDns:
+    case kCloudflare:
+    case kGoogle:
+    case kMicrosoft:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<ServicePort> make_services(const AsSpec& spec,
+                                       std::uint64_t seed) {
+  std::vector<ServicePort> out;
+  switch (spec.profile) {
+    case kNone:
+      break;
+    case kDnsOnly:
+      add_ports(out, spec, {53});
+      break;
+    case kDnsSsh:
+      add_ports(out, spec, {53, 22});
+      break;
+    case kWebBasic:
+      add_ports(out, spec, {80, 443});
+      break;
+    case kWebDns:
+      add_ports(out, spec, {53, 80, 443});
+      break;
+    case kCdnStandard:
+      add_ports(out, spec, {53, 80, 443, 8080});
+      break;
+    case kCdnExtended:
+      add_ports(out, spec, {53, 80, 443, 8080, 8443, 1935});
+      break;
+    case kCloudflare:
+      // CloudFlare's published set: web, DNS, and the cPanel-style
+      // alternate HTTP(S) ports — the hatched per-/24 bars of Fig. 14.
+      add_ports(out, spec,
+                {53, 80, 443, 8080, 8443, 2052, 2053, 2082, 2083, 2086, 2087,
+                 2095, 2096, 8880, 2030, 2040, 2222, 5222, 5228, 8000, 8008,
+                 8088});
+      break;
+    case kEdgecast:
+      add_ports(out, spec, {53, 80, 443, 8080, 1935});
+      break;
+    case kGoogle:
+      add_ports(out, spec, {25, 53, 80, 110, 143, 443, 587, 993, 995});
+      break;
+    case kMicrosoft:
+      add_ports(out, spec, {53, 80, 135, 443, 445, 1433, 3389});
+      break;
+    case kIspBgp:
+      add_ports(out, spec, {179, 22});
+      break;
+    case kIspMgmt:
+      add_ports(out, spec, {22, 80, 179, 443});
+      break;
+    case kMedia:
+      add_ports(out, spec, {80, 443, 1935, 5252, 6565});
+      break;
+    case kGaming:
+      add_ports(out, spec, {80, 25565});
+      break;
+    case kHostingLarge: {
+      add_ports(out, spec,
+                {21, 22, 25, 53, 80, 110, 143, 443, 465, 587, 993, 995, 3306,
+                 5432, 8080, 8083, 8443, 2082, 2083, 2086, 2087, 2095, 2096});
+      if (spec.whois == "AS-QUADRANET") add_ports(out, spec, {25565});
+      break;
+    }
+    case kOvh: {
+      // OVH's seedbox ecosystem (Sec. 4.3): essentially the whole
+      // registered/ephemeral band answers, ~10^4 distinct ports.
+      add_ports(out, spec, {21, 22, 25, 53, 80, 443, 3306});
+      out.reserve(out.size() + 10148);
+      rng::Xoshiro256 ssl_gen(seed ^ 0x0F0F0F);
+      // The rented-server band: customers bind anything from registered
+      // ports up through the low ephemeral range.
+      for (std::uint32_t port = 2800; port < 2800 + 10148; ++port) {
+        if (port == 3306) continue;  // already added with fingerprint
+        const auto known = classify_port(static_cast<std::uint16_t>(port));
+        // ~1.7% of the seedbox band speaks TLS on arbitrary ports
+        // (Fig. 14: 185 SSL services among 10,499 open ports).
+        const bool ssl = (known && known->commonly_ssl) ||
+                         rng::bernoulli(ssl_gen, 0.017);
+        out.push_back(
+            ServicePort{static_cast<std::uint16_t>(port), ssl, {}});
+      }
+      break;
+    }
+    case kIncapsula: {
+      // A proxying DDoS-mitigation service forwards customers' ports:
+      // a few hundred assorted ones beyond the web/DNS base.
+      add_ports(out, spec, {53, 80, 443, 8080, 8443});
+      rng::Xoshiro256 gen(seed ^ 0x1235813);
+      std::uint16_t port = 2000;
+      for (int i = 0; i < 308; ++i) {
+        port = static_cast<std::uint16_t>(
+            port + 1 + rng::uniform_index(gen, 20));
+        const auto known = classify_port(port);
+        out.push_back(ServicePort{port, known && known->commonly_ssl, {}});
+      }
+      break;
+    }
+    case kMail:
+      add_ports(out, spec, {25, 110, 143, 465, 587, 993, 995});
+      break;
+  }
+  // Deduplicate by port (profiles plus special cases may overlap).
+  std::sort(out.begin(), out.end(),
+            [](const ServicePort& a, const ServicePort& b) {
+              return a.port < b.port;
+            });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const ServicePort& a, const ServicePort& b) {
+                          return a.port == b.port;
+                        }),
+            out.end());
+  return out;
+}
+
+std::vector<AsSpec> tail_specs(int count, int total_ip24,
+                               std::uint64_t seed) {
+  // Names must outlive the returned specs: keep them in a process-lifetime
+  // store, cached per parameter triple so repeated calls are stable.
+  static std::mutex mutex;
+  static std::map<std::tuple<int, int, std::uint64_t>,
+                  std::pair<std::deque<std::string>, std::vector<AsSpec>>>
+      cache;
+  std::lock_guard lock(mutex);
+  auto [it, inserted] =
+      cache.try_emplace(std::make_tuple(count, total_ip24, seed));
+  if (!inserted) return it->second.second;
+
+  auto& [names, specs] = it->second;
+  rng::Xoshiro256 gen(seed);
+  specs.reserve(static_cast<std::size_t>(count));
+
+  // Half the tail has exactly one /24 (Fig. 13); the rest draws from a
+  // heavy-tailed size palette, then the last entries are padded/trimmed so
+  // the total is exact.
+  constexpr int kSizes[] = {2, 2, 2, 2, 3, 3, 3, 4, 4, 6, 8, 12, 20, 30};
+  std::vector<int> ip24_counts;
+  ip24_counts.reserve(static_cast<std::size_t>(count));
+  int allocated = 0;
+  for (int i = 0; i < count; ++i) {
+    int size = 1;
+    if (i >= count / 2) {
+      size = kSizes[rng::uniform_index(gen, std::size(kSizes))];
+    }
+    ip24_counts.push_back(size);
+    allocated += size;
+  }
+  // Fix up the total by nudging non-single entries.
+  for (std::size_t i = ip24_counts.size(); allocated != total_ip24;) {
+    i = (i == 0) ? ip24_counts.size() - 1 : i - 1;
+    int& size = ip24_counts[i];
+    if (allocated < total_ip24) {
+      ++size;
+      ++allocated;
+    } else if (size > 1) {
+      --size;
+      --allocated;
+    }
+  }
+
+  constexpr Category kTailCategories[] = {kDns, kDns, kDns,     kDns, kUnknown,
+                                          kUnknown, kCloud, kCdn, kIsp, kOther};
+  constexpr PortProfile kTailProfiles[] = {kDnsOnly, kDnsOnly, kDnsOnly,
+                                           kNone,    kNone,    kWebBasic,
+                                           kWebBasic, kWebDns};
+  constexpr std::string_view kTailCc[] = {"US", "DE", "GB", "FR", "NL", "RU",
+                                          "BR", "JP", "AU", "CA", "SE", "IT"};
+  for (int i = 0; i < count; ++i) {
+    const Category category =
+        kTailCategories[rng::uniform_index(gen, std::size(kTailCategories))];
+    const PortProfile profile =
+        category == kDns
+            ? kDnsOnly
+            : kTailProfiles[rng::uniform_index(gen, std::size(kTailProfiles))];
+    names.push_back(
+        "ANYCAST-T" + std::to_string(i + 1) + "," +
+        std::string(kTailCc[rng::uniform_index(gen, std::size(kTailCc))]));
+    AsSpec spec{};
+    spec.as_number = 200000 + static_cast<std::uint32_t>(i);
+    spec.whois = names.back();
+    spec.category = category;
+    spec.tier1 = false;
+    spec.sites = 2 + static_cast<int>(rng::uniform_index(gen, 3));  // 2..4
+    spec.ip24 = ip24_counts[static_cast<std::size_t>(i)];
+    spec.caida_rank = 0;
+    spec.alexa_sites = 0;
+    spec.profile = profile;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+}  // namespace anycast::net

@@ -1,0 +1,78 @@
+// The anycast deployment catalog.
+//
+// The paper's census finds 1,696 anycast /24s in 346 ASes, of which 897
+// /24s in 100 ASes show >= 5 replicas (the "top-100", Fig. 9). The
+// simulator seeds its world from this catalog: the top-100 ASes are encoded
+// by name with their category, geographic footprint, /24 footprint, service
+// profile, and CAIDA/Alexa standing as reported in Figs. 9-16; the
+// remaining ~246 small deployments ("tail") are generated with the
+// heavy-tailed /24 and replica distributions of Figs. 12-13.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "anycast/net/types.hpp"
+
+namespace anycast::net {
+
+/// Service profile shorthands expanded by `make_services`.
+enum class PortProfile {
+  kNone,          // all probes filtered: no open TCP port found
+  kDnsOnly,       // {53}
+  kDnsSsh,        // {53, 22}
+  kWebBasic,      // {80, 443}
+  kWebDns,        // {53, 80, 443}
+  kCdnStandard,   // {53, 80, 443, 8080}
+  kCdnExtended,   // + 8443, 1935 (RTMP)
+  kCloudflare,    // CF's 22-port set incl. 2052..2096 alternates
+  kEdgecast,      // {53, 80, 443, 8080, 1935}
+  kGoogle,        // 9 ports: web + mail suite
+  kMicrosoft,     // IIS/RPC/SQL stack
+  kIspBgp,        // {179, 22} — routers answering on the anycast /24
+  kIspMgmt,       // {22, 80, 179, 443} — tier-1s with management surfaces
+  kMedia,         // RTMP, Simplify Media, MythTV (the "unpopular" services)
+  kGaming,        // Minecraft et al.
+  kHostingLarge,  // tens of assorted ports (generic hosting)
+  kOvh,           // ~10^4 open ports (seedbox ecosystem, Sec. 4.3)
+  kIncapsula,     // ~313 open ports (proxying security service)
+  kMail,          // SMTP/IMAP/POP suite
+};
+
+/// Static description of one top-100 anycast AS (Fig. 9 row).
+struct AsSpec {
+  std::uint32_t as_number;
+  std::string_view whois;  // WHOIS name as printed in Fig. 9
+  Category category;
+  bool tier1;
+  int sites;        // true geographic replica sites (census detects <=)
+  int ip24;         // anycast /24 prefixes
+  int caida_rank;   // 1..100 if in CAIDA top-100, else 0
+  int alexa_sites;  // Alexa-100k front pages hosted
+  PortProfile profile;
+};
+
+/// The encoded top-100 table, ordered by decreasing geographic footprint
+/// (the x-axis order of Fig. 9).
+std::span<const AsSpec> top100_specs();
+
+/// Generates the catalog tail: `count` small deployments (2..4 sites)
+/// whose /24 counts sum to `total_ip24`, half of them single-/24
+/// (Fig. 13's left mass). Deterministic in `seed`.
+std::vector<AsSpec> tail_specs(int count, int total_ip24, std::uint64_t seed);
+
+/// Names generated for tail ASes own their storage; this returns the
+/// backing store for the string_views used by tail specs. Call once per
+/// process before `tail_specs` views are dereferenced (handled internally).
+/// Expands an AsSpec's service profile into concrete open ports with
+/// software fingerprints (Fig. 14/16 data). Deterministic in `seed`.
+std::vector<ServicePort> make_services(const AsSpec& spec, std::uint64_t seed);
+
+/// True when the profile implies an authoritative/recursive DNS service
+/// answering DNS/UDP and DNS/TCP queries (Fig. 6 protocols).
+bool profile_serves_dns(PortProfile profile);
+
+}  // namespace anycast::net

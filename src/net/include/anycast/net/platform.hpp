@@ -1,0 +1,44 @@
+// Measurement platforms: synthetic PlanetLab and RIPE Atlas VP sets.
+//
+// Sec. 3.2 discusses the platform trade-off: PlanetLab offers ~300 nodes
+// with full software control; RIPE Atlas offers far more probes and better
+// geographic diversity but little control. Fig. 5 shows PL results are a
+// subset of RIPE results. We generate both kinds of VP set with the
+// corresponding size and geographic skew so that recall differences emerge
+// from geometry, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "anycast/net/types.hpp"
+
+namespace anycast::net {
+
+enum class Region { kNorthAmerica, kEurope, kAsia, kOceania,
+                    kSouthAmerica, kAfrica, kMiddleEast };
+
+/// Maps an ISO country code to its coarse region.
+Region region_of(std::string_view country);
+
+struct PlatformConfig {
+  int node_count = 300;
+  std::uint64_t seed = 42;
+  /// Standard deviation of the per-VP location error (km) applied to
+  /// `believed_location`. PlanetLab metadata is usually good; a nonzero
+  /// value exercises the false-positive discussion of Sec. 4.2.
+  double location_error_km = 0.0;
+};
+
+/// A PlanetLab-like platform: ~300 nodes, heavily skewed to North American
+/// and European universities, with heterogeneous host load (the Fig. 8
+/// completion-time tail).
+std::vector<VantagePoint> make_planetlab(const PlatformConfig& config);
+
+/// A RIPE-Atlas-like platform: larger and geographically denser, with the
+/// European bias of the real deployment. When built with the same seed as
+/// a PlanetLab platform, the first `planetlab.size()` host cities overlap
+/// so PL catchments are (approximately) a subset of RIPE's.
+std::vector<VantagePoint> make_ripe_atlas(const PlatformConfig& config);
+
+}  // namespace anycast::net

@@ -1,0 +1,37 @@
+// Well-known TCP service classification, nmap-style.
+//
+// The portscan of Sec. 4.3 classifies open ports against the IANA
+// well-known service registry ("10,499 open ports, that map to about 500
+// well-known services") and fingerprints server software. This module
+// embeds the registry subset the scanner uses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace anycast::net {
+
+/// One registry row.
+struct ServiceName {
+  std::uint16_t port = 0;
+  std::string_view name;  // e.g. "domain", "http"
+  bool commonly_ssl = false;
+};
+
+/// The embedded registry, sorted by port.
+std::span<const ServiceName> well_known_services();
+
+/// Service name for a port, or nullopt when the port is not registered
+/// (nmap would print "unknown").
+std::optional<ServiceName> classify_port(std::uint16_t port);
+
+/// Software category of Fig. 16.
+enum class SoftwareClass { kDns, kWeb, kMail, kOther };
+
+/// Maps a fingerprint string (e.g. "ISC BIND", "cloudflare-nginx") to its
+/// Fig. 16 category. Unknown strings map to kOther.
+SoftwareClass classify_software(std::string_view software);
+
+}  // namespace anycast::net

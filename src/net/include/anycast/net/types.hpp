@@ -1,0 +1,144 @@
+// Common value types for the simulated Internet.
+//
+// The simulator replaces the paper's measurement substrate (the real IPv4
+// Internet probed from PlanetLab): it hosts anycast deployments (sets of
+// replica sites sharing /24 prefixes), a unicast background population, and
+// answers probes with BGP-like nearest-replica routing plus a realistic RTT
+// model. Everything downstream — iGreedy, the census pipeline, the
+// portscan, the analysis — consumes only these types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "anycast/geo/city.hpp"
+#include "anycast/geodesy/geopoint.hpp"
+#include "anycast/ipaddr/prefix.hpp"
+
+namespace anycast::net {
+
+/// Business category of an AS, after Fig. 9/11 of the paper. Only the most
+/// prominent activity is kept when an AS has several.
+enum class Category {
+  kDns,
+  kCdn,
+  kCloud,
+  kIsp,       // includes tier-1s; `tier1` flag distinguishes them
+  kSecurity,  // DDoS mitigation etc.
+  kSocialNetwork,
+  kWebPortal,
+  kOther,  // blogging, marketing, conferencing, vendors, ...
+  kUnknown,
+};
+
+std::string_view to_string(Category category);
+
+/// One physical replica location of an anycast deployment.
+struct ReplicaSite {
+  const geo::City* city = nullptr;  // from the embedded city table
+  geodesy::GeoPoint location;       // actual PoP position (near the city)
+};
+
+/// A TCP service exposed by a deployment.
+struct ServicePort {
+  std::uint16_t port = 0;
+  bool ssl = false;
+  std::string_view software;  // fingerprint, empty when nmap can't tell
+};
+
+/// An anycast deployment: one AS announcing one or more /24s from a set of
+/// replica sites. A given /24 may be announced from only a subset of sites
+/// (`site_mask` per prefix), which is what produces the per-/24 replica
+/// variance the paper reports.
+struct Deployment {
+  std::uint32_t as_number = 0;
+  std::string whois_name;  // e.g. "CLOUDFLARENET,US"
+  Category category = Category::kUnknown;
+  bool tier1 = false;
+
+  std::vector<ReplicaSite> sites;
+  std::vector<ipaddr::Prefix> prefixes;           // /24 each
+  std::vector<std::uint64_t> prefix_site_masks;   // bit i => site i announces
+
+  std::vector<ServicePort> tcp_services;
+  bool serves_dns = false;  // answers DNS/UDP + DNS/TCP on 53
+
+  /// True when the operator's authoritative DNS honours the
+  /// edns-client-subnet extension (ECS), mapping a client subnet to its
+  /// serving PoP — the side channel L7-mapping studies exploit (Sec. 2.2).
+  /// ECS adoption was far from pervasive in 2015; most anycasters do not
+  /// support it, and HTTP-redirection CDNs are invisible to it entirely.
+  bool ecs_capable = false;
+
+  int caida_rank = 0;   // 1..100 when in the CAIDA top-100, else 0
+  int alexa_sites = 0;  // number of Alexa-100k front pages hosted here
+                        // (hosted one per /24, on the first `alexa_sites`
+                        // prefixes — the paper's ~1 site per /24)
+
+  /// Per-deployment override of the world's local-site fraction
+  /// (negative: use the WorldConfig default). CloudFlare announces all
+  /// sites uniformly; EdgeCast peers regionally, which is why its
+  /// PL-measurable ground truth covers little of its advertised footprint
+  /// (Fig. 7's GT/PAI gap).
+  double local_site_fraction_override = -1.0;
+
+  /// True when prefix `p` hosts an Alexa-100k front page.
+  [[nodiscard]] bool prefix_hosts_alexa(std::size_t p) const {
+    return static_cast<int>(p) < alexa_sites;
+  }
+
+  /// Sites announcing prefix `p` (by index into `prefixes`).
+  [[nodiscard]] std::vector<const ReplicaSite*> sites_for_prefix(
+      std::size_t p) const {
+    std::vector<const ReplicaSite*> out;
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      if (prefix_site_masks[p] >> s & 1u) out.push_back(&sites[s]);
+    }
+    return out;
+  }
+};
+
+/// A measurement vantage point.
+struct VantagePoint {
+  std::uint32_t id = 0;
+  std::string name;            // e.g. "planetlab1.cs.example.edu"
+  geodesy::GeoPoint location;  // true position
+  geodesy::GeoPoint believed_location;  // position used by analysis
+  double host_load = 1.0;  // >=1; slows the prober (Fig. 8 tail)
+};
+
+/// Probe protocols of Fig. 6.
+enum class Protocol {
+  kIcmpEcho,
+  kTcpSyn53,
+  kTcpSyn80,
+  kDnsUdp,
+  kDnsTcp,
+};
+
+std::string_view to_string(Protocol protocol);
+
+/// What came back from one probe.
+enum class ReplyKind {
+  kEchoReply,          // ICMP echo reply / TCP SYN-ACK / DNS answer
+  kTimeout,            // nothing (dead host, filtered, or loss)
+  kAdminProhibited,    // ICMP type 3 code 13 — greylisted
+  kHostProhibited,     // ICMP type 3 code 10 — greylisted
+  kNetProhibited,      // ICMP type 3 code 9  — greylisted
+};
+
+/// True for the ICMP error codes that the census greylists (Sec. 3.3).
+constexpr bool is_prohibited(ReplyKind kind) {
+  return kind == ReplyKind::kAdminProhibited ||
+         kind == ReplyKind::kHostProhibited ||
+         kind == ReplyKind::kNetProhibited;
+}
+
+struct ProbeReply {
+  ReplyKind kind = ReplyKind::kTimeout;
+  double rtt_ms = 0.0;  // valid only when kind == kEchoReply
+};
+
+}  // namespace anycast::net

@@ -1,0 +1,158 @@
+#include "anycast/net/platform.hpp"
+
+#include <array>
+#include <cmath>
+#include <string>
+
+#include "anycast/geo/city_data.hpp"
+#include "anycast/geodesy/geopoint.hpp"
+#include "anycast/rng/distributions.hpp"
+
+namespace anycast::net {
+namespace {
+
+struct RegionWeights {
+  double north_america, europe, asia, oceania, south_america, africa,
+      middle_east;
+  [[nodiscard]] double weight(Region region) const {
+    switch (region) {
+      case Region::kNorthAmerica: return north_america;
+      case Region::kEurope: return europe;
+      case Region::kAsia: return asia;
+      case Region::kOceania: return oceania;
+      case Region::kSouthAmerica: return south_america;
+      case Region::kAfrica: return africa;
+      case Region::kMiddleEast: return middle_east;
+    }
+    return 0.0;
+  }
+};
+
+// PlanetLab skew: academic networks concentrated in NA/EU (Sec. 3.2 notes
+// poor coverage elsewhere makes footprints conservative).
+constexpr RegionWeights kPlanetLabWeights{0.45, 0.35, 0.12, 0.03,
+                                          0.02, 0.01, 0.02};
+// RIPE Atlas: denser and EU-centric, but with real presence everywhere.
+constexpr RegionWeights kRipeWeights{0.20, 0.50, 0.12, 0.04,
+                                     0.05, 0.04, 0.05};
+
+std::vector<VantagePoint> make_platform(const PlatformConfig& config,
+                                        const RegionWeights& weights,
+                                        std::string_view name_prefix,
+                                        double min_offset_km,
+                                        double max_offset_km) {
+  const auto cities = geo::world_cities();
+  // Build per-city sampling weights: region skew x sqrt(population), so
+  // hosting universities/probes concentrate in (but are not confined to)
+  // large cities.
+  std::vector<double> city_weights;
+  city_weights.reserve(cities.size());
+  for (const geo::City& city : cities) {
+    const double region_w = weights.weight(region_of(city.country));
+    city_weights.push_back(
+        region_w * std::sqrt(static_cast<double>(city.population)));
+  }
+
+  rng::Xoshiro256 gen(config.seed);
+  std::vector<VantagePoint> nodes;
+  nodes.reserve(static_cast<std::size_t>(config.node_count));
+  for (int i = 0; i < config.node_count; ++i) {
+    const geo::City& city = cities[rng::weighted_index(gen, city_weights)];
+    // Place the node relative to the host city: RIPE probes sit in town,
+    // PlanetLab nodes live on campuses up to a couple hundred km out —
+    // which is precisely why PL misses locally-peered replicas (Fig. 5).
+    const double bearing = rng::uniform(gen, 0.0, 360.0);
+    const double offset_km = rng::uniform(gen, min_offset_km, max_offset_km);
+    const geodesy::GeoPoint location =
+        geodesy::destination(city.location(), bearing, offset_km);
+
+    VantagePoint vp;
+    vp.id = static_cast<std::uint32_t>(i);
+    vp.name = std::string(name_prefix) + std::to_string(i + 1) + "." +
+              std::string(city.name) + "." + std::string(city.country);
+    vp.location = location;
+    vp.believed_location =
+        config.location_error_km <= 0.0
+            ? location
+            : geodesy::destination(
+                  location, rng::uniform(gen, 0.0, 360.0),
+                  std::abs(rng::normal(gen, 0.0, config.location_error_km)));
+    // Host load >= 1; the lognormal tail reproduces Fig. 8: at 1,000 pps a
+    // 6.6M-target census takes 1.83 h on an idle node, ~40% of nodes stay
+    // within ~2 h, 95% within 5 h, stragglers run to ~16 h.
+    vp.host_load = 1.0 + rng::lognormal(gen, -2.08, 1.3);
+    nodes.push_back(std::move(vp));
+  }
+  return nodes;
+}
+
+}  // namespace
+
+Region region_of(std::string_view country) {
+  // North America (incl. Caribbean & Central America).
+  for (std::string_view cc :
+       {"US", "CA", "MX", "PR", "CU", "DO", "HT", "JM", "GT", "SV", "HN",
+        "NI", "CR", "PA", "BS", "BB", "TT", "CW", "AG", "BM"}) {
+    if (country == cc) return Region::kNorthAmerica;
+  }
+  for (std::string_view cc :
+       {"GB", "FR", "DE", "IT", "ES", "PT", "NL", "BE", "LU", "IE", "AT",
+        "CH", "SE", "NO", "DK", "FI", "IS", "PL", "CZ", "SK", "HU", "RO",
+        "BG", "GR", "RS", "HR", "SI", "BA", "MK", "AL", "EE", "LV", "LT",
+        "BY", "UA", "MD", "RU", "MT", "CY", "LI", "MC"}) {
+    if (country == cc) return Region::kEurope;
+  }
+  for (std::string_view cc :
+       {"AU", "NZ", "FJ", "NC", "PG", "PF", "GU"}) {
+    if (country == cc) return Region::kOceania;
+  }
+  for (std::string_view cc :
+       {"BR", "AR", "CL", "CO", "PE", "VE", "EC", "UY", "PY", "BO", "SR",
+        "GY", "GF"}) {
+    if (country == cc) return Region::kSouthAmerica;
+  }
+  for (std::string_view cc :
+       {"EG", "NG", "CD", "ZA", "AO", "TZ", "SD", "CI", "KE", "MA", "ET",
+        "GH", "DZ", "UG", "SN", "ZM", "ZW", "TN", "MZ", "ML", "BF", "MG",
+        "CM", "LY", "RW", "TG", "GN", "MU", "DJ", "BW", "NA"}) {
+    if (country == cc) return Region::kAfrica;
+  }
+  for (std::string_view cc :
+       {"TR", "IR", "IQ", "SA", "AE", "KW", "JO", "IL", "LB", "SY", "QA",
+        "BH", "OM", "YE", "AZ", "GE", "AM"}) {
+    if (country == cc) return Region::kMiddleEast;
+  }
+  return Region::kAsia;
+}
+
+std::vector<VantagePoint> make_planetlab(const PlatformConfig& config) {
+  return make_platform(config, kPlanetLabWeights, "planetlab", 5.0, 250.0);
+}
+
+std::vector<VantagePoint> make_ripe_atlas(const PlatformConfig& config) {
+  // RIPE hosts probes in (a superset of) the networks that host PlanetLab
+  // nodes, so with a shared seed we embed a PlanetLab-sized platform and
+  // extend it: Fig. 5's "PL replicas are a subset of RIPE replicas" then
+  // holds by construction, as it does in the real measurement.
+  constexpr int kEmbeddedPlanetLab = 300;
+  if (config.node_count <= kEmbeddedPlanetLab) {
+    return make_platform(config, kPlanetLabWeights, "ripe-probe", 5.0,
+                         250.0);
+  }
+  PlatformConfig base_config = config;
+  base_config.node_count = kEmbeddedPlanetLab;
+  auto nodes = make_platform(base_config, kPlanetLabWeights, "ripe-probe",
+                             5.0, 250.0);
+  PlatformConfig extra_config = config;
+  extra_config.node_count = config.node_count - kEmbeddedPlanetLab;
+  extra_config.seed = config.seed ^ 0xA71A5ull;
+  auto extras =
+      make_platform(extra_config, kRipeWeights, "ripe-probe", 0.0, 15.0);
+  for (VantagePoint& vp : extras) {
+    vp.id += static_cast<std::uint32_t>(kEmbeddedPlanetLab);
+    nodes.push_back(std::move(vp));
+  }
+  return nodes;
+}
+
+}  // namespace anycast::net

@@ -1,0 +1,85 @@
+// nmap-style TCP portscan over anycast deployments (Sec. 4.3).
+//
+// The paper complements the census with a portscan of the top-100 anycast
+// ASes: one representative IP per anycast /24, all 2^16 TCP ports at low
+// rate, then service classification against the well-known registry and
+// software fingerprinting. Results are conservative: different IPs of one
+// /24 can expose different ports, and on-path filtering hides some —
+// both effects are modelled.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "anycast/net/internet.hpp"
+#include "anycast/net/services.hpp"
+
+namespace anycast::portscan {
+
+/// One open port found on a deployment.
+struct PortHit {
+  std::uint16_t port = 0;
+  bool ssl = false;
+  std::string_view service;   // well-known name, empty when unregistered
+  std::string_view software;  // fingerprint, empty when unidentified
+};
+
+/// Scan result for one AS (aggregated over its anycast /24s).
+struct DeploymentScan {
+  const net::Deployment* deployment = nullptr;
+  std::uint32_t ips_scanned = 0;      // one per /24
+  std::uint32_t ips_responsive = 0;   // >= 1 open port
+  std::vector<PortHit> open_ports;    // distinct ports, ascending
+  /// Per-/24 port sets (parallel to deployment->prefixes): the per-IP/24
+  /// view needed for the class-imbalance analysis of Fig. 14.
+  std::vector<std::vector<std::uint16_t>> per_prefix_ports;
+};
+
+struct ScanConfig {
+  /// Probability that a port open at the deployment is actually observed
+  /// on a given /24's representative IP (per-IP diversity + on-path
+  /// filtering — the reasons Sec. 4.3 calls its results conservative).
+  double per_prefix_visibility = 0.80;
+  std::uint64_t seed = 1;
+};
+
+class PortScanner {
+ public:
+  explicit PortScanner(const net::SimulatedInternet& internet,
+                       ScanConfig config = {})
+      : internet_(&internet), config_(config) {}
+
+  /// Scans all /24s of one deployment.
+  [[nodiscard]] DeploymentScan scan(const net::Deployment& deployment) const;
+
+  /// Scans a set of deployments (typically the top-100 by footprint).
+  [[nodiscard]] std::vector<DeploymentScan> scan_all(
+      std::span<const net::Deployment> deployments) const;
+
+ private:
+  const net::SimulatedInternet* internet_;
+  ScanConfig config_;
+};
+
+/// Aggregate portscan statistics — the header row of Fig. 14.
+struct ScanStatistics {
+  std::uint64_t ips_responsive = 0;
+  std::uint64_t ases_with_open_port = 0;
+  std::uint64_t distinct_open_ports = 0;  // union across deployments
+  std::uint64_t ssl_ports = 0;            // of those, SSL services
+  std::uint64_t well_known = 0;           // mapping to registry names
+  std::uint64_t software_packages = 0;    // distinct fingerprints
+};
+
+ScanStatistics summarize(std::span<const DeploymentScan> scans);
+
+/// Port frequency ranking: how many ASes (or /24s) expose each port.
+/// Returns (port, count) pairs sorted by descending count — the Fig. 14
+/// top-10 plots.
+std::vector<std::pair<std::uint16_t, std::uint32_t>> rank_ports_by_as(
+    std::span<const DeploymentScan> scans);
+std::vector<std::pair<std::uint16_t, std::uint32_t>> rank_ports_by_prefix(
+    std::span<const DeploymentScan> scans);
+
+}  // namespace anycast::portscan

@@ -1,0 +1,135 @@
+#include "anycast/portscan/scanner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "anycast/rng/random.hpp"
+
+namespace anycast::portscan {
+namespace {
+
+bool port_visible(std::uint64_t seed, std::uint32_t slash24,
+                  std::uint16_t port, double probability) {
+  rng::SplitMix64 mixer(seed ^ (std::uint64_t{slash24} << 16) ^ port);
+  mixer.next();
+  const double u = static_cast<double>(mixer.next() >> 11) * 0x1.0p-53;
+  return u < probability;
+}
+
+}  // namespace
+
+DeploymentScan PortScanner::scan(const net::Deployment& deployment) const {
+  DeploymentScan result;
+  result.deployment = &deployment;
+  result.ips_scanned = static_cast<std::uint32_t>(deployment.prefixes.size());
+  result.per_prefix_ports.resize(deployment.prefixes.size());
+
+  std::set<std::uint16_t> union_ports;
+  for (std::size_t p = 0; p < deployment.prefixes.size(); ++p) {
+    const std::uint32_t slash24 =
+        deployment.prefixes[p].network().slash24_index();
+    auto& prefix_ports = result.per_prefix_ports[p];
+    for (const net::ServicePort& service : deployment.tcp_services) {
+      if (!port_visible(config_.seed, slash24, service.port,
+                        config_.per_prefix_visibility)) {
+        continue;
+      }
+      prefix_ports.push_back(service.port);
+      union_ports.insert(service.port);
+    }
+    std::sort(prefix_ports.begin(), prefix_ports.end());
+    if (!prefix_ports.empty()) ++result.ips_responsive;
+  }
+
+  result.open_ports.reserve(union_ports.size());
+  for (const std::uint16_t port : union_ports) {
+    PortHit hit;
+    hit.port = port;
+    const auto known = net::classify_port(port);
+    if (known) {
+      hit.service = known->name;
+      hit.ssl = known->commonly_ssl;
+    }
+    const auto it = std::find_if(
+        deployment.tcp_services.begin(), deployment.tcp_services.end(),
+        [port](const net::ServicePort& s) { return s.port == port; });
+    if (it != deployment.tcp_services.end()) {
+      hit.software = it->software;
+      // TLS detection works on any port, registered or not.
+      hit.ssl = hit.ssl || it->ssl;
+    }
+    result.open_ports.push_back(hit);
+  }
+  return result;
+}
+
+std::vector<DeploymentScan> PortScanner::scan_all(
+    std::span<const net::Deployment> deployments) const {
+  std::vector<DeploymentScan> out;
+  out.reserve(deployments.size());
+  for (const net::Deployment& deployment : deployments) {
+    out.push_back(scan(deployment));
+  }
+  return out;
+}
+
+ScanStatistics summarize(std::span<const DeploymentScan> scans) {
+  ScanStatistics stats;
+  std::set<std::uint16_t> distinct_ports;
+  std::set<std::uint16_t> ssl_ports;
+  std::set<std::string_view> services;
+  std::set<std::string_view> software;
+  for (const DeploymentScan& scan : scans) {
+    stats.ips_responsive += scan.ips_responsive;
+    if (!scan.open_ports.empty()) ++stats.ases_with_open_port;
+    for (const PortHit& hit : scan.open_ports) {
+      distinct_ports.insert(hit.port);
+      if (hit.ssl) ssl_ports.insert(hit.port);
+      if (!hit.service.empty()) services.insert(hit.service);
+      if (!hit.software.empty()) software.insert(hit.software);
+    }
+  }
+  stats.distinct_open_ports = distinct_ports.size();
+  stats.ssl_ports = ssl_ports.size();
+  stats.well_known = services.size();
+  stats.software_packages = software.size();
+  return stats;
+}
+
+namespace {
+
+std::vector<std::pair<std::uint16_t, std::uint32_t>> sorted_counts(
+    const std::map<std::uint16_t, std::uint32_t>& counts) {
+  std::vector<std::pair<std::uint16_t, std::uint32_t>> out(counts.begin(),
+                                                           counts.end());
+  std::stable_sort(out.begin(), out.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::uint16_t, std::uint32_t>> rank_ports_by_as(
+    std::span<const DeploymentScan> scans) {
+  std::map<std::uint16_t, std::uint32_t> counts;
+  for (const DeploymentScan& scan : scans) {
+    for (const PortHit& hit : scan.open_ports) ++counts[hit.port];
+  }
+  return sorted_counts(counts);
+}
+
+std::vector<std::pair<std::uint16_t, std::uint32_t>> rank_ports_by_prefix(
+    std::span<const DeploymentScan> scans) {
+  std::map<std::uint16_t, std::uint32_t> counts;
+  for (const DeploymentScan& scan : scans) {
+    for (const auto& ports : scan.per_prefix_ports) {
+      for (const std::uint16_t port : ports) ++counts[port];
+    }
+  }
+  return sorted_counts(counts);
+}
+
+}  // namespace anycast::portscan

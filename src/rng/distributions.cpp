@@ -1,0 +1,93 @@
+#include "anycast/rng/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace anycast::rng {
+
+double uniform01(Xoshiro256& gen) {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(gen.next() >> 11) * 0x1.0p-53;
+}
+
+double uniform(Xoshiro256& gen, double lo, double hi) {
+  return lo + (hi - lo) * uniform01(gen);
+}
+
+std::uint64_t uniform_index(Xoshiro256& gen, std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("uniform_index: bound == 0");
+  // Rejection sampling to kill modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  std::uint64_t draw;
+  do {
+    draw = gen.next();
+  } while (draw >= limit);
+  return draw % bound;
+}
+
+bool bernoulli(Xoshiro256& gen, double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01(gen) < p;
+}
+
+double exponential(Xoshiro256& gen, double mean) {
+  // -mean * log(1 - U); 1-U avoids log(0).
+  return -mean * std::log1p(-uniform01(gen));
+}
+
+double normal(Xoshiro256& gen, double mean, double stddev) {
+  // Box-Muller; we deliberately discard the second variate to keep the
+  // sampler stateless (reproducibility beats a factor of two here).
+  double u1 = uniform01(gen);
+  const double u2 = uniform01(gen);
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * radius *
+                    std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double lognormal(Xoshiro256& gen, double mu, double sigma) {
+  return std::exp(normal(gen, mu, sigma));
+}
+
+std::size_t weighted_index(Xoshiro256& gen,
+                           const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("weighted_index: negative weight");
+    total += w;
+  }
+  if (!(total > 0.0)) {
+    throw std::invalid_argument("weighted_index: weights sum to zero");
+  }
+  double point = uniform01(gen) * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    point -= weights[i];
+    if (point < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric tail
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n == 0");
+  cdf_.resize(n);
+  double accumulated = 0.0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    accumulated += 1.0 / std::pow(static_cast<double>(rank + 1), exponent);
+    cdf_[rank] = accumulated;
+  }
+  for (double& value : cdf_) value /= accumulated;
+}
+
+std::size_t ZipfSampler::sample(Xoshiro256& gen) const {
+  const double point = uniform01(gen);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), point);
+  return static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cdf_.begin(),
+                               static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+}  // namespace anycast::rng

@@ -1,0 +1,64 @@
+// Small distribution helpers over anycast::rng::Xoshiro256.
+//
+// We avoid <random>'s distributions for the simulator's hot paths because
+// their results are not reproducible across standard-library
+// implementations; these are bit-exact everywhere.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "anycast/rng/random.hpp"
+
+namespace anycast::rng {
+
+/// Uniform double in [0, 1).
+double uniform01(Xoshiro256& gen);
+
+/// Uniform double in [lo, hi).
+double uniform(Xoshiro256& gen, double lo, double hi);
+
+/// Uniform integer in [0, bound). `bound` must be >= 1.
+std::uint64_t uniform_index(Xoshiro256& gen, std::uint64_t bound);
+
+/// Bernoulli trial with success probability p (clamped to [0,1]).
+bool bernoulli(Xoshiro256& gen, double p);
+
+/// Exponential with the given mean (inverse-CDF method).
+double exponential(Xoshiro256& gen, double mean);
+
+/// Log-normal parameterised by the mu/sigma of the underlying normal
+/// (Box-Muller on the underlying normal).
+double lognormal(Xoshiro256& gen, double mu, double sigma);
+
+/// Standard normal via Box-Muller.
+double normal(Xoshiro256& gen, double mean, double stddev);
+
+/// Samples an index in [0, weights.size()) proportionally to weights.
+/// Weights must be non-negative with a positive sum.
+std::size_t weighted_index(Xoshiro256& gen, const std::vector<double>& weights);
+
+/// Zipf-distributed rank in [0, n) with exponent s, via inverse CDF over a
+/// precomputed table. Suitable for the heavy-tailed deployment-size and
+/// open-port-count distributions of Sec. 4.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+  std::size_t sample(Xoshiro256& gen) const;
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Fisher-Yates shuffle (bit-exact, unlike std::shuffle).
+template <typename T>
+void shuffle(Xoshiro256& gen, std::vector<T>& values) {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(uniform_index(gen, i));
+    using std::swap;
+    swap(values[i - 1], values[j]);
+  }
+}
+
+}  // namespace anycast::rng

@@ -1,0 +1,69 @@
+// Galois linear-feedback shift register target permutation.
+//
+// Sec. 3.5: "each node must desynchronize to avoid hitting ICMP rate
+// limiting ... by randomized permutation for target nodes, achieved via a
+// Linear Feedback Shift Register (LFSR) with Galois configuration".
+// A maximal-length n-bit LFSR visits every value in [1, 2^n) exactly once,
+// giving a zero-memory pseudo-random permutation of the target space: the
+// prober walks the LFSR sequence and keeps only indices below the hitlist
+// size.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace anycast::rng {
+
+/// A maximal-period Galois LFSR over n bits, 2 <= n <= 32.
+/// The cycle covers all values in [1, 2^n); 0 is not part of any cycle.
+class GaloisLfsr {
+ public:
+  /// `bits` selects the register width; `start` the initial state
+  /// (must be nonzero below 2^bits; it is folded into range if not).
+  GaloisLfsr(int bits, std::uint32_t start);
+
+  /// Advances one step and returns the new state.
+  std::uint32_t next();
+
+  [[nodiscard]] std::uint32_t state() const { return state_; }
+  [[nodiscard]] int bits() const { return bits_; }
+  [[nodiscard]] std::uint64_t period() const {
+    return (std::uint64_t{1} << bits_) - 1;
+  }
+
+  /// Smallest register width whose period covers `count` values.
+  static int bits_for(std::uint64_t count);
+
+ private:
+  int bits_;
+  std::uint32_t taps_;
+  std::uint32_t mask_;
+  std::uint32_t state_;
+};
+
+/// Iterates the indices [0, size) in LFSR order: a full pseudo-random
+/// permutation with O(1) state. Wraps GaloisLfsr with rejection of
+/// out-of-range values (expected < 2 rejected steps per emitted index).
+class LfsrPermutation {
+ public:
+  /// `size` must be >= 1. `seed` varies the starting point of the cycle so
+  /// distinct vantage points walk the (same) cycle from different offsets —
+  /// exactly the desynchronisation the paper uses.
+  LfsrPermutation(std::uint32_t size, std::uint32_t seed);
+
+  /// Returns the next index, or nullopt once all `size` indices were
+  /// emitted.
+  std::optional<std::uint32_t> next();
+
+  [[nodiscard]] std::uint32_t size() const { return size_; }
+  [[nodiscard]] std::uint32_t emitted() const { return emitted_; }
+
+ private:
+  GaloisLfsr lfsr_;
+  std::uint32_t size_;
+  std::uint32_t emitted_ = 0;
+  std::uint32_t first_state_;
+  bool exhausted_ = false;
+};
+
+}  // namespace anycast::rng

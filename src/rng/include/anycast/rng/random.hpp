@@ -1,0 +1,74 @@
+// Deterministic pseudo-random generators.
+//
+// Every stochastic component of the simulator takes an explicit seed so that
+// censuses, benchmarks, and tests are exactly reproducible. We use
+// SplitMix64 for seeding/stream-splitting and xoshiro256** as the workhorse
+// generator (both public-domain algorithms by Blackman & Vigna).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace anycast::rng {
+
+/// SplitMix64: a tiny, statistically strong 64-bit generator mainly used to
+/// expand one seed into many independent sub-seeds.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast all-purpose 64-bit generator.
+/// Satisfies UniformRandomBitGenerator so it plugs into <random> if needed.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 mixer(seed);
+    for (auto& word : state_) word = mixer.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  constexpr result_type operator()() { return next(); }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derives an independent generator for a named sub-stream, so components
+  /// can be added/removed without perturbing each other's randomness.
+  [[nodiscard]] constexpr Xoshiro256 split(std::uint64_t stream_tag) const {
+    SplitMix64 mixer(state_[0] ^ (stream_tag * 0x9E3779B97F4A7C15ull));
+    return Xoshiro256(mixer.next());
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace anycast::rng

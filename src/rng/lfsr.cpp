@@ -1,0 +1,85 @@
+#include "anycast/rng/lfsr.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace anycast::rng {
+namespace {
+
+// Maximal-length Galois tap masks, indexed by register width (bit n-1 is
+// the MSB of an n-bit register). Values follow the classic Xilinx XAPP052
+// table of primitive polynomials.
+constexpr std::array<std::uint32_t, 33> kTaps = {
+    0,          0,          0x3,        0x6,        0xC,
+    0x14,       0x30,       0x60,       0xB8,       0x110,
+    0x240,      0x500,      0xE08,      0x1C80,     0x3802,
+    0x6000,     0xD008,     0x12000,    0x20400,    0x72000,
+    0x90000,    0x140000,   0x300000,   0x420000,   0xE10000,
+    0x1200000,  0x2000023,  0x4000013,  0x9000000,  0x14000000,
+    0x20000029, 0x48000000, 0x80200003,
+};
+
+}  // namespace
+
+GaloisLfsr::GaloisLfsr(int bits, std::uint32_t start) : bits_(bits) {
+  if (bits < 2 || bits > 32) {
+    throw std::invalid_argument("GaloisLfsr width must be in [2, 32]");
+  }
+  taps_ = kTaps[static_cast<std::size_t>(bits)];
+  mask_ = bits == 32 ? ~std::uint32_t{0}
+                     : ((std::uint32_t{1} << bits) - 1);
+  state_ = start & mask_;
+  if (state_ == 0) state_ = 1;  // 0 is the lone fixed point; skip it
+}
+
+std::uint32_t GaloisLfsr::next() {
+  const std::uint32_t lsb = state_ & 1u;
+  state_ >>= 1;
+  if (lsb != 0) state_ ^= taps_;
+  return state_;
+}
+
+int GaloisLfsr::bits_for(std::uint64_t count) {
+  int bits = 2;
+  while (bits < 32 && ((std::uint64_t{1} << bits) - 1) < count) ++bits;
+  return bits;
+}
+
+LfsrPermutation::LfsrPermutation(std::uint32_t size, std::uint32_t seed)
+    : lfsr_(GaloisLfsr::bits_for(size), 0),
+      size_(size),
+      first_state_(0) {
+  if (size == 0) {
+    exhausted_ = true;
+    first_state_ = lfsr_.state();
+    return;
+  }
+  // Fold the seed into a starting point on the cycle: every state in
+  // [1, 2^bits) lies on the single maximal cycle, so any nonzero start is a
+  // valid offset.
+  const std::uint64_t period = lfsr_.period();
+  const auto start =
+      static_cast<std::uint32_t>(1 + (seed % period));
+  lfsr_ = GaloisLfsr(lfsr_.bits(), start);
+  first_state_ = lfsr_.state();
+}
+
+std::optional<std::uint32_t> LfsrPermutation::next() {
+  if (exhausted_ || emitted_ == size_) return std::nullopt;
+  while (true) {
+    const std::uint32_t candidate = lfsr_.state() - 1;
+    lfsr_.next();
+    const bool wrapped = lfsr_.state() == first_state_;
+    if (candidate < size_) {
+      ++emitted_;
+      if (wrapped) exhausted_ = true;
+      return candidate;
+    }
+    if (wrapped) {
+      exhausted_ = true;
+      return std::nullopt;
+    }
+  }
+}
+
+}  // namespace anycast::rng

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "anycast/ipaddr/aggregate.hpp"
+#include "anycast/rng/distributions.hpp"
+
+namespace anycast::ipaddr {
+namespace {
+
+std::uint64_t covered(const std::vector<Prefix>& prefixes) {
+  std::uint64_t total = 0;
+  for (const Prefix& prefix : prefixes) total += prefix.slash24_count();
+  return total;
+}
+
+TEST(Aggregate, EmptyRange) {
+  EXPECT_TRUE(aggregate_slash24_range(100, 0).empty());
+}
+
+TEST(Aggregate, SingleSlash24) {
+  const auto prefixes = aggregate_slash24_range(0x680000, 1);
+  ASSERT_EQ(prefixes.size(), 1u);
+  EXPECT_EQ(prefixes[0].to_string(), "104.0.0.0/24");
+}
+
+TEST(Aggregate, AlignedPowerOfTwoCollapsesToOnePrefix) {
+  const auto prefixes = aggregate_slash24_range(0x680000, 256);
+  ASSERT_EQ(prefixes.size(), 1u);
+  EXPECT_EQ(prefixes[0].to_string(), "104.0.0.0/16");
+}
+
+TEST(Aggregate, UnalignedRangeUsesMinimalCover) {
+  // 3 /24s starting at an odd index: /24 + /23 or /23 + /24.
+  const auto prefixes = aggregate_slash24_range(0x680001, 3);
+  EXPECT_EQ(prefixes.size(), 2u);
+  EXPECT_EQ(covered(prefixes), 3u);
+}
+
+TEST(Aggregate, CoverIsExactAndDisjoint) {
+  rng::Xoshiro256 gen(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto first = static_cast<std::uint32_t>(
+        rng::uniform_index(gen, 1u << 20));
+    const auto count = static_cast<std::uint32_t>(
+        1 + rng::uniform_index(gen, 600));
+    const auto prefixes = aggregate_slash24_range(first, count);
+    EXPECT_EQ(covered(prefixes), count);
+    // In order, adjacent, and exactly covering [first, first+count).
+    std::uint32_t cursor = first;
+    for (const Prefix& prefix : prefixes) {
+      EXPECT_EQ(prefix.network().slash24_index(), cursor);
+      EXPECT_LE(prefix.length(), 24);
+      cursor += prefix.slash24_count();
+    }
+    EXPECT_EQ(cursor, first + count);
+    // Minimality: a run of n /24s needs at most 2*24 prefixes, and at most
+    // 2 per bit of n (standard range-to-CIDR bound).
+    EXPECT_LE(prefixes.size(), 48u);
+  }
+}
+
+TEST(Aggregate, SplitRoundTrip) {
+  // aggregate(split(p)) == {p} for any prefix <= /24 granularity.
+  for (const char* text : {"10.0.0.0/16", "192.168.4.0/22", "8.8.8.0/24"}) {
+    const Prefix prefix = *Prefix::parse(text);
+    const auto parts = prefix.split_slash24();
+    const auto back = aggregate_slash24_range(
+        parts.front().network().slash24_index(),
+        static_cast<std::uint32_t>(parts.size()));
+    ASSERT_EQ(back.size(), 1u) << text;
+    EXPECT_EQ(back[0], prefix);
+  }
+}
+
+TEST(Aggregate, SetWithGapsAndDuplicates) {
+  const auto prefixes =
+      aggregate_slash24_set({10, 11, 11, 12, 13, 100, 101, 300});
+  EXPECT_EQ(covered(prefixes), 7u);  // 4 + 2 + 1 after dedup
+  // Gap boundaries respected: no prefix covers index 14..99.
+  for (const Prefix& prefix : prefixes) {
+    const std::uint32_t first = prefix.network().slash24_index();
+    const std::uint32_t last = first + prefix.slash24_count() - 1;
+    EXPECT_TRUE(last <= 13 || (first >= 100 && last <= 101) || first == 300);
+  }
+}
+
+TEST(Aggregate, EmptySet) {
+  EXPECT_TRUE(aggregate_slash24_set({}).empty());
+}
+
+TEST(Aggregate, RangeAtZero) {
+  const auto prefixes = aggregate_slash24_range(0, 5);
+  EXPECT_EQ(covered(prefixes), 5u);
+  EXPECT_EQ(prefixes.front().network().value(), 0u);
+}
+
+}  // namespace
+}  // namespace anycast::ipaddr

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "anycast/analysis/baselines.hpp"
+#include "anycast/net/platform.hpp"
+#include "anycast/rng/random.hpp"
+
+namespace anycast::analysis {
+namespace {
+
+const net::SimulatedInternet& world() {
+  static const net::SimulatedInternet instance([] {
+    net::WorldConfig config;
+    config.seed = 91;
+    config.unicast_alive_slash24 = 200;
+    config.unicast_dead_slash24 = 100;
+    return config;
+  }());
+  return instance;
+}
+
+ipaddr::IPv4Address first_prefix_host(const net::Deployment& deployment) {
+  return ipaddr::IPv4Address(deployment.prefixes[0].network().value() | 1);
+}
+
+TEST(ChaosQuery, DnsDeploymentRevealsSiteIds) {
+  const auto vps = net::make_planetlab({.node_count = 80, .seed = 92});
+  const net::Deployment* lroot = world().deployment_by_name("L-ROOT,US");
+  const ChaosResult result =
+      chaos_enumerate(world(), vps, first_prefix_host(*lroot), 1);
+  EXPECT_TRUE(result.applicable);
+  EXPECT_TRUE(result.anycast());
+  // Exact per-site ids: the count equals the number of distinct
+  // catchments, bounded by the true site count.
+  EXPECT_GE(result.replica_count(), 2u);
+  EXPECT_LE(result.replica_count(), lroot->sites.size());
+}
+
+TEST(ChaosQuery, NonDnsDeploymentIsBlind) {
+  const auto vps = net::make_planetlab({.node_count = 40, .seed = 93});
+  const net::Deployment* edgecast = world().deployment_by_name("EDGECAST,US");
+  const ChaosResult result =
+      chaos_enumerate(world(), vps, first_prefix_host(*edgecast), 2);
+  EXPECT_FALSE(result.applicable);
+  EXPECT_EQ(result.replica_count(), 0u);
+  EXPECT_FALSE(result.anycast());
+}
+
+TEST(ChaosQuery, ChaosCountMatchesCatchmentGroundTruth) {
+  // With enough retries, the CHAOS ids equal exactly the set of sites the
+  // platform can reach — the technique's defining strength on DNS.
+  const auto vps = net::make_planetlab({.node_count = 120, .seed = 94});
+  const net::Deployment* opendns = world().deployment_by_name("OPENDNS,US");
+  std::size_t deployment_index = 0;
+  for (std::size_t d = 0; d < world().deployments().size(); ++d) {
+    if (&world().deployments()[d] == opendns) deployment_index = d;
+  }
+  const auto reachable = world().reachable_sites(vps, deployment_index, 0);
+  const ChaosResult result = chaos_enumerate(
+      world(), vps, first_prefix_host(*opendns), 3, /*probes_per_vp=*/4);
+  EXPECT_EQ(result.replica_count(), reachable.size());
+}
+
+TEST(ChaosQuery, UnicastDnsHostGivesOneId) {
+  const auto vps = net::make_planetlab({.node_count = 50, .seed = 95});
+  const net::TargetInfo* host = nullptr;
+  for (const net::TargetInfo& info : world().targets()) {
+    if (info.kind == net::TargetInfo::Kind::kUnicast && info.alive &&
+        info.unicast_dns && info.error_kind == net::ReplyKind::kEchoReply) {
+      host = &info;
+      break;
+    }
+  }
+  ASSERT_NE(host, nullptr);
+  const ChaosResult result = chaos_enumerate(
+      world(), vps,
+      ipaddr::IPv4Address::from_slash24_index(host->slash24_index, 1), 4);
+  EXPECT_TRUE(result.applicable);
+  EXPECT_EQ(result.replica_count(), 1u);
+  EXPECT_FALSE(result.anycast());
+}
+
+TEST(ChaosQuery, DeadTargetAnswersNothing) {
+  const auto vps = net::make_planetlab({.node_count = 10, .seed = 96});
+  const net::TargetInfo* dead = nullptr;
+  for (const net::TargetInfo& info : world().targets()) {
+    if (info.kind == net::TargetInfo::Kind::kDead) {
+      dead = &info;
+      break;
+    }
+  }
+  ASSERT_NE(dead, nullptr);
+  const ChaosResult result = chaos_enumerate(
+      world(), vps,
+      ipaddr::IPv4Address::from_slash24_index(dead->slash24_index, 1), 5);
+  EXPECT_FALSE(result.applicable);
+}
+
+TEST(ChaosQuery, Deterministic) {
+  const auto vps = net::make_planetlab({.node_count = 30, .seed = 97});
+  const net::Deployment* isc = world().deployment_by_name("ISC-AS,US");
+  const ChaosResult a =
+      chaos_enumerate(world(), vps, first_prefix_host(*isc), 42);
+  const ChaosResult b =
+      chaos_enumerate(world(), vps, first_prefix_host(*isc), 42);
+  EXPECT_EQ(a.server_ids, b.server_ids);
+  EXPECT_EQ(a.answers, b.answers);
+}
+
+
+TEST(EcsQuery, AdopterRevealsFullFootprint) {
+  const net::Deployment* google = world().deployment_by_name("GOOGLE,US");
+  ASSERT_NE(google, nullptr);
+  ASSERT_TRUE(google->ecs_capable);
+  std::size_t deployment_index = 0;
+  for (std::size_t d = 0; d < world().deployments().size(); ++d) {
+    if (&world().deployments()[d] == google) deployment_index = d;
+  }
+  const EcsResult result =
+      ecs_enumerate(world(), deployment_index, 20000, 6);
+  EXPECT_TRUE(result.applicable);
+  // A dense client sweep recovers (nearly) every PoP of the L7 mapping —
+  // better recall than any RTT technique, for adopters.
+  EXPECT_GE(result.replica_count() + 1, google->sites.size());
+  EXPECT_LE(result.replica_count(), google->sites.size());
+}
+
+TEST(EcsQuery, NonAdopterIsInvisible) {
+  const net::Deployment* cloudflare =
+      world().deployment_by_name("CLOUDFLARENET,US");
+  ASSERT_FALSE(cloudflare->ecs_capable);
+  std::size_t deployment_index = 0;
+  for (std::size_t d = 0; d < world().deployments().size(); ++d) {
+    if (&world().deployments()[d] == cloudflare) deployment_index = d;
+  }
+  const EcsResult result =
+      ecs_enumerate(world(), deployment_index, 5000, 7);
+  EXPECT_FALSE(result.applicable);
+  EXPECT_EQ(result.replica_count(), 0u);
+}
+
+TEST(EcsQuery, MapsClientToNearestPop) {
+  const net::Deployment* google = world().deployment_by_name("GOOGLE,US");
+  std::size_t deployment_index = 0;
+  for (std::size_t d = 0; d < world().deployments().size(); ++d) {
+    if (&world().deployments()[d] == google) deployment_index = d;
+  }
+  for (const net::ReplicaSite& site : google->sites) {
+    const net::ReplicaSite* mapped =
+        world().ecs_query(deployment_index, site.location);
+    ASSERT_NE(mapped, nullptr);
+    EXPECT_EQ(mapped, &site);  // a client at the PoP maps to that PoP
+  }
+}
+
+}  // namespace
+}  // namespace anycast::analysis

@@ -1,0 +1,40 @@
+# Drives the anycastd CLI end-to-end: run a small census to disk, analyze
+# it back with GeoJSON export, and check the outputs exist and parse.
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(
+  COMMAND ${ANYCASTD} census --out ${WORK_DIR}/c1 --vps 12 --unicast 400
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "census failed (${rc}): ${out}${err}")
+endif()
+
+file(GLOB anc_files ${WORK_DIR}/c1/*.anc)
+list(LENGTH anc_files anc_count)
+if(NOT anc_count EQUAL 12)
+  message(FATAL_ERROR "expected 12 census files, got ${anc_count}")
+endif()
+
+execute_process(
+  COMMAND ${ANYCASTD} analyze --in ${WORK_DIR}/c1 --vps 12 --unicast 400
+          --geojson ${WORK_DIR}/map.geojson
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "analyze failed (${rc}): ${out}${err}")
+endif()
+if(NOT out MATCHES "anycast: [0-9]+ /24 in [0-9]+ ASes")
+  message(FATAL_ERROR "analyze output missing summary: ${out}")
+endif()
+
+file(READ ${WORK_DIR}/map.geojson geojson)
+if(NOT geojson MATCHES "FeatureCollection")
+  message(FATAL_ERROR "GeoJSON export malformed")
+endif()
+
+execute_process(
+  COMMAND ${ANYCASTD} portscan --top 10 --unicast 100
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "portscan failed (${rc})")
+endif()

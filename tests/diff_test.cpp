@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "anycast/analysis/diff.hpp"
+#include "anycast/geo/city_index.hpp"
+
+namespace anycast::analysis {
+namespace {
+
+const geo::City* city(std::string_view name) {
+  const geo::City* found = geo::world_index().by_name(name);
+  EXPECT_NE(found, nullptr) << name;
+  return found;
+}
+
+TargetOutcome make_outcome(std::uint32_t slash24,
+                           std::initializer_list<const geo::City*> cities) {
+  TargetOutcome outcome;
+  outcome.slash24_index = slash24;
+  outcome.result.anycast = true;
+  for (const geo::City* c : cities) {
+    core::Replica replica;
+    replica.city = c;
+    replica.location = c->location();
+    outcome.result.replicas.push_back(replica);
+  }
+  return outcome;
+}
+
+TEST(CensusSnapshot, BuildsSortedAndFindable) {
+  std::vector<TargetOutcome> outcomes;
+  outcomes.push_back(make_outcome(30, {city("London")}));
+  outcomes.push_back(make_outcome(10, {city("Tokyo"), city("Paris")}));
+  const CensusSnapshot snapshot(outcomes);
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot.prefixes()[0].slash24_index, 10u);
+  EXPECT_EQ(snapshot.prefixes()[1].slash24_index, 30u);
+  ASSERT_NE(snapshot.find(10), nullptr);
+  EXPECT_EQ(snapshot.find(10)->replica_count, 2u);
+  EXPECT_EQ(snapshot.find(99), nullptr);
+}
+
+TEST(CensusDiff, IdenticalSnapshotsAreStable) {
+  std::vector<TargetOutcome> outcomes;
+  outcomes.push_back(make_outcome(1, {city("London"), city("Tokyo")}));
+  const CensusSnapshot a(outcomes);
+  const CensusSnapshot b(outcomes);
+  EXPECT_TRUE(diff_censuses(a, b).stable());
+}
+
+TEST(CensusDiff, DetectsAppearanceAndDisappearance) {
+  std::vector<TargetOutcome> before;
+  before.push_back(make_outcome(1, {city("London"), city("Tokyo")}));
+  std::vector<TargetOutcome> after;
+  after.push_back(make_outcome(2, {city("Paris"), city("Miami")}));
+  const CensusDiff diff =
+      diff_censuses(CensusSnapshot(before), CensusSnapshot(after));
+  ASSERT_EQ(diff.changes.size(), 2u);
+  EXPECT_EQ(diff.count(PrefixChange::Kind::kDisappeared), 1u);
+  EXPECT_EQ(diff.count(PrefixChange::Kind::kAppeared), 1u);
+  EXPECT_EQ(diff.changes[0].slash24_index, 1u);
+  EXPECT_EQ(diff.changes[0].replicas_before, 2u);
+  EXPECT_EQ(diff.changes[1].slash24_index, 2u);
+  EXPECT_EQ(diff.changes[1].replicas_after, 2u);
+}
+
+TEST(CensusDiff, DetectsGrowthWithCityDelta) {
+  std::vector<TargetOutcome> before;
+  before.push_back(make_outcome(5, {city("London")}));
+  std::vector<TargetOutcome> after;
+  after.push_back(make_outcome(5, {city("London"), city("Singapore")}));
+  const CensusDiff diff =
+      diff_censuses(CensusSnapshot(before), CensusSnapshot(after));
+  ASSERT_EQ(diff.changes.size(), 1u);
+  EXPECT_EQ(diff.changes[0].kind, PrefixChange::Kind::kGrew);
+  ASSERT_EQ(diff.changes[0].cities_gained.size(), 1u);
+  EXPECT_EQ(diff.changes[0].cities_gained[0]->name, "Singapore");
+  EXPECT_TRUE(diff.changes[0].cities_lost.empty());
+}
+
+TEST(CensusDiff, DetectsShrinkage) {
+  std::vector<TargetOutcome> before;
+  before.push_back(
+      make_outcome(5, {city("London"), city("Tokyo"), city("Miami")}));
+  std::vector<TargetOutcome> after;
+  after.push_back(make_outcome(5, {city("London")}));
+  const CensusDiff diff =
+      diff_censuses(CensusSnapshot(before), CensusSnapshot(after));
+  ASSERT_EQ(diff.changes.size(), 1u);
+  EXPECT_EQ(diff.changes[0].kind, PrefixChange::Kind::kShrank);
+  EXPECT_EQ(diff.changes[0].cities_lost.size(), 2u);
+}
+
+TEST(CensusDiff, MoveDetectedWhenCountStableButCitiesChange) {
+  std::vector<TargetOutcome> before;
+  before.push_back(make_outcome(5, {city("London"), city("Tokyo")}));
+  std::vector<TargetOutcome> after;
+  after.push_back(make_outcome(5, {city("London"), city("Osaka")}));
+  const CensusDiff diff =
+      diff_censuses(CensusSnapshot(before), CensusSnapshot(after));
+  ASSERT_EQ(diff.changes.size(), 1u);
+  EXPECT_EQ(diff.changes[0].kind, PrefixChange::Kind::kMoved);
+  ASSERT_EQ(diff.changes[0].cities_gained.size(), 1u);
+  EXPECT_EQ(diff.changes[0].cities_gained[0]->name, "Osaka");
+  ASSERT_EQ(diff.changes[0].cities_lost.size(), 1u);
+  EXPECT_EQ(diff.changes[0].cities_lost[0]->name, "Tokyo");
+}
+
+TEST(CensusDiff, NoiseThresholdSuppressesSmallDeltas) {
+  std::vector<TargetOutcome> before;
+  before.push_back(make_outcome(5, {city("London"), city("Tokyo")}));
+  std::vector<TargetOutcome> after;
+  after.push_back(
+      make_outcome(5, {city("London"), city("Tokyo"), city("Miami")}));
+  // With min_replica_delta = 2, a one-replica wiggle with a superset city
+  // list is reported as kMoved (cities differ).
+  const CensusDiff diff = diff_censuses(CensusSnapshot(before),
+                                        CensusSnapshot(after), 2);
+  ASSERT_EQ(diff.changes.size(), 1u);
+  EXPECT_EQ(diff.changes[0].kind, PrefixChange::Kind::kMoved);
+}
+
+TEST(CensusDiff, EmptySnapshots) {
+  const CensusSnapshot empty;
+  std::vector<TargetOutcome> some;
+  some.push_back(make_outcome(1, {city("London")}));
+  EXPECT_TRUE(diff_censuses(empty, empty).stable());
+  EXPECT_EQ(diff_censuses(empty, CensusSnapshot(some))
+                .count(PrefixChange::Kind::kAppeared),
+            1u);
+}
+
+}  // namespace
+}  // namespace anycast::analysis

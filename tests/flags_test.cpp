@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "../tools/flags.hpp"
+
+namespace anycast::tools {
+namespace {
+
+Flags parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  const auto flags =
+      Flags::parse(static_cast<int>(args.size()),
+                   const_cast<char**>(args.data()));
+  EXPECT_TRUE(flags.has_value());
+  return *flags;
+}
+
+TEST(Flags, SpaceSeparatedValues) {
+  const Flags flags = parse({"--seed", "42", "--out", "dir"});
+  EXPECT_EQ(flags.get("seed"), "42");
+  EXPECT_EQ(flags.get("out"), "dir");
+  EXPECT_FALSE(flags.get("missing").has_value());
+}
+
+TEST(Flags, EqualsSeparatedValues) {
+  const Flags flags = parse({"--seed=7", "--rate=1000.5"});
+  EXPECT_EQ(flags.get_int("seed", 0), 7);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), 1000.5);
+}
+
+TEST(Flags, Defaults) {
+  const Flags flags = parse({});
+  EXPECT_EQ(flags.get_int("seed", 99), 99);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 1.5), 1.5);
+  EXPECT_EQ(flags.get_or("name", "fallback"), "fallback");
+}
+
+TEST(Flags, BooleanFlagBeforeAnotherFlagOrAtEnd) {
+  const Flags flags = parse({"--verbose", "--seed", "3", "--dry-run"});
+  EXPECT_TRUE(flags.has("verbose"));
+  EXPECT_EQ(flags.get("verbose"), "true");
+  EXPECT_TRUE(flags.has("dry-run"));
+  EXPECT_EQ(flags.get_int("seed", 0), 3);
+}
+
+TEST(Flags, PositionalArguments) {
+  const Flags flags = parse({"census", "--seed", "1", "extra"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "census");
+  EXPECT_EQ(flags.positional()[1], "extra");
+}
+
+TEST(Flags, UnknownFlagsReportedOnlyIfNeverQueried) {
+  const Flags flags = parse({"--seed", "1", "--typo", "x"});
+  (void)flags.get("seed");
+  const auto unknown = flags.unknown();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Flags, EmptyUnknownWhenAllQueried) {
+  const Flags flags = parse({"--a", "1", "--b", "2"});
+  (void)flags.get("a");
+  (void)flags.get("b");
+  EXPECT_TRUE(flags.unknown().empty());
+}
+
+}  // namespace
+}  // namespace anycast::tools

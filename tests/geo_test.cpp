@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "anycast/geo/city_data.hpp"
+#include "anycast/geo/city_index.hpp"
+
+namespace anycast::geo {
+namespace {
+
+TEST(CityData, TableIsSubstantialAndSortedByPopulation) {
+  const auto cities = world_cities();
+  EXPECT_GE(cities.size(), 450u);
+  for (std::size_t i = 1; i < cities.size(); ++i) {
+    EXPECT_GE(cities[i - 1].population, cities[i].population);
+  }
+}
+
+TEST(CityData, CoordinatesAreValid) {
+  for (const City& city : world_cities()) {
+    EXPECT_GE(city.latitude_deg, -90.0) << city.name;
+    EXPECT_LE(city.latitude_deg, 90.0) << city.name;
+    EXPECT_GE(city.longitude_deg, -180.0) << city.name;
+    EXPECT_LE(city.longitude_deg, 180.0) << city.name;
+    EXPECT_GT(city.population, 0u) << city.name;
+    EXPECT_EQ(city.country.size(), 2u) << city.name;
+    EXPECT_FALSE(city.name.empty());
+  }
+}
+
+TEST(CityData, CoversAllContinents) {
+  std::set<std::string_view> countries;
+  for (const City& city : world_cities()) countries.insert(city.country);
+  for (const std::string_view cc :
+       {"US", "DE", "JP", "BR", "AU", "ZA", "IN", "RU"}) {
+    EXPECT_TRUE(countries.contains(cc)) << cc;
+  }
+  EXPECT_GE(countries.size(), 100u);
+}
+
+TEST(CityData, PaperCaseStudyCitiesPresent) {
+  // Sec. 3.4's population-bias anecdote needs these exact places.
+  const CityIndex& index = world_index();
+  const City* ashburn = index.by_name("Ashburn");
+  const City* philadelphia = index.by_name("Philadelphia");
+  ASSERT_NE(ashburn, nullptr);
+  ASSERT_NE(philadelphia, nullptr);
+  EXPECT_GT(philadelphia->population, 30 * ashburn->population);
+}
+
+TEST(CityIndex, ByNameFindsAndMisses) {
+  const CityIndex& index = world_index();
+  ASSERT_NE(index.by_name("Tokyo"), nullptr);
+  EXPECT_EQ(index.by_name("Tokyo")->country, "JP");
+  EXPECT_EQ(index.by_name("Atlantis"), nullptr);
+}
+
+TEST(CityIndex, CitiesInDiskSortedByPopulation) {
+  const CityIndex& index = world_index();
+  const City* london = index.by_name("London");
+  ASSERT_NE(london, nullptr);
+  const geodesy::Disk disk(london->location(), 600.0);
+  const auto inside = index.cities_in(disk);
+  ASSERT_GE(inside.size(), 4u);  // London, Paris, Brussels, Birmingham, ...
+  for (std::size_t i = 1; i < inside.size(); ++i) {
+    EXPECT_GE(inside[i - 1]->population, inside[i]->population);
+  }
+  for (const City* city : inside) {
+    EXPECT_TRUE(disk.contains(city->location())) << city->name;
+  }
+}
+
+TEST(CityIndex, MostPopulatedMatchesCitiesInHead) {
+  const CityIndex& index = world_index();
+  const City* tokyo = index.by_name("Tokyo");
+  const geodesy::Disk disk(tokyo->location(), 800.0);
+  const auto inside = index.cities_in(disk);
+  ASSERT_FALSE(inside.empty());
+  EXPECT_EQ(index.most_populated_in(disk), inside.front());
+  EXPECT_EQ(index.most_populated_in(disk)->name, "Tokyo");
+}
+
+TEST(CityIndex, EmptyDiskYieldsNothing) {
+  const CityIndex& index = world_index();
+  // Middle of the South Pacific.
+  const geodesy::Disk disk(geodesy::GeoPoint(-48.0, -123.0), 100.0);
+  EXPECT_TRUE(index.cities_in(disk).empty());
+  EXPECT_EQ(index.most_populated_in(disk), nullptr);
+}
+
+TEST(CityIndex, SphereCoveringDiskContainsEverything) {
+  const CityIndex& index = world_index();
+  const geodesy::Disk disk(geodesy::GeoPoint(0.0, 0.0),
+                           geodesy::kMaxDistanceKm + 10.0);
+  EXPECT_EQ(index.cities_in(disk).size(), world_cities().size());
+}
+
+TEST(CityIndex, NearestExactAndFarAway) {
+  const CityIndex& index = world_index();
+  const City* sydney = index.by_name("Sydney");
+  EXPECT_EQ(index.nearest(sydney->location()), sydney);
+  // A point in the outback is still nearest to some Australian city.
+  const City* nearest = index.nearest(geodesy::GeoPoint(-25.0, 135.0));
+  ASSERT_NE(nearest, nullptr);
+  EXPECT_EQ(nearest->country, "AU");
+}
+
+TEST(CityIndex, CustomSubsetIndex) {
+  const auto all = world_cities();
+  const std::span<const City> subset(all.data(), 10);  // 10 megacities
+  const CityIndex index(subset);
+  EXPECT_EQ(index.size(), 10u);
+  const geodesy::Disk everywhere(geodesy::GeoPoint(0.0, 0.0),
+                                 geodesy::kMaxDistanceKm + 10.0);
+  EXPECT_EQ(index.cities_in(everywhere).size(), 10u);
+}
+
+TEST(CityIndex, PopulationBiasInsideDcCorridor) {
+  // A 300 km disk around Ashburn holds Washington, Baltimore, and
+  // Philadelphia; the population bias must pick Philadelphia (the paper's
+  // misclassification case).
+  const CityIndex& index = world_index();
+  const City* ashburn = index.by_name("Ashburn");
+  const geodesy::Disk disk(ashburn->location(), 300.0);
+  const City* picked = index.most_populated_in(disk);
+  ASSERT_NE(picked, nullptr);
+  EXPECT_EQ(picked->name, "Philadelphia");
+}
+
+}  // namespace
+}  // namespace anycast::geo

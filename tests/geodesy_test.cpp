@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "anycast/geodesy/disk.hpp"
+#include "anycast/geodesy/geopoint.hpp"
+
+namespace anycast::geodesy {
+namespace {
+
+const GeoPoint kNewYork(40.71, -74.01);
+const GeoPoint kLondon(51.51, -0.13);
+const GeoPoint kSydney(-33.87, 151.21);
+const GeoPoint kTokyo(35.68, 139.69);
+
+TEST(GeoPoint, NormalizesLongitude) {
+  EXPECT_DOUBLE_EQ(GeoPoint(0.0, 190.0).longitude(), -170.0);
+  EXPECT_DOUBLE_EQ(GeoPoint(0.0, -190.0).longitude(), 170.0);
+  EXPECT_DOUBLE_EQ(GeoPoint(0.0, 360.0).longitude(), 0.0);
+  EXPECT_DOUBLE_EQ(GeoPoint(0.0, -180.0).longitude(), -180.0);
+}
+
+TEST(GeoPoint, ClampsLatitude) {
+  EXPECT_DOUBLE_EQ(GeoPoint(95.0, 0.0).latitude(), 90.0);
+  EXPECT_DOUBLE_EQ(GeoPoint(-95.0, 0.0).latitude(), -90.0);
+}
+
+TEST(Distance, KnownCityPairs) {
+  // Reference values from standard great-circle calculators (+-1%).
+  EXPECT_NEAR(distance_km(kNewYork, kLondon), 5570.0, 60.0);
+  EXPECT_NEAR(distance_km(kLondon, kSydney), 16990.0, 170.0);
+  EXPECT_NEAR(distance_km(kTokyo, kSydney), 7820.0, 80.0);
+}
+
+TEST(Distance, IdentityAndSymmetry) {
+  EXPECT_DOUBLE_EQ(distance_km(kLondon, kLondon), 0.0);
+  EXPECT_DOUBLE_EQ(distance_km(kNewYork, kTokyo),
+                   distance_km(kTokyo, kNewYork));
+}
+
+TEST(Distance, Antipodal) {
+  const GeoPoint a(0.0, 0.0);
+  const GeoPoint b(0.0, 180.0);
+  EXPECT_NEAR(distance_km(a, b), kMaxDistanceKm, 2.0);
+}
+
+TEST(Distance, AcrossAntimeridian) {
+  // Fiji-side and Samoa-side points ~ a few hundred km apart, not ~40000.
+  const GeoPoint west(-17.0, 179.0);
+  const GeoPoint east(-17.0, -179.0);
+  EXPECT_NEAR(distance_km(west, east), 2.0 * 111.19 * std::cos(17.0 * M_PI /
+                                                               180.0),
+              5.0);
+}
+
+TEST(Distance, Poles) {
+  const GeoPoint north(90.0, 0.0);
+  const GeoPoint south(-90.0, 123.0);  // longitude irrelevant at the pole
+  EXPECT_NEAR(distance_km(north, south), kMaxDistanceKm, 2.0);
+}
+
+TEST(Destination, RoundTripsDistance) {
+  for (const double bearing : {0.0, 45.0, 90.0, 135.0, 200.0, 330.0}) {
+    const GeoPoint there = destination(kLondon, bearing, 1234.0);
+    EXPECT_NEAR(distance_km(kLondon, there), 1234.0, 1.0) << bearing;
+  }
+}
+
+TEST(Destination, ZeroDistanceIsIdentity) {
+  const GeoPoint there = destination(kTokyo, 77.0, 0.0);
+  EXPECT_NEAR(distance_km(kTokyo, there), 0.0, 1e-6);
+}
+
+TEST(Bearing, CardinalDirections) {
+  const GeoPoint origin(0.0, 0.0);
+  EXPECT_NEAR(initial_bearing_deg(origin, GeoPoint(1.0, 0.0)), 0.0, 0.1);
+  EXPECT_NEAR(initial_bearing_deg(origin, GeoPoint(0.0, 1.0)), 90.0, 0.1);
+  EXPECT_NEAR(initial_bearing_deg(origin, GeoPoint(-1.0, 0.0)), 180.0, 0.1);
+  EXPECT_NEAR(initial_bearing_deg(origin, GeoPoint(0.0, -1.0)), 270.0, 0.1);
+}
+
+TEST(RttRadius, SpeedOfLightInFiber) {
+  // 1 ms RTT -> 0.5 ms one way -> ~100 km in fibre.
+  EXPECT_NEAR(rtt_to_radius_km(1.0), 99.93, 0.1);
+  EXPECT_NEAR(rtt_to_radius_km(10.0), 999.3, 1.0);
+  EXPECT_DOUBLE_EQ(rtt_to_radius_km(0.0), 0.0);
+}
+
+TEST(RttRadius, InverseRelationship) {
+  for (const double km : {10.0, 500.0, 9000.0}) {
+    EXPECT_NEAR(rtt_to_radius_km(distance_to_min_rtt_ms(km)), km, 1e-9);
+  }
+}
+
+TEST(Disk, ContainsPoint) {
+  const Disk disk(kLondon, 400.0);
+  EXPECT_TRUE(disk.contains(kLondon));
+  EXPECT_TRUE(disk.contains(GeoPoint(52.49, -1.89)));   // Birmingham
+  EXPECT_FALSE(disk.contains(kNewYork));
+}
+
+TEST(Disk, NegativeRadiusClampedToZero) {
+  const Disk disk(kLondon, -5.0);
+  EXPECT_DOUBLE_EQ(disk.radius_km(), 0.0);
+  EXPECT_TRUE(disk.contains(kLondon));
+}
+
+TEST(Disk, IntersectionCases) {
+  const Disk london(kLondon, 300.0);
+  const Disk paris(GeoPoint(48.86, 2.35), 100.0);  // ~344 km away
+  EXPECT_TRUE(london.intersects(paris));
+  EXPECT_TRUE(paris.intersects(london));
+  const Disk tight_paris(GeoPoint(48.86, 2.35), 20.0);
+  EXPECT_FALSE(london.intersects(tight_paris));
+  // Any disk intersects itself.
+  EXPECT_TRUE(london.intersects(london));
+}
+
+TEST(Disk, ContainmentOfDisk) {
+  const Disk big(kLondon, 1000.0);
+  const Disk small(GeoPoint(48.86, 2.35), 100.0);
+  EXPECT_TRUE(big.contains(small));
+  EXPECT_FALSE(small.contains(big));
+}
+
+TEST(Disk, CoversSphere) {
+  EXPECT_TRUE(Disk(kLondon, kMaxDistanceKm + 1.0).covers_sphere());
+  EXPECT_FALSE(Disk(kLondon, 10000.0).covers_sphere());
+}
+
+TEST(Disk, FromRtt) {
+  const Disk disk = Disk::from_rtt(kTokyo, 20.0);
+  EXPECT_NEAR(disk.radius_km(), 1998.6, 2.0);
+  EXPECT_EQ(disk.center(), kTokyo);
+}
+
+TEST(Disk, GapKm) {
+  const Disk a(kLondon, 100.0);
+  const Disk b(GeoPoint(48.86, 2.35), 100.0);
+  const double separation = distance_km(kLondon, GeoPoint(48.86, 2.35));
+  EXPECT_NEAR(gap_km(a, b), separation - 200.0, 1e-9);
+  EXPECT_LT(gap_km(a, Disk(kLondon, 50.0)), 0.0);  // overlapping
+}
+
+TEST(Disk, SpeedOfLightViolationExample) {
+  // The paper's core inference: a 5 ms RTT from London and a 5 ms RTT from
+  // Sydney cannot point at the same host.
+  const Disk from_london = Disk::from_rtt(kLondon, 5.0);
+  const Disk from_sydney = Disk::from_rtt(kSydney, 5.0);
+  EXPECT_FALSE(from_london.intersects(from_sydney));
+  // But 90 ms from both is perfectly consistent with a mid-point host.
+  EXPECT_TRUE(Disk::from_rtt(kLondon, 90.0)
+                  .intersects(Disk::from_rtt(kSydney, 90.0)));
+}
+
+}  // namespace
+}  // namespace anycast::geodesy

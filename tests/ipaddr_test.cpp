@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "anycast/ipaddr/ipv4.hpp"
+#include "anycast/ipaddr/prefix.hpp"
+#include "anycast/ipaddr/prefix_table.hpp"
+
+namespace anycast::ipaddr {
+namespace {
+
+TEST(IPv4Address, ParsesDottedQuad) {
+  const auto addr = IPv4Address::parse("192.0.2.1");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->value(), 0xC0000201u);
+  EXPECT_EQ(addr->octet(0), 192);
+  EXPECT_EQ(addr->octet(1), 0);
+  EXPECT_EQ(addr->octet(2), 2);
+  EXPECT_EQ(addr->octet(3), 1);
+}
+
+TEST(IPv4Address, ParsesBoundaries) {
+  EXPECT_EQ(IPv4Address::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(IPv4Address::parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+}
+
+TEST(IPv4Address, RejectsMalformedInput) {
+  EXPECT_FALSE(IPv4Address::parse(""));
+  EXPECT_FALSE(IPv4Address::parse("1.2.3"));
+  EXPECT_FALSE(IPv4Address::parse("1.2.3.4.5"));
+  EXPECT_FALSE(IPv4Address::parse("1.2.3.256"));
+  EXPECT_FALSE(IPv4Address::parse("1.2.3.-4"));
+  EXPECT_FALSE(IPv4Address::parse("1.2.3.4 "));
+  EXPECT_FALSE(IPv4Address::parse(" 1.2.3.4"));
+  EXPECT_FALSE(IPv4Address::parse("1..3.4"));
+  EXPECT_FALSE(IPv4Address::parse("a.b.c.d"));
+  EXPECT_FALSE(IPv4Address::parse("01.2.3.4"));  // leading zero
+}
+
+TEST(IPv4Address, FormatsRoundTrip) {
+  for (const char* text : {"0.0.0.0", "10.1.2.3", "104.16.0.1",
+                           "255.255.255.255", "8.8.8.8"}) {
+    const auto addr = IPv4Address::parse(text);
+    ASSERT_TRUE(addr.has_value()) << text;
+    EXPECT_EQ(addr->to_string(), text);
+  }
+}
+
+TEST(IPv4Address, Slash24Index) {
+  const IPv4Address addr(104, 16, 7, 99);
+  EXPECT_EQ(addr.slash24_index(), (104u << 16) | (16u << 8) | 7u);
+  EXPECT_EQ(addr.slash24_base().to_string(), "104.16.7.0");
+  EXPECT_EQ(IPv4Address::from_slash24_index(addr.slash24_index(), 42)
+                .to_string(),
+            "104.16.7.42");
+}
+
+TEST(IPv4Address, Ordering) {
+  EXPECT_LT(IPv4Address(1, 0, 0, 0), IPv4Address(2, 0, 0, 0));
+  EXPECT_EQ(IPv4Address(1, 2, 3, 4), *IPv4Address::parse("1.2.3.4"));
+}
+
+TEST(Prefix, ParseAndCanonicalize) {
+  const auto prefix = Prefix::parse("10.1.2.3/16");
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_EQ(prefix->network().to_string(), "10.1.0.0");
+  EXPECT_EQ(prefix->length(), 16);
+  EXPECT_EQ(prefix->to_string(), "10.1.0.0/16");
+}
+
+TEST(Prefix, RejectsMalformed) {
+  EXPECT_FALSE(Prefix::parse("10.1.2.3"));
+  EXPECT_FALSE(Prefix::parse("10.1.2.3/33"));
+  EXPECT_FALSE(Prefix::parse("10.1.2.3/-1"));
+  EXPECT_FALSE(Prefix::parse("10.1.2/24"));
+  EXPECT_FALSE(Prefix::parse("10.1.2.3/abc"));
+}
+
+TEST(Prefix, Contains) {
+  const Prefix p = *Prefix::parse("192.168.0.0/16");
+  EXPECT_TRUE(p.contains(*IPv4Address::parse("192.168.255.255")));
+  EXPECT_FALSE(p.contains(*IPv4Address::parse("192.169.0.0")));
+  EXPECT_TRUE(p.contains(*Prefix::parse("192.168.4.0/24")));
+  EXPECT_FALSE(p.contains(*Prefix::parse("192.0.0.0/8")));
+  EXPECT_TRUE(p.contains(p));
+}
+
+TEST(Prefix, ZeroLengthCoversEverything) {
+  const Prefix everything(IPv4Address(0), 0);
+  EXPECT_TRUE(everything.contains(IPv4Address(0xFFFFFFFF)));
+  EXPECT_TRUE(everything.contains(IPv4Address(0)));
+  EXPECT_EQ(everything.mask(), 0u);
+}
+
+TEST(Prefix, LastAddress) {
+  EXPECT_EQ(Prefix::parse("10.0.0.0/24")->last_address().to_string(),
+            "10.0.0.255");
+  EXPECT_EQ(Prefix::parse("10.0.0.0/30")->last_address().to_string(),
+            "10.0.0.3");
+  EXPECT_EQ(Prefix::parse("10.0.0.1/32")->last_address().to_string(),
+            "10.0.0.1");
+}
+
+TEST(Prefix, Slash24SplitOfShorterPrefix) {
+  const Prefix p = *Prefix::parse("10.0.0.0/22");
+  EXPECT_EQ(p.slash24_count(), 4u);
+  const auto parts = p.split_slash24();
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0].to_string(), "10.0.0.0/24");
+  EXPECT_EQ(parts[3].to_string(), "10.0.3.0/24");
+  for (const Prefix& part : parts) {
+    EXPECT_EQ(part.length(), 24);
+    EXPECT_TRUE(p.contains(part));
+  }
+}
+
+TEST(Prefix, Slash24SplitOfLongerPrefixYieldsCoveringSlash24) {
+  // Sec. 3.1: sub-/24 announcements are probed via their covering /24.
+  const Prefix p = *Prefix::parse("10.0.0.128/25");
+  const auto parts = p.split_slash24();
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].to_string(), "10.0.0.0/24");
+}
+
+TEST(Prefix, Slash24OfAddress) {
+  EXPECT_EQ(Prefix::slash24_of(*IPv4Address::parse("8.8.8.8")).to_string(),
+            "8.8.8.0/24");
+}
+
+TEST(PrefixTable, LongestPrefixMatchPicksMostSpecific) {
+  PrefixTable table({
+      {*Prefix::parse("10.0.0.0/8"), 100},
+      {*Prefix::parse("10.1.0.0/16"), 200},
+      {*Prefix::parse("10.1.2.0/24"), 300},
+  });
+  EXPECT_EQ(table.lookup(*IPv4Address::parse("10.1.2.3"))->origin_as, 300u);
+  EXPECT_EQ(table.lookup(*IPv4Address::parse("10.1.9.9"))->origin_as, 200u);
+  EXPECT_EQ(table.lookup(*IPv4Address::parse("10.9.9.9"))->origin_as, 100u);
+  EXPECT_FALSE(table.lookup(*IPv4Address::parse("11.0.0.0")).has_value());
+}
+
+TEST(PrefixTable, DefaultRouteMatchesEverything) {
+  PrefixTable table({{Prefix(IPv4Address(0), 0), 1}});
+  EXPECT_EQ(table.lookup(IPv4Address(0xFFFFFFFF))->origin_as, 1u);
+  EXPECT_EQ(table.lookup(IPv4Address(0))->origin_as, 1u);
+}
+
+TEST(PrefixTable, DeduplicatesRoutes) {
+  PrefixTable table({
+      {*Prefix::parse("10.0.0.0/8"), 1},
+      {*Prefix::parse("10.0.0.0/8"), 1},
+  });
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(PrefixTable, EmptyTable) {
+  PrefixTable table;
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.lookup(IPv4Address(1)).has_value());
+  EXPECT_EQ(table.covered_slash24_count(), 0u);
+}
+
+TEST(PrefixTable, CoveredSlash24CountMergesOverlaps) {
+  PrefixTable table({
+      {*Prefix::parse("10.0.0.0/22"), 1},   // 4 x /24
+      {*Prefix::parse("10.0.2.0/24"), 2},   // nested, no new coverage
+      {*Prefix::parse("10.0.8.0/24"), 3},   // disjoint
+  });
+  EXPECT_EQ(table.covered_slash24_count(), 5u);
+}
+
+TEST(PrefixTable, HostRouteMatch) {
+  PrefixTable table({
+      {*Prefix::parse("8.8.8.8/32"), 15169},
+      {*Prefix::parse("8.8.8.0/24"), 1},
+  });
+  EXPECT_EQ(table.lookup(*IPv4Address::parse("8.8.8.8"))->origin_as, 15169u);
+  EXPECT_EQ(table.lookup(*IPv4Address::parse("8.8.8.9"))->origin_as, 1u);
+}
+
+// Parameterized sweep: every /24 of a covering prefix maps back to it.
+class SplitParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplitParam, SplitCountMatchesFormula) {
+  const int length = GetParam();
+  const Prefix p(IPv4Address(10, 0, 0, 0), length);
+  EXPECT_EQ(p.split_slash24().size(), p.slash24_count());
+  EXPECT_EQ(p.slash24_count(), 1u << (24 - length));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, SplitParam,
+                         ::testing::Values(16, 17, 18, 19, 20, 21, 22, 23,
+                                           24));
+
+}  // namespace
+}  // namespace anycast::ipaddr

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "anycast/core/mis.hpp"
+#include "anycast/rng/distributions.hpp"
+
+namespace anycast::core {
+namespace {
+
+using geodesy::Disk;
+using geodesy::GeoPoint;
+
+std::vector<Disk> chain(int count, double spacing_km, double radius_km) {
+  // Disks along the equator at fixed longitude spacing.
+  std::vector<Disk> disks;
+  for (int i = 0; i < count; ++i) {
+    disks.emplace_back(GeoPoint(0.0, i * spacing_km / 111.19), radius_km);
+  }
+  return disks;
+}
+
+bool is_independent(const std::vector<Disk>& disks,
+                    const std::vector<std::size_t>& picked) {
+  for (std::size_t i = 0; i < picked.size(); ++i) {
+    for (std::size_t j = i + 1; j < picked.size(); ++j) {
+      if (disks[picked[i]].intersects(disks[picked[j]])) return false;
+    }
+  }
+  return true;
+}
+
+TEST(GreedyMis, EmptyAndSingle) {
+  EXPECT_TRUE(greedy_mis({}).empty());
+  const std::vector<Disk> one{Disk(GeoPoint(0, 0), 10.0)};
+  EXPECT_EQ(greedy_mis(one).size(), 1u);
+}
+
+TEST(GreedyMis, AllDisjointKeepsEverything) {
+  const auto disks = chain(8, 1000.0, 100.0);
+  EXPECT_EQ(greedy_mis(disks).size(), 8u);
+}
+
+TEST(GreedyMis, AllOverlappingKeepsOne) {
+  const auto disks = chain(8, 10.0, 500.0);
+  EXPECT_EQ(greedy_mis(disks).size(), 1u);
+}
+
+TEST(GreedyMis, PrefersSmallDisks) {
+  // A huge disk covering two small disjoint ones: greedy must pick the two
+  // small disks (better recall), not the big one.
+  std::vector<Disk> disks{
+      Disk(GeoPoint(0.0, 5.0), 2000.0),
+      Disk(GeoPoint(0.0, 0.0), 50.0),
+      Disk(GeoPoint(0.0, 10.0), 50.0),
+  };
+  const auto picked = greedy_mis(disks);
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_TRUE(is_independent(disks, picked));
+  for (const std::size_t idx : picked) EXPECT_NE(idx, 0u);
+}
+
+TEST(GreedyMis, OutputIsIndependentSet) {
+  rng::Xoshiro256 gen(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Disk> disks;
+    const int n = 3 + static_cast<int>(rng::uniform_index(gen, 30));
+    for (int i = 0; i < n; ++i) {
+      disks.emplace_back(GeoPoint(rng::uniform(gen, -60.0, 60.0),
+                                  rng::uniform(gen, -180.0, 180.0)),
+                         rng::uniform(gen, 50.0, 3000.0));
+    }
+    EXPECT_TRUE(is_independent(disks, greedy_mis(disks)));
+  }
+}
+
+TEST(GreedyMis, MaximalNoDiskCanBeAdded) {
+  rng::Xoshiro256 gen(43);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Disk> disks;
+    for (int i = 0; i < 20; ++i) {
+      disks.emplace_back(GeoPoint(rng::uniform(gen, -60.0, 60.0),
+                                  rng::uniform(gen, -180.0, 180.0)),
+                         rng::uniform(gen, 100.0, 2000.0));
+    }
+    const auto picked = greedy_mis(disks);
+    for (std::size_t candidate = 0; candidate < disks.size(); ++candidate) {
+      if (std::find(picked.begin(), picked.end(), candidate) != picked.end()) {
+        continue;
+      }
+      const bool conflicts = std::any_of(
+          picked.begin(), picked.end(), [&](std::size_t held) {
+            return disks[candidate].intersects(disks[held]);
+          });
+      EXPECT_TRUE(conflicts) << "greedy output not maximal";
+    }
+  }
+}
+
+TEST(ExactMis, MatchesHandComputedOptimum) {
+  // Pentagon-ish case where greedy can be suboptimal: a small bridge disk
+  // plus two disjoint larger disks on either side.
+  std::vector<Disk> disks{
+      Disk(GeoPoint(0.0, 5.0), 100.0),    // small bridge
+      Disk(GeoPoint(0.0, 0.0), 500.0),    // left, overlaps bridge only
+      Disk(GeoPoint(0.0, 10.0), 500.0),   // right, overlaps bridge only
+  };
+  ASSERT_TRUE(disks[0].intersects(disks[1]));
+  ASSERT_TRUE(disks[0].intersects(disks[2]));
+  ASSERT_FALSE(disks[1].intersects(disks[2]));
+  const auto exact = exact_mis(disks);
+  EXPECT_EQ(exact.size(), 2u);  // {left, right} beats {bridge}
+  EXPECT_TRUE(is_independent(disks, exact));
+}
+
+// Property sweep: exact >= greedy >= exact/5 (the 5-approximation bound),
+// and both outputs are independent sets.
+class MisProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MisProperty, GreedyWithinApproximationBound) {
+  rng::Xoshiro256 gen(GetParam());
+  std::vector<Disk> disks;
+  const int n = 5 + static_cast<int>(rng::uniform_index(gen, 18));
+  for (int i = 0; i < n; ++i) {
+    disks.emplace_back(GeoPoint(rng::uniform(gen, -60.0, 60.0),
+                                rng::uniform(gen, -180.0, 180.0)),
+                       rng::uniform(gen, 100.0, 4000.0));
+  }
+  const auto greedy = greedy_mis(disks);
+  const auto exact = exact_mis(disks);
+  EXPECT_TRUE(is_independent(disks, greedy));
+  EXPECT_TRUE(is_independent(disks, exact));
+  EXPECT_LE(greedy.size(), exact.size());
+  EXPECT_GE(greedy.size() * 5, exact.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MisProperty,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(HasDisjointPair, MatchesDefinition) {
+  EXPECT_FALSE(has_disjoint_pair({}));
+  const auto overlapping = chain(5, 10.0, 500.0);
+  EXPECT_FALSE(has_disjoint_pair(overlapping));
+  const auto spread = chain(3, 2000.0, 100.0);
+  EXPECT_TRUE(has_disjoint_pair(spread));
+}
+
+TEST(HasDisjointPair, ConsistentWithExactMis) {
+  rng::Xoshiro256 gen(77);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Disk> disks;
+    const int n = 2 + static_cast<int>(rng::uniform_index(gen, 12));
+    for (int i = 0; i < n; ++i) {
+      disks.emplace_back(GeoPoint(rng::uniform(gen, -60.0, 60.0),
+                                  rng::uniform(gen, -180.0, 180.0)),
+                         rng::uniform(gen, 200.0, 6000.0));
+    }
+    EXPECT_EQ(has_disjoint_pair(disks), exact_mis(disks).size() >= 2);
+  }
+}
+
+}  // namespace
+}  // namespace anycast::core

@@ -1,0 +1,529 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "anycast/geodesy/disk.hpp"
+#include "anycast/net/catalog.hpp"
+#include "anycast/net/internet.hpp"
+#include "anycast/net/platform.hpp"
+#include "anycast/net/services.hpp"
+#include "anycast/rng/random.hpp"
+
+namespace anycast::net {
+namespace {
+
+WorldConfig small_world_config() {
+  WorldConfig config;
+  config.seed = 11;
+  config.unicast_alive_slash24 = 800;
+  config.unicast_dead_slash24 = 700;
+  return config;
+}
+
+const SimulatedInternet& small_world() {
+  static const SimulatedInternet world(small_world_config());
+  return world;
+}
+
+// --- Catalog --------------------------------------------------------------
+
+TEST(Catalog, HasExactlyOneHundredTopSpecs) {
+  EXPECT_EQ(top100_specs().size(), 100u);
+}
+
+TEST(Catalog, Ip24FootprintMatchesFig10) {
+  int total = 0;
+  for (const AsSpec& spec : top100_specs()) total += spec.ip24;
+  EXPECT_EQ(total, 897);  // Fig. 10, ">= 5 Replicas" row
+}
+
+TEST(Catalog, CaidaTop100CrossCheck) {
+  // Fig. 10: 19 /24s of 8 ASes intersect the CAIDA top-100.
+  int ases = 0;
+  int ip24 = 0;
+  for (const AsSpec& spec : top100_specs()) {
+    if (spec.caida_rank > 0) {
+      ++ases;
+      ip24 += spec.ip24;
+      EXPECT_LE(spec.caida_rank, 100);
+    }
+  }
+  EXPECT_EQ(ases, 8);
+  EXPECT_EQ(ip24, 19);
+}
+
+TEST(Catalog, AlexaCrossCheck) {
+  // Fig. 10 + Sec. 4.1: 15 ASes host Alexa-100k front pages, ~240 sites.
+  int ases = 0;
+  int sites = 0;
+  for (const AsSpec& spec : top100_specs()) {
+    if (spec.alexa_sites > 0) {
+      ++ases;
+      sites += spec.alexa_sites;
+    }
+  }
+  EXPECT_EQ(ases, 15);
+  EXPECT_NEAR(sites, 240, 5);
+}
+
+TEST(Catalog, HeadlineFootprintsMatchPaper) {
+  std::map<std::string_view, int> ip24;
+  for (const AsSpec& spec : top100_specs()) {
+    ip24.emplace(spec.whois, spec.ip24);
+  }
+  EXPECT_EQ(ip24["CLOUDFLARENET,US"], 328);  // Sec. 4.2
+  EXPECT_EQ(ip24["GOOGLE,US"], 102);
+  EXPECT_EQ(ip24["EDGECAST,US"], 37);
+  EXPECT_EQ(ip24["PROLEXIC,US"], 21);
+  EXPECT_EQ(ip24["LINKEDIN,US"], 1);
+  EXPECT_EQ(ip24["LEVEL3,US"], 2);
+  EXPECT_EQ(ip24["TWITTER-NETW"], 3);
+  EXPECT_EQ(ip24["APPLE-ENGINE"], 6);
+}
+
+TEST(Catalog, SitesAreAtLeastFiveAndBroadlyDescending) {
+  // Fig. 9's x-axis orders ASes by *measured* footprint; the catalog's
+  // true site counts follow that order except where the paper itself shows
+  // a platform-recall gap (Microsoft, whose true footprint is ~2.5x what
+  // PlanetLab sees — Fig. 5).
+  const auto specs = top100_specs();
+  std::size_t inversions = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_GE(specs[i].sites, 5) << specs[i].whois;
+    if (i > 0 && specs[i].sites > specs[i - 1].sites) ++inversions;
+  }
+  EXPECT_LE(inversions, 2u);
+}
+
+TEST(Catalog, UniqueAsNumbers) {
+  std::set<std::uint32_t> seen;
+  for (const AsSpec& spec : top100_specs()) {
+    EXPECT_TRUE(seen.insert(spec.as_number).second)
+        << "duplicate ASN " << spec.as_number;
+  }
+}
+
+TEST(Catalog, TailSpecsSumAndShape) {
+  const auto tail = tail_specs(246, 799, 5);
+  EXPECT_EQ(tail.size(), 246u);
+  int total = 0;
+  int singles = 0;
+  for (const AsSpec& spec : tail) {
+    total += spec.ip24;
+    if (spec.ip24 == 1) ++singles;
+    EXPECT_GE(spec.sites, 2);
+    EXPECT_LE(spec.sites, 4);  // below the top-100 threshold
+    EXPECT_GE(spec.ip24, 1);
+  }
+  EXPECT_EQ(total, 799);
+  // Fig. 13: about half the ASes have exactly one /24.
+  EXPECT_GE(singles, 100);
+  EXPECT_LE(singles, 160);
+}
+
+TEST(Catalog, TailSpecsAreDeterministic) {
+  const auto a = tail_specs(50, 160, 9);
+  const auto b = tail_specs(50, 160, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].whois, b[i].whois);
+    EXPECT_EQ(a[i].ip24, b[i].ip24);
+    EXPECT_EQ(a[i].sites, b[i].sites);
+  }
+}
+
+TEST(Catalog, MakeServicesProfiles) {
+  AsSpec spec{};
+  spec.whois = "TEST,US";
+  spec.profile = PortProfile::kDnsOnly;
+  auto services = make_services(spec, 1);
+  ASSERT_EQ(services.size(), 1u);
+  EXPECT_EQ(services[0].port, 53);
+
+  spec.profile = PortProfile::kNone;
+  EXPECT_TRUE(make_services(spec, 1).empty());
+
+  spec.profile = PortProfile::kGoogle;
+  spec.whois = "GOOGLE,US";
+  services = make_services(spec, 1);
+  EXPECT_EQ(services.size(), 9u);  // Sec. 4.3: Google has 9 open ports
+}
+
+TEST(Catalog, CloudflareUsesManyMorePortsThanEdgecast) {
+  // Sec. 4.2: "CloudFlare using 4x more ports than EdgeCast", sharing
+  // only 53, 80, 443 (and here 8080 via the common CDN base).
+  AsSpec cf{};
+  cf.whois = "CLOUDFLARENET,US";
+  cf.profile = PortProfile::kCloudflare;
+  AsSpec ec{};
+  ec.whois = "EDGECAST,US";
+  ec.profile = PortProfile::kEdgecast;
+  const auto cf_ports = make_services(cf, 1);
+  const auto ec_ports = make_services(ec, 1);
+  EXPECT_GE(cf_ports.size(), 4 * ec_ports.size());
+  for (const std::uint16_t common : {53, 80, 443}) {
+    const auto has = [common](const std::vector<ServicePort>& set) {
+      return std::any_of(set.begin(), set.end(),
+                         [common](const ServicePort& s) {
+                           return s.port == common;
+                         });
+    };
+    EXPECT_TRUE(has(cf_ports)) << common;
+    EXPECT_TRUE(has(ec_ports)) << common;
+  }
+}
+
+TEST(Catalog, OvhHasTenThousandPorts) {
+  AsSpec spec{};
+  spec.whois = "OVH,FR";
+  spec.profile = PortProfile::kOvh;
+  const auto services = make_services(spec, 1);
+  EXPECT_GT(services.size(), 10000u);
+  EXPECT_LT(services.size(), 10400u);
+  // Ports are unique.
+  std::set<std::uint16_t> unique;
+  for (const ServicePort& s : services) unique.insert(s.port);
+  EXPECT_EQ(unique.size(), services.size());
+}
+
+TEST(Catalog, DnsServiceSemantics) {
+  EXPECT_TRUE(profile_serves_dns(PortProfile::kDnsOnly));
+  EXPECT_TRUE(profile_serves_dns(PortProfile::kGoogle));
+  // An HTTP CDN with TCP/53 open does not answer DNS queries (Fig. 6's
+  // binary recall).
+  EXPECT_FALSE(profile_serves_dns(PortProfile::kEdgecast));
+  EXPECT_FALSE(profile_serves_dns(PortProfile::kNone));
+}
+
+// --- Services registry ------------------------------------------------------
+
+TEST(Services, RegistryIsSortedAndUnique) {
+  const auto rows = well_known_services();
+  EXPECT_GE(rows.size(), 150u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i - 1].port, rows[i].port);
+  }
+}
+
+TEST(Services, ClassifyKnownPorts) {
+  EXPECT_EQ(classify_port(53)->name, "domain");
+  EXPECT_EQ(classify_port(80)->name, "http");
+  EXPECT_EQ(classify_port(443)->name, "https");
+  EXPECT_TRUE(classify_port(443)->commonly_ssl);
+  EXPECT_EQ(classify_port(1935)->name, "rtmp");
+  EXPECT_EQ(classify_port(5252)->name, "movaz-ssc");
+  EXPECT_EQ(classify_port(25565)->name, "minecraft");
+  EXPECT_FALSE(classify_port(4).has_value());
+  EXPECT_FALSE(classify_port(60000).has_value());
+}
+
+TEST(Services, SoftwareClassification) {
+  EXPECT_EQ(classify_software("ISC BIND"), SoftwareClass::kDns);
+  EXPECT_EQ(classify_software("NLnet Labs NSD"), SoftwareClass::kDns);
+  EXPECT_EQ(classify_software("nginx"), SoftwareClass::kWeb);
+  EXPECT_EQ(classify_software("cloudflare-nginx"), SoftwareClass::kWeb);
+  EXPECT_EQ(classify_software("Gmail imapd"), SoftwareClass::kMail);
+  EXPECT_EQ(classify_software("OpenSSH"), SoftwareClass::kOther);
+  EXPECT_EQ(classify_software("whatever"), SoftwareClass::kOther);
+}
+
+// --- Platforms --------------------------------------------------------------
+
+TEST(Platform, PlanetLabSizeAndDeterminism) {
+  const auto a = make_planetlab({.node_count = 300, .seed = 1});
+  const auto b = make_planetlab({.node_count = 300, .seed = 1});
+  ASSERT_EQ(a.size(), 300u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, i);
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].location, b[i].location);
+  }
+}
+
+TEST(Platform, PlanetLabIsNorthAtlanticHeavy) {
+  const auto vps = make_planetlab({.node_count = 400, .seed = 2});
+  int na_eu = 0;
+  for (const VantagePoint& vp : vps) {
+    // Recover the country from the generated name suffix.
+    const std::string_view name(vp.name);
+    const std::string_view cc = name.substr(name.size() - 2);
+    const Region region = region_of(cc);
+    if (region == Region::kNorthAmerica || region == Region::kEurope) {
+      ++na_eu;
+    }
+  }
+  EXPECT_GT(na_eu, 400 / 2);  // the Sec. 3.2 skew
+}
+
+TEST(Platform, RipeEmbedsPlanetLabHostCities) {
+  // Fig. 5: with a shared seed, PlanetLab catchments are a subset of RIPE's.
+  const auto pl = make_planetlab({.node_count = 300, .seed = 3});
+  const auto ripe = make_ripe_atlas({.node_count = 900, .seed = 3});
+  ASSERT_EQ(ripe.size(), 900u);
+  for (std::size_t i = 0; i < pl.size(); ++i) {
+    EXPECT_EQ(pl[i].location, ripe[i].location);
+    EXPECT_EQ(ripe[i].id, i);
+  }
+}
+
+TEST(Platform, BelievedLocationErrorIsApplied) {
+  PlatformConfig config{.node_count = 50, .seed = 4,
+                        .location_error_km = 500.0};
+  const auto vps = make_planetlab(config);
+  bool any_moved = false;
+  for (const VantagePoint& vp : vps) {
+    if (geodesy::distance_km(vp.location, vp.believed_location) > 50.0) {
+      any_moved = true;
+    }
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(Platform, HostLoadAtLeastOne) {
+  for (const VantagePoint& vp : make_planetlab({.node_count = 200, .seed = 5})) {
+    EXPECT_GE(vp.host_load, 1.0);
+  }
+}
+
+TEST(Platform, RegionOfCoversCityTable) {
+  EXPECT_EQ(region_of("US"), Region::kNorthAmerica);
+  EXPECT_EQ(region_of("DE"), Region::kEurope);
+  EXPECT_EQ(region_of("JP"), Region::kAsia);
+  EXPECT_EQ(region_of("AU"), Region::kOceania);
+  EXPECT_EQ(region_of("BR"), Region::kSouthAmerica);
+  EXPECT_EQ(region_of("ZA"), Region::kAfrica);
+  EXPECT_EQ(region_of("AE"), Region::kMiddleEast);
+}
+
+// --- SimulatedInternet -----------------------------------------------------
+
+TEST(Internet, WorldHasExpectedAnycastPopulation) {
+  const SimulatedInternet& world = small_world();
+  EXPECT_EQ(world.deployments().size(), 100u + 246u);
+  std::size_t anycast_prefixes = 0;
+  for (const Deployment& deployment : world.deployments()) {
+    anycast_prefixes += deployment.prefixes.size();
+    EXPECT_EQ(deployment.prefixes.size(),
+              deployment.prefix_site_masks.size());
+    EXPECT_FALSE(deployment.sites.empty());
+  }
+  EXPECT_EQ(anycast_prefixes, 897u + 799u);  // Fig. 10 "All" row
+}
+
+TEST(Internet, EveryPrefixAnnouncedFromAtLeastOneSite) {
+  for (const Deployment& deployment : small_world().deployments()) {
+    for (std::size_t p = 0; p < deployment.prefixes.size(); ++p) {
+      EXPECT_NE(deployment.prefix_site_masks[p], 0u);
+      EXPECT_FALSE(deployment.sites_for_prefix(p).empty());
+    }
+  }
+}
+
+TEST(Internet, TargetLookupRoundTrips) {
+  const SimulatedInternet& world = small_world();
+  for (const TargetInfo& info : world.targets()) {
+    const auto addr = ipaddr::IPv4Address::from_slash24_index(
+        info.slash24_index, 77);
+    const TargetInfo* found = world.target_for(addr);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->slash24_index, info.slash24_index);
+  }
+  EXPECT_EQ(world.target_for(ipaddr::IPv4Address(1, 2, 3, 4)), nullptr);
+}
+
+TEST(Internet, RouteTableAttributesAnycastPrefixes) {
+  const SimulatedInternet& world = small_world();
+  const Deployment* cloudflare = world.deployment_by_name("CLOUDFLARENET,US");
+  ASSERT_NE(cloudflare, nullptr);
+  for (const ipaddr::Prefix& prefix : cloudflare->prefixes) {
+    const auto route = world.route_table().lookup(
+        ipaddr::IPv4Address(prefix.network().value() | 1));
+    ASSERT_TRUE(route.has_value());
+    EXPECT_EQ(route->origin_as, cloudflare->as_number);
+  }
+}
+
+TEST(Internet, DeadTargetsNeverReply) {
+  const SimulatedInternet& world = small_world();
+  const auto vps = make_planetlab({.node_count = 3, .seed = 6});
+  rng::Xoshiro256 gen(1);
+  for (const TargetInfo& info : world.targets()) {
+    if (info.kind != TargetInfo::Kind::kDead) continue;
+    const auto reply = world.probe(
+        vps[0], ipaddr::IPv4Address::from_slash24_index(info.slash24_index, 1),
+        Protocol::kIcmpEcho, gen);
+    EXPECT_EQ(reply.kind, ReplyKind::kTimeout);
+  }
+}
+
+TEST(Internet, ProhibitedTargetsReturnTheirCode) {
+  const SimulatedInternet& world = small_world();
+  const auto vps = make_planetlab({.node_count = 1, .seed = 7});
+  rng::Xoshiro256 gen(2);
+  int prohibited_seen = 0;
+  for (const TargetInfo& info : world.targets()) {
+    if (info.error_kind == ReplyKind::kEchoReply || !info.alive) continue;
+    ++prohibited_seen;
+    const auto reply = world.probe(
+        vps[0], ipaddr::IPv4Address::from_slash24_index(info.slash24_index, 1),
+        Protocol::kIcmpEcho, gen);
+    EXPECT_EQ(reply.kind, info.error_kind);
+    EXPECT_TRUE(is_prohibited(reply.kind));
+  }
+  EXPECT_GT(prohibited_seen, 0);
+}
+
+TEST(Internet, RttNeverBelowPhysicalMinimum) {
+  // The no-false-positive precondition: measured RTT >= propagation time
+  // to the replied location, so a VP's disk always contains the target.
+  const SimulatedInternet& world = small_world();
+  const auto vps = make_planetlab({.node_count = 20, .seed = 8});
+  rng::Xoshiro256 gen(3);
+  for (const TargetInfo& info : world.targets()) {
+    if (info.kind != TargetInfo::Kind::kUnicast ||
+        info.error_kind != ReplyKind::kEchoReply || !info.alive) {
+      continue;
+    }
+    for (std::size_t v = 0; v < vps.size(); v += 7) {
+      const auto reply = world.probe(
+          vps[v],
+          ipaddr::IPv4Address::from_slash24_index(info.slash24_index, 1),
+          Protocol::kIcmpEcho, gen);
+      if (reply.kind != ReplyKind::kEchoReply) continue;
+      const double physical = geodesy::distance_to_min_rtt_ms(
+          geodesy::distance_km(vps[v].location, info.unicast_location));
+      EXPECT_GE(reply.rtt_ms, physical * 0.999);
+    }
+  }
+}
+
+TEST(Internet, CatchmentIsDeterministicAndAnnounced) {
+  const SimulatedInternet& world = small_world();
+  const auto vps = make_planetlab({.node_count = 10, .seed = 9});
+  const Deployment* microsoft = world.deployment_by_name("MICROSOFT,US");
+  ASSERT_NE(microsoft, nullptr);
+  std::size_t deployment_index = 0;
+  for (std::size_t d = 0; d < world.deployments().size(); ++d) {
+    if (&world.deployments()[d] == microsoft) deployment_index = d;
+  }
+  for (const VantagePoint& vp : vps) {
+    const ReplicaSite* a = world.catchment(vp, deployment_index, 0);
+    const ReplicaSite* b = world.catchment(vp, deployment_index, 0);
+    EXPECT_EQ(a, b);
+    ASSERT_NE(a, nullptr);
+    const auto announced = microsoft->sites_for_prefix(0);
+    EXPECT_NE(std::find(announced.begin(), announced.end(), a),
+              announced.end());
+  }
+}
+
+TEST(Internet, AnycastRepliesComeFromCatchmentSite) {
+  const SimulatedInternet& world = small_world();
+  const auto vps = make_planetlab({.node_count = 5, .seed = 10});
+  rng::Xoshiro256 gen(4);
+  const Deployment* cloudflare = world.deployment_by_name("CLOUDFLARENET,US");
+  std::size_t deployment_index = 0;
+  for (std::size_t d = 0; d < world.deployments().size(); ++d) {
+    if (&world.deployments()[d] == cloudflare) deployment_index = d;
+  }
+  const auto target = ipaddr::IPv4Address(
+      cloudflare->prefixes[0].network().value() | 1);
+  for (const VantagePoint& vp : vps) {
+    const ReplicaSite* site = world.catchment(vp, deployment_index, 0);
+    double best = 1e18;
+    for (int k = 0; k < 12; ++k) {
+      const auto reply = world.probe(vp, target, Protocol::kIcmpEcho, gen);
+      if (reply.kind == ReplyKind::kEchoReply) {
+        best = std::min(best, reply.rtt_ms);
+      }
+    }
+    const double physical = geodesy::distance_to_min_rtt_ms(
+        geodesy::distance_km(vp.location, site->location));
+    EXPECT_GE(best, physical * 0.999);
+    // And the minimum over repeats approaches the deterministic base
+    // within the jitter budget.
+    EXPECT_LT(best, physical * 2.6 + 12.0);
+  }
+}
+
+TEST(Internet, ProtocolRecallIsBinary) {
+  // Fig. 6: ICMP answers everywhere; TCP/DNS only where the service runs.
+  const SimulatedInternet& world = small_world();
+  const auto vps = make_planetlab({.node_count = 2, .seed = 11});
+  rng::Xoshiro256 gen(5);
+
+  const auto respond_rate = [&](const Deployment* deployment,
+                                Protocol protocol) {
+    const auto target = ipaddr::IPv4Address(
+        deployment->prefixes[0].network().value() | 1);
+    int ok = 0;
+    constexpr int kTrials = 50;
+    for (int i = 0; i < kTrials; ++i) {
+      if (world.probe(vps[0], target, protocol, gen).kind ==
+          ReplyKind::kEchoReply) {
+        ++ok;
+      }
+    }
+    return static_cast<double>(ok) / kTrials;
+  };
+
+  const Deployment* opendns = world.deployment_by_name("OPENDNS,US");
+  const Deployment* edgecast = world.deployment_by_name("EDGECAST,US");
+  ASSERT_NE(opendns, nullptr);
+  ASSERT_NE(edgecast, nullptr);
+  // OpenDNS: resolver + web — everything answers.
+  EXPECT_GT(respond_rate(opendns, Protocol::kIcmpEcho), 0.9);
+  EXPECT_GT(respond_rate(opendns, Protocol::kDnsUdp), 0.9);
+  EXPECT_GT(respond_rate(opendns, Protocol::kTcpSyn80), 0.9);
+  // EdgeCast: HTTP CDN — TCP/80 yes, DNS queries no.
+  EXPECT_GT(respond_rate(edgecast, Protocol::kIcmpEcho), 0.9);
+  EXPECT_GT(respond_rate(edgecast, Protocol::kTcpSyn80), 0.9);
+  EXPECT_DOUBLE_EQ(respond_rate(edgecast, Protocol::kDnsUdp), 0.0);
+  EXPECT_DOUBLE_EQ(respond_rate(edgecast, Protocol::kDnsTcp), 0.0);
+}
+
+TEST(Internet, ExtraDropProbabilityLosesReplies) {
+  const SimulatedInternet& world = small_world();
+  const auto vps = make_planetlab({.node_count = 1, .seed = 12});
+  rng::Xoshiro256 gen(6);
+  const Deployment* cloudflare = world.deployment_by_name("CLOUDFLARENET,US");
+  const auto target = ipaddr::IPv4Address(
+      cloudflare->prefixes[0].network().value() | 1);
+  int ok = 0;
+  constexpr int kTrials = 400;
+  for (int i = 0; i < kTrials; ++i) {
+    if (world.probe(vps[0], target, Protocol::kIcmpEcho, gen, 0.5).kind ==
+        ReplyKind::kEchoReply) {
+      ++ok;
+    }
+  }
+  EXPECT_GT(ok, kTrials / 4);
+  EXPECT_LT(ok, 3 * kTrials / 4);
+}
+
+TEST(Internet, ReachableSitesSubsetOfAllSites) {
+  const SimulatedInternet& world = small_world();
+  const auto vps = make_planetlab({.node_count = 50, .seed = 13});
+  for (std::size_t d = 0; d < 5; ++d) {
+    const Deployment& deployment = world.deployments()[d];
+    const auto reachable = world.reachable_sites(vps, d, 0);
+    EXPECT_FALSE(reachable.empty());
+    EXPECT_LE(reachable.size(), deployment.sites.size());
+  }
+}
+
+TEST(Internet, OpenDnsHasAshburnSite) {
+  // Pinned so the Sec. 3.4 case study is reproducible.
+  const Deployment* opendns =
+      small_world().deployment_by_name("OPENDNS,US");
+  ASSERT_NE(opendns, nullptr);
+  const bool has_ashburn = std::any_of(
+      opendns->sites.begin(), opendns->sites.end(),
+      [](const ReplicaSite& site) { return site.city->name == "Ashburn"; });
+  EXPECT_TRUE(has_ashburn);
+}
+
+}  // namespace
+}  // namespace anycast::net

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "anycast/net/internet.hpp"
+#include "anycast/portscan/scanner.hpp"
+
+namespace anycast::portscan {
+namespace {
+
+const net::SimulatedInternet& world() {
+  static const net::SimulatedInternet instance([] {
+    net::WorldConfig config;
+    config.seed = 41;
+    config.unicast_alive_slash24 = 100;
+    config.unicast_dead_slash24 = 100;
+    return config;
+  }());
+  return instance;
+}
+
+/// The top-100 deployments are the first 100 in catalog order.
+std::span<const net::Deployment> top100() {
+  return world().deployments().subspan(0, 100);
+}
+
+TEST(PortScanner, OpenPortsAreSubsetOfDeploymentServices) {
+  const PortScanner scanner(world());
+  for (const net::Deployment& deployment : top100().subspan(0, 20)) {
+    const DeploymentScan scan = scanner.scan(deployment);
+    EXPECT_EQ(scan.ips_scanned, deployment.prefixes.size());
+    std::set<std::uint16_t> allowed;
+    for (const net::ServicePort& service : deployment.tcp_services) {
+      allowed.insert(service.port);
+    }
+    for (const PortHit& hit : scan.open_ports) {
+      EXPECT_TRUE(allowed.contains(hit.port))
+          << deployment.whois_name << " port " << hit.port;
+    }
+    for (const auto& per_prefix : scan.per_prefix_ports) {
+      for (const std::uint16_t port : per_prefix) {
+        EXPECT_TRUE(allowed.contains(port));
+      }
+    }
+  }
+}
+
+TEST(PortScanner, ResultsAreDeterministic) {
+  const PortScanner scanner(world());
+  const net::Deployment& cloudflare = *world().deployment_by_name(
+      "CLOUDFLARENET,US");
+  const DeploymentScan a = scanner.scan(cloudflare);
+  const DeploymentScan b = scanner.scan(cloudflare);
+  ASSERT_EQ(a.open_ports.size(), b.open_ports.size());
+  EXPECT_EQ(a.per_prefix_ports, b.per_prefix_ports);
+}
+
+TEST(PortScanner, VisibilityBelowOneHidesSomePerPrefixPorts) {
+  const PortScanner scanner(world(), {.per_prefix_visibility = 0.5,
+                                      .seed = 3});
+  const net::Deployment& cloudflare = *world().deployment_by_name(
+      "CLOUDFLARENET,US");
+  const DeploymentScan scan = scanner.scan(cloudflare);
+  // With 328 prefixes at 50% visibility, per-prefix sets differ.
+  std::set<std::vector<std::uint16_t>> distinct(
+      scan.per_prefix_ports.begin(), scan.per_prefix_ports.end());
+  EXPECT_GT(distinct.size(), 10u);
+}
+
+TEST(PortScanner, FullVisibilitySeesEverything) {
+  const PortScanner scanner(world(), {.per_prefix_visibility = 1.0,
+                                      .seed = 3});
+  const net::Deployment& google = *world().deployment_by_name("GOOGLE,US");
+  const DeploymentScan scan = scanner.scan(google);
+  EXPECT_EQ(scan.open_ports.size(), google.tcp_services.size());
+  EXPECT_EQ(scan.ips_responsive, scan.ips_scanned);
+}
+
+TEST(PortScanner, ServiceClassificationAttached) {
+  const PortScanner scanner(world());
+  const net::Deployment& google = *world().deployment_by_name("GOOGLE,US");
+  const DeploymentScan scan = scanner.scan(google);
+  for (const PortHit& hit : scan.open_ports) {
+    if (hit.port == 53) EXPECT_EQ(hit.service, "domain");
+    if (hit.port == 80) {
+      EXPECT_EQ(hit.service, "http");
+      EXPECT_EQ(hit.software, "Google httpd");
+    }
+    if (hit.port == 443) EXPECT_TRUE(hit.ssl);
+  }
+}
+
+TEST(PortScanner, NoOpenPortDeploymentsScanEmpty) {
+  const PortScanner scanner(world());
+  const net::Deployment* filtered = world().deployment_by_name("MASERGY,US");
+  ASSERT_NE(filtered, nullptr);
+  const DeploymentScan scan = scanner.scan(*filtered);
+  EXPECT_TRUE(scan.open_ports.empty());
+  EXPECT_EQ(scan.ips_responsive, 0u);
+}
+
+TEST(Summarize, HeaderNumbersInPaperBallpark) {
+  // Fig. 14 header: 812 IPs, 81 ASes, ~10.5k ports, hundreds of well-known
+  // services (bounded here by the embedded registry), ~30 software.
+  const PortScanner scanner(world());
+  const auto scans = scanner.scan_all(top100());
+  const ScanStatistics stats = summarize(scans);
+  EXPECT_NEAR(static_cast<double>(stats.ases_with_open_port), 81.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(stats.ips_responsive), 812.0, 40.0);
+  EXPECT_GT(stats.distinct_open_ports, 10000u);
+  EXPECT_LT(stats.distinct_open_ports, 11000u);
+  EXPECT_GT(stats.well_known, 100u);
+  EXPECT_NEAR(static_cast<double>(stats.software_packages), 30.0, 3.0);
+  EXPECT_GT(stats.ssl_ports, 5u);
+}
+
+TEST(RankPorts, ByAsTopIncludesDnsWebBgp) {
+  const PortScanner scanner(world());
+  const auto scans = scanner.scan_all(top100());
+  const auto ranking = rank_ports_by_as(scans);
+  ASSERT_GE(ranking.size(), 10u);
+  std::set<std::uint16_t> top10;
+  for (std::size_t i = 0; i < 10; ++i) top10.insert(ranking[i].first);
+  // Fig. 14 top plot: 53, 80, 443 dominate; 179 and 22 appear.
+  EXPECT_TRUE(top10.contains(53));
+  EXPECT_TRUE(top10.contains(80));
+  EXPECT_TRUE(top10.contains(443));
+  EXPECT_TRUE(top10.contains(22));
+  // Descending counts.
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_GE(ranking[i - 1].second, ranking[i].second);
+  }
+}
+
+TEST(RankPorts, ClassImbalanceCloudflareDominatesPerPrefix) {
+  // Fig. 14 bottom plot: per-/24 counts are dominated by CloudFlare's 328
+  // /24s, pulling its alternate HTTP ports (2052..2096) into the top-10 —
+  // the class-imbalance argument for per-AS statistics.
+  const PortScanner scanner(world());
+  const auto scans = scanner.scan_all(top100());
+  const auto by_prefix = rank_ports_by_prefix(scans);
+  ASSERT_GE(by_prefix.size(), 10u);
+  std::set<std::uint16_t> top10;
+  for (std::size_t i = 0; i < 10; ++i) top10.insert(by_prefix[i].first);
+  int cloudflare_specials = 0;
+  for (const std::uint16_t port : {2052, 2053, 2082, 2083, 2086, 2087, 2095,
+                                   2096, 8443, 8880}) {
+    if (top10.contains(port)) ++cloudflare_specials;
+  }
+  EXPECT_GE(cloudflare_specials, 4);
+  // Whereas per-AS, none of those enters the top-10.
+  const auto by_as = rank_ports_by_as(scans);
+  std::set<std::uint16_t> as_top10;
+  for (std::size_t i = 0; i < 10; ++i) as_top10.insert(by_as[i].first);
+  int specials_in_as_top = 0;
+  for (const std::uint16_t port : {2052, 2053, 2082, 2083, 2086, 2087}) {
+    if (as_top10.contains(port)) ++specials_in_as_top;
+  }
+  EXPECT_LE(specials_in_as_top, 1);
+}
+
+TEST(Summarize, OvhAndIncapsulaAreTheServiceFootprintGiants) {
+  const PortScanner scanner(world());
+  const auto ovh = scanner.scan(*world().deployment_by_name("OVH,FR"));
+  const auto incapsula =
+      scanner.scan(*world().deployment_by_name("INCAPSULA,US"));
+  EXPECT_GT(ovh.open_ports.size(), 9500u);     // ~10,148 in the paper
+  EXPECT_GT(incapsula.open_ports.size(), 250u);  // ~313 in the paper
+  EXPECT_LT(incapsula.open_ports.size(), 330u);
+}
+
+}  // namespace
+}  // namespace anycast::portscan

@@ -1,0 +1,163 @@
+// Cross-cutting randomized invariants of the whole pipeline. Each property
+// is something the paper's methodology quietly relies on; violations would
+// invalidate the census semantics rather than just a number.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "anycast/analysis/analyzer.hpp"
+#include "anycast/census/census.hpp"
+#include "anycast/core/igreedy.hpp"
+#include "anycast/geo/city_data.hpp"
+#include "anycast/geo/city_index.hpp"
+#include "anycast/net/platform.hpp"
+#include "anycast/rng/distributions.hpp"
+
+namespace anycast {
+namespace {
+
+class PipelineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::vector<core::Measurement> random_anycast_measurements(
+    rng::Xoshiro256& gen, std::size_t vp_count, int replica_count) {
+  const auto cities = geo::world_cities();
+  std::vector<geodesy::GeoPoint> replicas;
+  for (int i = 0; i < replica_count; ++i) {
+    replicas.push_back(
+        cities[rng::uniform_index(gen, 150)].location());
+  }
+  std::vector<core::Measurement> out;
+  for (std::uint32_t v = 0; v < vp_count; ++v) {
+    const geodesy::GeoPoint vp =
+        cities[rng::uniform_index(gen, 400)].location();
+    double best = 1e18;
+    for (const geodesy::GeoPoint& replica : replicas) {
+      const double rtt =
+          geodesy::distance_to_min_rtt_ms(geodesy::distance_km(vp, replica)) *
+              rng::uniform(gen, 1.0, 1.6) +
+          rng::exponential(gen, 1.0);
+      best = std::min(best, rtt);
+    }
+    out.push_back(core::Measurement{v, vp, best});
+  }
+  return out;
+}
+
+TEST_P(PipelineProperty, DetectionIsMonotoneInMeasurementSubsets) {
+  // Removing measurements can only lose speed-of-light violations: if a
+  // subset detects anycast, every superset must too.
+  rng::Xoshiro256 gen(GetParam());
+  const auto full = random_anycast_measurements(gen, 24, 4);
+  std::vector<core::Measurement> subset(full.begin(),
+                                        full.begin() + full.size() / 2);
+  if (core::IGreedy::detect(subset)) {
+    EXPECT_TRUE(core::IGreedy::detect(full));
+  }
+}
+
+TEST_P(PipelineProperty, ClassifiedReplicasLieInsideTheirDisks) {
+  // The geolocated city is evidence for the replica only if it is a
+  // feasible location, i.e. inside the latency disk that isolated it.
+  rng::Xoshiro256 gen(GetParam() ^ 0xABCD);
+  const auto measurements = random_anycast_measurements(gen, 30, 5);
+  const core::IGreedy igreedy(geo::world_index());
+  const core::Result result = igreedy.analyze(measurements);
+  for (const core::Replica& replica : result.replicas) {
+    if (replica.city != nullptr) {
+      EXPECT_TRUE(replica.disk.contains(replica.location))
+          << replica.city->display();
+    } else {
+      EXPECT_EQ(replica.location, replica.disk.center());
+    }
+  }
+}
+
+TEST_P(PipelineProperty, FirstRoundNeverExceedsFinalCount) {
+  rng::Xoshiro256 gen(GetParam() ^ 0x1234);
+  const auto measurements = random_anycast_measurements(gen, 28, 6);
+  const core::IGreedy igreedy(geo::world_index());
+  const core::Result result = igreedy.analyze(measurements);
+  EXPECT_LE(result.first_round_replicas, result.replicas.size());
+}
+
+TEST_P(PipelineProperty, AnalysisIsDeterministic) {
+  rng::Xoshiro256 gen(GetParam() ^ 0x5678);
+  const auto measurements = random_anycast_measurements(gen, 20, 4);
+  const core::IGreedy igreedy(geo::world_index());
+  const core::Result a = igreedy.analyze(measurements);
+  const core::Result b = igreedy.analyze(measurements);
+  EXPECT_EQ(a.anycast, b.anycast);
+  ASSERT_EQ(a.replicas.size(), b.replicas.size());
+  for (std::size_t i = 0; i < a.replicas.size(); ++i) {
+    EXPECT_EQ(a.replicas[i].city, b.replicas[i].city);
+    EXPECT_EQ(a.replicas[i].vp_id, b.replicas[i].vp_id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(CombineProperty, OrderOfCombinationIsIrrelevant) {
+  // combine_min must be commutative and associative over censuses — the
+  // paper combines four censuses without caring about order.
+  net::WorldConfig config;
+  config.seed = 71;
+  config.unicast_alive_slash24 = 200;
+  config.unicast_dead_slash24 = 100;
+  const net::SimulatedInternet internet(config);
+  const auto vps = net::make_planetlab({.node_count = 15, .seed = 72});
+  const census::Hitlist hitlist =
+      census::Hitlist::from_world(internet).without_dead();
+
+  std::vector<census::CensusData> runs;
+  for (int c = 0; c < 3; ++c) {
+    census::Greylist blacklist;
+    census::FastPingConfig fastping;
+    fastping.seed = 300 + static_cast<std::uint64_t>(c);
+    runs.push_back(
+        run_census(internet, vps, hitlist, blacklist, fastping).data);
+  }
+
+  census::CensusData forward(hitlist.size());
+  for (const auto& run : runs) forward.combine_min(run);
+  census::CensusData backward(hitlist.size());
+  for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
+    backward.combine_min(*it);
+  }
+  for (std::uint32_t t = 0; t < hitlist.size(); ++t) {
+    const auto a = forward.measurements(t);
+    const auto b = backward.measurements(t);
+    ASSERT_EQ(a.size(), b.size()) << t;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].vp, b[i].vp);
+      EXPECT_FLOAT_EQ(a[i].rtt_ms, b[i].rtt_ms);
+    }
+  }
+}
+
+TEST(AnalyzerProperty, HugeRttsNeverCauseDetection) {
+  // Disks above the max-RTT cutoff constrain nothing and must be ignored:
+  // a target answering with garbage latencies is not thereby anycast.
+  const auto vps = net::make_planetlab({.node_count = 40, .seed = 73});
+  const analysis::CensusAnalyzer analyzer(vps, geo::world_index());
+  std::vector<census::VpRtt> row;
+  for (std::uint16_t v = 0; v < 40; ++v) {
+    row.push_back(census::VpRtt{v, 100000.0F});
+  }
+  EXPECT_FALSE(analyzer.detect(row));
+  const core::Result result = analyzer.analyze_row(row);
+  EXPECT_FALSE(result.anycast);
+  EXPECT_EQ(result.usable_measurements, 0u);
+}
+
+TEST(AnalyzerProperty, DetectNeedsTwoMeasurements) {
+  const auto vps = net::make_planetlab({.node_count = 5, .seed = 74});
+  const analysis::CensusAnalyzer analyzer(vps, geo::world_index());
+  const std::vector<census::VpRtt> one{{0, 5.0F}};
+  EXPECT_FALSE(analyzer.detect(one));
+  const std::vector<census::VpRtt> none{};
+  EXPECT_FALSE(analyzer.detect(none));
+}
+
+}  // namespace
+}  // namespace anycast

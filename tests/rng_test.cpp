@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "anycast/rng/distributions.hpp"
+#include "anycast/rng/lfsr.hpp"
+#include "anycast/rng/random.hpp"
+
+namespace anycast::rng {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(1234);
+  SplitMix64 b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DeterministicAndSeedSensitive) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.next(), b.next());
+  Xoshiro256 c(99);
+  Xoshiro256 d(100);
+  bool any_diff = false;
+  for (int i = 0; i < 64; ++i) {
+    if (c.next() != d.next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Xoshiro256, SplitStreamsAreIndependentButReproducible) {
+  const Xoshiro256 base(7);
+  Xoshiro256 s1 = base.split(1);
+  Xoshiro256 s1_again = base.split(1);
+  Xoshiro256 s2 = base.split(2);
+  EXPECT_EQ(s1.next(), s1_again.next());
+  EXPECT_NE(s1.next(), s2.next());
+}
+
+// --- Galois LFSR: the probing-order machinery of Sec. 3.5 ---------------
+
+class LfsrPeriod : public ::testing::TestWithParam<int> {};
+
+TEST_P(LfsrPeriod, FullPeriodVisitsEveryNonZeroState) {
+  const int bits = GetParam();
+  GaloisLfsr lfsr(bits, 1);
+  const std::uint64_t period = lfsr.period();
+  std::set<std::uint32_t> seen;
+  seen.insert(lfsr.state());
+  for (std::uint64_t i = 1; i < period; ++i) {
+    const std::uint32_t state = lfsr.next();
+    EXPECT_NE(state, 0u);
+    EXPECT_TRUE(seen.insert(state).second)
+        << "state repeated before full period at step " << i;
+  }
+  // One more step closes the cycle.
+  EXPECT_EQ(lfsr.next(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LfsrPeriod,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16));
+
+// Wider registers: spot-check no short cycle (first 2^20 states distinct).
+class LfsrWide : public ::testing::TestWithParam<int> {};
+
+TEST_P(LfsrWide, NoShortCycle) {
+  GaloisLfsr lfsr(GetParam(), 12345);
+  const std::uint32_t start = lfsr.state();
+  for (int i = 0; i < (1 << 20); ++i) {
+    ASSERT_NE(lfsr.next(), start) << "cycle shorter than 2^20 at width "
+                                  << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LfsrWide,
+                         ::testing::Values(24, 28, 32));
+
+TEST(GaloisLfsr, BitsForCoversCount) {
+  EXPECT_EQ(GaloisLfsr::bits_for(1), 2);
+  EXPECT_EQ(GaloisLfsr::bits_for(3), 2);
+  EXPECT_EQ(GaloisLfsr::bits_for(4), 3);
+  EXPECT_EQ(GaloisLfsr::bits_for(7), 3);
+  EXPECT_EQ(GaloisLfsr::bits_for(8), 4);
+  EXPECT_EQ(GaloisLfsr::bits_for(6'600'000), 23);
+}
+
+TEST(GaloisLfsr, RejectsBadWidth) {
+  EXPECT_THROW(GaloisLfsr(1, 1), std::invalid_argument);
+  EXPECT_THROW(GaloisLfsr(33, 1), std::invalid_argument);
+}
+
+TEST(GaloisLfsr, ZeroStartIsFixedUp) {
+  GaloisLfsr lfsr(8, 0);
+  EXPECT_NE(lfsr.state(), 0u);
+}
+
+class PermutationSize : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PermutationSize, EmitsEveryIndexExactlyOnce) {
+  const std::uint32_t size = GetParam();
+  LfsrPermutation perm(size, /*seed=*/99);
+  std::vector<bool> seen(size, false);
+  std::uint32_t count = 0;
+  while (const auto index = perm.next()) {
+    ASSERT_LT(*index, size);
+    ASSERT_FALSE(seen[*index]) << "index " << *index << " emitted twice";
+    seen[*index] = true;
+    ++count;
+  }
+  EXPECT_EQ(count, size);
+  EXPECT_FALSE(perm.next().has_value());  // stays exhausted
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationSize,
+                         ::testing::Values(1u, 2u, 3u, 7u, 8u, 100u, 1000u,
+                                           4095u, 4096u, 65535u));
+
+TEST(LfsrPermutation, DifferentSeedsGiveDifferentOrders) {
+  LfsrPermutation a(1000, 1);
+  LfsrPermutation b(1000, 2);
+  std::vector<std::uint32_t> va;
+  std::vector<std::uint32_t> vb;
+  for (int i = 0; i < 10; ++i) {
+    va.push_back(*a.next());
+    vb.push_back(*b.next());
+  }
+  EXPECT_NE(va, vb);
+}
+
+TEST(LfsrPermutation, EmptyIsImmediatelyExhausted) {
+  LfsrPermutation perm(0, 5);
+  EXPECT_FALSE(perm.next().has_value());
+}
+
+// --- Distributions -------------------------------------------------------
+
+TEST(Distributions, Uniform01InRange) {
+  Xoshiro256 gen(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = uniform01(gen);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Distributions, UniformIndexUnbiasedish) {
+  Xoshiro256 gen(2);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[uniform_index(gen, 10)];
+  for (const int count : counts) {
+    EXPECT_GT(count, 9000);
+    EXPECT_LT(count, 11000);
+  }
+}
+
+TEST(Distributions, UniformIndexRejectsZeroBound) {
+  Xoshiro256 gen(3);
+  EXPECT_THROW(uniform_index(gen, 0), std::invalid_argument);
+}
+
+TEST(Distributions, BernoulliEdges) {
+  Xoshiro256 gen(4);
+  EXPECT_FALSE(bernoulli(gen, 0.0));
+  EXPECT_TRUE(bernoulli(gen, 1.0));
+  EXPECT_FALSE(bernoulli(gen, -1.0));
+  EXPECT_TRUE(bernoulli(gen, 2.0));
+}
+
+TEST(Distributions, ExponentialMeanConverges) {
+  Xoshiro256 gen(5);
+  double sum = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) sum += exponential(gen, 3.0);
+  EXPECT_NEAR(sum / kSamples, 3.0, 0.05);
+}
+
+TEST(Distributions, NormalMoments) {
+  Xoshiro256 gen(6);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = normal(gen, 10.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double variance = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(variance, 4.0, 0.1);
+}
+
+TEST(Distributions, LognormalIsPositive) {
+  Xoshiro256 gen(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(lognormal(gen, -1.0, 1.0), 0.0);
+}
+
+TEST(Distributions, WeightedIndexRespectsWeights) {
+  Xoshiro256 gen(8);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[weighted_index(gen, weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Distributions, WeightedIndexRejectsBadWeights) {
+  Xoshiro256 gen(9);
+  EXPECT_THROW(weighted_index(gen, {0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(weighted_index(gen, {1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Zipf, HeadIsHeavy) {
+  Xoshiro256 gen(10);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.sample(gen)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+  // Rank-0 share for s=1, n=100: 1/H(100) ~ 0.192.
+  EXPECT_NEAR(counts[0] / 100000.0, 0.192, 0.02);
+}
+
+TEST(Zipf, RejectsEmpty) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+TEST(Shuffle, ProducesPermutation) {
+  Xoshiro256 gen(11);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = values;
+  shuffle(gen, shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, values);
+}
+
+}  // namespace
+}  // namespace anycast::rng

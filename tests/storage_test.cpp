@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "anycast/analysis/analyzer.hpp"
+#include "anycast/census/census.hpp"
+#include "anycast/census/storage.hpp"
+#include "anycast/geo/city_index.hpp"
+#include "anycast/net/platform.hpp"
+
+namespace anycast::census {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("anycast_storage_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+std::vector<Observation> sample_stream() {
+  std::vector<Observation> out;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    Observation obs;
+    obs.target_index = (i * 37) % 400;  // LFSR-ish scrambled order
+    obs.time_s = i * 0.5;
+    if (i % 11 == 0) {
+      obs.kind = net::ReplyKind::kTimeout;
+    } else if (i % 47 == 0) {
+      obs.kind = net::ReplyKind::kAdminProhibited;
+    } else {
+      obs.kind = net::ReplyKind::kEchoReply;
+      obs.rtt_ms = 5.0 + (i % 90) * 1.5;
+    }
+    out.push_back(obs);
+  }
+  return out;
+}
+
+TEST_F(StorageTest, WriteReadRoundTrip) {
+  const auto stream = sample_stream();
+  const fs::path path = dir_ / "vp7_census2.anc";
+  write_census_file(path, {7, 2}, stream);
+  const auto loaded = read_census_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->header.vp_id, 7u);
+  EXPECT_EQ(loaded->header.census_id, 2u);
+  ASSERT_EQ(loaded->observations.size(), stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(loaded->observations[i].target_index, stream[i].target_index);
+    EXPECT_EQ(loaded->observations[i].kind, stream[i].kind);
+  }
+}
+
+TEST_F(StorageTest, MissingFileYieldsNullopt) {
+  EXPECT_FALSE(read_census_file(dir_ / "nope.anc").has_value());
+}
+
+TEST_F(StorageTest, TruncatedFileRejected) {
+  const auto stream = sample_stream();
+  const fs::path path = dir_ / "full.anc";
+  write_census_file(path, {1, 1}, stream);
+  // Chop the tail off.
+  const auto size = fs::file_size(path);
+  fs::resize_file(path, size - 5);
+  EXPECT_FALSE(read_census_file(path).has_value());
+}
+
+TEST_F(StorageTest, CorruptedMagicRejected) {
+  const fs::path path = dir_ / "bad.anc";
+  std::ofstream out(path, std::ios::binary);
+  out << "this is not a census file at all";
+  out.close();
+  EXPECT_FALSE(read_census_file(path).has_value());
+}
+
+TEST_F(StorageTest, CollationMatchesDirectCensus) {
+  // Run a small census, persist each VP's stream, collate back from disk,
+  // and check the analyzer sees identical data.
+  net::WorldConfig world_config;
+  world_config.seed = 81;
+  world_config.unicast_alive_slash24 = 300;
+  world_config.unicast_dead_slash24 = 100;
+  const net::SimulatedInternet internet(world_config);
+  const auto vps = net::make_planetlab({.node_count = 12, .seed = 82});
+  const Hitlist hitlist = Hitlist::from_world(internet).without_dead();
+
+  Greylist blacklist;
+  Greylist greylist;
+  CensusData direct(hitlist.size());
+  std::vector<fs::path> paths;
+  for (const net::VantagePoint& vp : vps) {
+    FastPingConfig config;
+    config.seed = 83;
+    const FastPingResult run =
+        run_fastping(internet, vp, hitlist, blacklist, greylist, config);
+    const fs::path path =
+        dir_ / ("vp" + std::to_string(vp.id) + ".anc");
+    write_census_file(path, {vp.id, 1}, run.observations);
+    paths.push_back(path);
+    for (const Observation& obs : run.observations) {
+      if (obs.kind == net::ReplyKind::kEchoReply) {
+        direct.record(obs.target_index, static_cast<std::uint16_t>(vp.id),
+                      static_cast<float>(obs.rtt_ms));
+      }
+    }
+  }
+
+  std::size_t skipped = 0;
+  const CensusData collated =
+      collate_census_files(paths, hitlist.size(), &skipped);
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(collated.target_count(), direct.target_count());
+  for (std::uint32_t t = 0; t < direct.target_count(); ++t) {
+    const auto a = direct.measurements(t);
+    const auto b = collated.measurements(t);
+    ASSERT_EQ(a.size(), b.size()) << "target " << t;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].vp, b[i].vp);
+      // Binary storage quantises to 1/50 ms.
+      EXPECT_NEAR(a[i].rtt_ms, b[i].rtt_ms, 0.011F);
+    }
+  }
+}
+
+TEST_F(StorageTest, CollationSkipsDamagedUploads) {
+  const auto stream = sample_stream();
+  const fs::path good = dir_ / "good.anc";
+  const fs::path bad = dir_ / "bad.anc";
+  write_census_file(good, {3, 1}, stream);
+  write_census_file(bad, {4, 1}, stream);
+  fs::resize_file(bad, fs::file_size(bad) / 2);
+
+  const std::vector<fs::path> paths{good, bad, dir_ / "missing.anc"};
+  std::size_t skipped = 0;
+  const CensusData data = collate_census_files(paths, 400, &skipped);
+  EXPECT_EQ(skipped, 2u);
+  std::size_t total = 0;
+  for (std::uint32_t t = 0; t < data.target_count(); ++t) {
+    total += data.measurements(t).size();
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST_F(StorageTest, OutOfRangeTargetsDropped) {
+  std::vector<Observation> stream{
+      {399, 0.0, net::ReplyKind::kEchoReply, 10.0},
+      {100000, 0.0, net::ReplyKind::kEchoReply, 10.0},  // beyond hitlist
+  };
+  const fs::path path = dir_ / "range.anc";
+  write_census_file(path, {1, 1}, stream);
+  const std::vector<fs::path> paths{path};
+  const CensusData data = collate_census_files(paths, 400);
+  EXPECT_EQ(data.measurements(399).size(), 1u);
+  std::size_t total = 0;
+  for (std::uint32_t t = 0; t < data.target_count(); ++t) {
+    total += data.measurements(t).size();
+  }
+  EXPECT_EQ(total, 1u);
+}
+
+}  // namespace
+}  // namespace anycast::census

@@ -1,0 +1,288 @@
+// anycastd — command-line front end to the census library.
+//
+// Subcommands mirror the paper's workflow (Fig. 1):
+//
+//   anycastd world    [--seed N] [--unicast N]
+//       print the simulated world's deployment inventory
+//   anycastd census   --out DIR [--vps N] [--rate PPS] [--census-id N]
+//       run one census; write one binary file per VP into DIR
+//   anycastd analyze  --in DIR [--geojson FILE] [--top N]
+//       collate per-VP files, detect/enumerate/geolocate, print the
+//       characterisation; optionally export replicas as GeoJSON
+//   anycastd portscan [--top N]
+//       TCP portscan of the top anycast ASes (Sec. 4.3)
+//   anycastd diff     --out DIR
+//       run two censuses and print the landscape changes (Sec. 5)
+//
+// All commands are deterministic in --seed.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "anycast/analysis/analyzer.hpp"
+#include "anycast/analysis/diff.hpp"
+#include "anycast/analysis/geojson.hpp"
+#include "anycast/analysis/report.hpp"
+#include "anycast/census/census.hpp"
+#include "anycast/census/storage.hpp"
+#include "anycast/geo/city_index.hpp"
+#include "anycast/net/platform.hpp"
+#include "anycast/portscan/scanner.hpp"
+#include "flags.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace anycast;
+using tools::Flags;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: anycastd <world|census|analyze|portscan|diff> [flags]\n"
+      "  common flags: --seed N (default 2015), --unicast N (default 6000),\n"
+      "                --vps N (default 200)\n"
+      "  census:   --out DIR [--rate PPS] [--census-id N]\n"
+      "  analyze:  --in DIR [--geojson FILE] [--top N]\n"
+      "  portscan: [--top N]\n"
+      "  diff:     [--epochs N]\n");
+  return 2;
+}
+
+net::WorldConfig world_config_from(const Flags& flags) {
+  net::WorldConfig config;
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2015));
+  const auto unicast =
+      static_cast<std::uint32_t>(flags.get_int("unicast", 6000));
+  config.unicast_alive_slash24 = unicast;
+  config.unicast_silent_slash24 = unicast;
+  config.unicast_dead_slash24 = unicast;
+  return config;
+}
+
+std::vector<net::VantagePoint> platform_from(const Flags& flags) {
+  return net::make_planetlab(
+      {.node_count = static_cast<int>(flags.get_int("vps", 200)),
+       .seed = static_cast<std::uint64_t>(flags.get_int("seed", 2015)) ^
+               0xF1E1D});
+}
+
+int reject_unknown(const Flags& flags) {
+  const auto unknown = flags.unknown();
+  if (unknown.empty()) return 0;
+  for (const std::string& name : unknown) {
+    std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+  }
+  return 2;
+}
+
+int cmd_world(const Flags& flags) {
+  const net::SimulatedInternet internet(world_config_from(flags));
+  std::size_t anycast_prefixes = 0;
+  for (const net::Deployment& deployment : internet.deployments()) {
+    anycast_prefixes += deployment.prefixes.size();
+  }
+  std::printf("world seed %lld: %zu routed /24 (%zu anycast in %zu ASes)\n",
+              static_cast<long long>(flags.get_int("seed", 2015)),
+              internet.targets().size(), anycast_prefixes,
+              internet.deployments().size());
+  std::printf("\n%-18s %-9s %6s %6s %7s %6s\n", "AS", "category", "sites",
+              "IP/24", "ports", "DNS");
+  const auto top = static_cast<std::size_t>(flags.get_int("top", 20));
+  if (const int rc = reject_unknown(flags)) return rc;
+  for (std::size_t d = 0; d < top && d < internet.deployments().size();
+       ++d) {
+    const net::Deployment& deployment = internet.deployments()[d];
+    std::printf("%-18s %-9s %6zu %6zu %7zu %6s\n",
+                deployment.whois_name.c_str(),
+                std::string(net::to_string(deployment.category)).c_str(),
+                deployment.sites.size(), deployment.prefixes.size(),
+                deployment.tcp_services.size(),
+                deployment.serves_dns ? "yes" : "no");
+  }
+  return 0;
+}
+
+int cmd_census(const Flags& flags) {
+  const auto out_dir = flags.get("out");
+  if (!out_dir.has_value()) {
+    std::fprintf(stderr, "census: --out DIR is required\n");
+    return 2;
+  }
+  const net::SimulatedInternet internet(world_config_from(flags));
+  const auto vps = platform_from(flags);
+  const census::Hitlist hitlist =
+      census::Hitlist::from_world(internet).without_dead();
+
+  census::FastPingConfig fastping;
+  fastping.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2015)) +
+                  static_cast<std::uint64_t>(flags.get_int("census-id", 1));
+  fastping.probe_rate_pps = flags.get_double("rate", 1000.0);
+  const auto census_id =
+      static_cast<std::uint32_t>(flags.get_int("census-id", 1));
+  if (const int rc = reject_unknown(flags)) return rc;
+
+  fs::create_directories(*out_dir);
+  census::Greylist blacklist;
+  census::Greylist greylist;
+  std::uint64_t replies = 0;
+  std::uint64_t errors = 0;
+  for (const net::VantagePoint& vp : vps) {
+    const census::FastPingResult result = census::run_fastping(
+        internet, vp, hitlist, blacklist, greylist, fastping);
+    replies += result.echo_replies;
+    errors += result.errors;
+    const fs::path path = fs::path(*out_dir) /
+                          ("census" + std::to_string(census_id) + "_vp" +
+                           std::to_string(vp.id) + ".anc");
+    census::write_census_file(path, {vp.id, census_id},
+                              result.observations);
+  }
+  std::printf(
+      "census %u: %zu VPs x %zu targets -> %llu echo replies, %llu ICMP "
+      "errors (%zu greylisted)\n",
+      census_id, vps.size(), hitlist.size(),
+      static_cast<unsigned long long>(replies),
+      static_cast<unsigned long long>(errors), greylist.size());
+  std::printf("wrote %zu files to %s\n", vps.size(), out_dir->c_str());
+  return 0;
+}
+
+int cmd_analyze(const Flags& flags) {
+  const auto in_dir = flags.get("in");
+  if (!in_dir.has_value()) {
+    std::fprintf(stderr, "analyze: --in DIR is required\n");
+    return 2;
+  }
+  // The same world/platform parameters must be supplied as at census time.
+  const net::SimulatedInternet internet(world_config_from(flags));
+  const auto vps = platform_from(flags);
+  const census::Hitlist hitlist =
+      census::Hitlist::from_world(internet).without_dead();
+
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(*in_dir)) {
+    if (entry.path().extension() == ".anc") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "analyze: no .anc files in %s\n", in_dir->c_str());
+    return 1;
+  }
+
+  std::size_t skipped = 0;
+  const census::CensusData data =
+      census::collate_census_files(files, hitlist.size(), &skipped);
+  std::printf("collated %zu files (%zu skipped), %zu responsive targets\n",
+              files.size(), skipped, data.responsive_targets(2));
+
+  const analysis::CensusAnalyzer analyzer(vps, geo::world_index());
+  analysis::CensusReport report(internet, analyzer.analyze(data, hitlist));
+  const analysis::GlanceRow all = report.glance_all();
+  std::printf(
+      "anycast: %zu /24 in %zu ASes, %llu replicas, %zu cities, %zu "
+      "countries\n",
+      all.ip24, all.ases, static_cast<unsigned long long>(all.replicas),
+      all.cities, all.countries);
+
+  const auto top = static_cast<std::size_t>(flags.get_int("top", 15));
+  std::printf("\n%-18s %-9s %14s %6s\n", "AS", "category", "replicas//24",
+              "IP/24");
+  for (std::size_t i = 0; i < top && i < report.ases().size(); ++i) {
+    const analysis::AsReport& as_report = report.ases()[i];
+    std::printf("%-18s %-9s %8.1f±%-4.1f %6zu\n",
+                as_report.deployment->whois_name.c_str(),
+                std::string(net::to_string(as_report.deployment->category))
+                    .c_str(),
+                as_report.mean_replicas, as_report.stddev_replicas,
+                as_report.detected_ip24);
+  }
+
+  if (const auto geojson_path = flags.get("geojson")) {
+    std::ofstream out(*geojson_path);
+    out << analysis::census_geojson(report);
+    std::printf("\nwrote GeoJSON to %s\n", geojson_path->c_str());
+  }
+  return reject_unknown(flags);
+}
+
+int cmd_portscan(const Flags& flags) {
+  const net::SimulatedInternet internet(world_config_from(flags));
+  const auto top = static_cast<std::size_t>(flags.get_int("top", 100));
+  if (const int rc = reject_unknown(flags)) return rc;
+  const portscan::PortScanner scanner(internet);
+  const auto scans = scanner.scan_all(
+      internet.deployments().subspan(0, std::min<std::size_t>(
+                                            top,
+                                            internet.deployments().size())));
+  const portscan::ScanStatistics stats = portscan::summarize(scans);
+  std::printf(
+      "scanned %zu ASes: %llu responsive IPs, %llu ASes with open ports,\n"
+      "%llu distinct ports (%llu SSL), %llu well-known services, %llu "
+      "software packages\n",
+      scans.size(), static_cast<unsigned long long>(stats.ips_responsive),
+      static_cast<unsigned long long>(stats.ases_with_open_port),
+      static_cast<unsigned long long>(stats.distinct_open_ports),
+      static_cast<unsigned long long>(stats.ssl_ports),
+      static_cast<unsigned long long>(stats.well_known),
+      static_cast<unsigned long long>(stats.software_packages));
+  std::printf("\ntop ports by AS:");
+  const auto ranking = portscan::rank_ports_by_as(scans);
+  for (std::size_t i = 0; i < 10 && i < ranking.size(); ++i) {
+    std::printf(" %u(%u)", ranking[i].first, ranking[i].second);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_diff(const Flags& flags) {
+  const net::SimulatedInternet internet(world_config_from(flags));
+  const auto vps = platform_from(flags);
+  const census::Hitlist hitlist =
+      census::Hitlist::from_world(internet).without_dead();
+  const analysis::CensusAnalyzer analyzer(vps, geo::world_index());
+  const auto epochs = static_cast<int>(flags.get_int("epochs", 2));
+  if (const int rc = reject_unknown(flags)) return rc;
+
+  analysis::CensusSnapshot previous;
+  for (int epoch = 1; epoch <= epochs; ++epoch) {
+    census::Greylist blacklist;
+    census::FastPingConfig fastping;
+    fastping.seed = 5000 + static_cast<std::uint64_t>(epoch);
+    fastping.vp_availability = 0.85;
+    const auto output =
+        run_census(internet, vps, hitlist, blacklist, fastping);
+    analysis::CensusSnapshot snapshot(
+        analyzer.analyze(output.data, hitlist));
+    std::printf("epoch %d: %zu anycast /24\n", epoch, snapshot.size());
+    if (epoch > 1) {
+      const analysis::CensusDiff diff =
+          diff_censuses(previous, snapshot, /*min_replica_delta=*/3);
+      std::printf(
+          "  vs previous: %zu appeared, %zu disappeared, %zu grew, %zu "
+          "shrank\n",
+          diff.count(analysis::PrefixChange::Kind::kAppeared),
+          diff.count(analysis::PrefixChange::Kind::kDisappeared),
+          diff.count(analysis::PrefixChange::Kind::kGrew),
+          diff.count(analysis::PrefixChange::Kind::kShrank));
+    }
+    previous = std::move(snapshot);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const auto flags = Flags::parse(argc, argv, 2);
+  if (!flags.has_value()) return usage();
+  if (command == "world") return cmd_world(*flags);
+  if (command == "census") return cmd_census(*flags);
+  if (command == "analyze") return cmd_analyze(*flags);
+  if (command == "portscan") return cmd_portscan(*flags);
+  if (command == "diff") return cmd_diff(*flags);
+  return usage();
+}

@@ -1,0 +1,67 @@
+#include "flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace anycast::tools {
+
+std::optional<Flags> Flags::parse(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" — also allow boolean "--name" at end / before another
+    // flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[body] = argv[++i];
+    } else {
+      flags.values_[body] = "true";
+    }
+  }
+  return flags;
+}
+
+std::optional<std::string> Flags::get(const std::string& name) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Flags::get_or(const std::string& name,
+                          std::string fallback) const {
+  const auto value = get(name);
+  return value.has_value() ? *value : std::move(fallback);
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t fallback) const {
+  const auto value = get(name);
+  if (!value.has_value()) return fallback;
+  return std::strtoll(value->c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const auto value = get(name);
+  if (!value.has_value()) return fallback;
+  return std::strtod(value->c_str(), nullptr);
+}
+
+std::vector<std::string> Flags::unknown() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    if (!queried_.contains(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace anycast::tools

@@ -1,0 +1,47 @@
+// Minimal command-line flag parsing for the anycastd tool.
+//
+// Supports "--name value", "--name=value", and bare positional arguments.
+// No external dependencies; unknown flags are reported as errors so typos
+// fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace anycast::tools {
+
+class Flags {
+ public:
+  /// Parses argv[first..argc). Returns nullopt and prints a diagnostic on
+  /// malformed input (e.g. trailing "--flag" without a value).
+  static std::optional<Flags> parse(int argc, char** argv, int first = 1);
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+  [[nodiscard]] std::string get_or(const std::string& name,
+                                   std::string fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool has(const std::string& name) const {
+    return values_.contains(name);
+  }
+
+  /// Names that were provided but never queried — call after reading all
+  /// known flags to reject typos.
+  [[nodiscard]] std::vector<std::string> unknown() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace anycast::tools
