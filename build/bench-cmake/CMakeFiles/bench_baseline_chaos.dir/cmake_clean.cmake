@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_baseline_chaos"
+  "../bench/bench_baseline_chaos.pdb"
+  "CMakeFiles/bench_baseline_chaos.dir/bench_baseline_chaos.cpp.o"
+  "CMakeFiles/bench_baseline_chaos.dir/bench_baseline_chaos.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

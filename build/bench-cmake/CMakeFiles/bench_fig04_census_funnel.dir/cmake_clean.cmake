@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_census_funnel"
+  "../bench/bench_fig04_census_funnel.pdb"
+  "CMakeFiles/bench_fig04_census_funnel.dir/bench_fig04_census_funnel.cpp.o"
+  "CMakeFiles/bench_fig04_census_funnel.dir/bench_fig04_census_funnel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_census_funnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_protocol_recall"
+  "../bench/bench_fig06_protocol_recall.pdb"
+  "CMakeFiles/bench_fig06_protocol_recall.dir/bench_fig06_protocol_recall.cpp.o"
+  "CMakeFiles/bench_fig06_protocol_recall.dir/bench_fig06_protocol_recall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_protocol_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

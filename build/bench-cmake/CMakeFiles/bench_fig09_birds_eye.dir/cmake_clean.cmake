@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_birds_eye"
+  "../bench/bench_fig09_birds_eye.pdb"
+  "CMakeFiles/bench_fig09_birds_eye.dir/bench_fig09_birds_eye.cpp.o"
+  "CMakeFiles/bench_fig09_birds_eye.dir/bench_fig09_birds_eye.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_birds_eye.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

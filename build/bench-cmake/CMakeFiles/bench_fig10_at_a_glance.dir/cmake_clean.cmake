@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_at_a_glance"
+  "../bench/bench_fig10_at_a_glance.pdb"
+  "CMakeFiles/bench_fig10_at_a_glance.dir/bench_fig10_at_a_glance.cpp.o"
+  "CMakeFiles/bench_fig10_at_a_glance.dir/bench_fig10_at_a_glance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_at_a_glance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_ip24_per_as"
+  "../bench/bench_fig13_ip24_per_as.pdb"
+  "CMakeFiles/bench_fig13_ip24_per_as.dir/bench_fig13_ip24_per_as.cpp.o"
+  "CMakeFiles/bench_fig13_ip24_per_as.dir/bench_fig13_ip24_per_as.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_ip24_per_as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

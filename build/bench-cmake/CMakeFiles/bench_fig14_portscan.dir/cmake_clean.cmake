@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_portscan"
+  "../bench/bench_fig14_portscan.pdb"
+  "CMakeFiles/bench_fig14_portscan.dir/bench_fig14_portscan.cpp.o"
+  "CMakeFiles/bench_fig14_portscan.dir/bench_fig14_portscan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_portscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

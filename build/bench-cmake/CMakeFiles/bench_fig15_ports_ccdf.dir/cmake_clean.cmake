@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_ports_ccdf"
+  "../bench/bench_fig15_ports_ccdf.pdb"
+  "CMakeFiles/bench_fig15_ports_ccdf.dir/bench_fig15_ports_ccdf.cpp.o"
+  "CMakeFiles/bench_fig15_ports_ccdf.dir/bench_fig15_ports_ccdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_ports_ccdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_software"
+  "../bench/bench_fig16_software.pdb"
+  "CMakeFiles/bench_fig16_software.dir/bench_fig16_software.cpp.o"
+  "CMakeFiles/bench_fig16_software.dir/bench_fig16_software.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_software.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec31_granularity"
+  "../bench/bench_sec31_granularity.pdb"
+  "CMakeFiles/bench_sec31_granularity.dir/bench_sec31_granularity.cpp.o"
+  "CMakeFiles/bench_sec31_granularity.dir/bench_sec31_granularity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec31_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec32_dataset_fitness"
+  "../bench/bench_sec32_dataset_fitness.pdb"
+  "CMakeFiles/bench_sec32_dataset_fitness.dir/bench_sec32_dataset_fitness.cpp.o"
+  "CMakeFiles/bench_sec32_dataset_fitness.dir/bench_sec32_dataset_fitness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec32_dataset_fitness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec34_opendns"
+  "../bench/bench_sec34_opendns.pdb"
+  "CMakeFiles/bench_sec34_opendns.dir/bench_sec34_opendns.cpp.o"
+  "CMakeFiles/bench_sec34_opendns.dir/bench_sec34_opendns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec34_opendns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

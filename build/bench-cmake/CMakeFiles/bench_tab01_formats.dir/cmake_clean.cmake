@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab01_formats"
+  "../bench/bench_tab01_formats.pdb"
+  "CMakeFiles/bench_tab01_formats.dir/bench_tab01_formats.cpp.o"
+  "CMakeFiles/bench_tab01_formats.dir/bench_tab01_formats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab01_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

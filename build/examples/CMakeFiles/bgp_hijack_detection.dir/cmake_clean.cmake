@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_hijack_detection.dir/bgp_hijack_detection.cpp.o"
+  "CMakeFiles/bgp_hijack_detection.dir/bgp_hijack_detection.cpp.o.d"
+  "bgp_hijack_detection"
+  "bgp_hijack_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_hijack_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

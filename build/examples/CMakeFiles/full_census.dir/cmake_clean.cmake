@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_census.dir/full_census.cpp.o"
+  "CMakeFiles/full_census.dir/full_census.cpp.o.d"
+  "full_census"
+  "full_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

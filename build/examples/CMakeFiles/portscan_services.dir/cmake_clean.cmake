@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portscan_services.dir/portscan_services.cpp.o"
+  "CMakeFiles/portscan_services.dir/portscan_services.cpp.o.d"
+  "portscan_services"
+  "portscan_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portscan_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analyzer.cpp" "src/analysis/CMakeFiles/anycast_analysis.dir/analyzer.cpp.o" "gcc" "src/analysis/CMakeFiles/anycast_analysis.dir/analyzer.cpp.o.d"
+  "/root/repo/src/analysis/baselines.cpp" "src/analysis/CMakeFiles/anycast_analysis.dir/baselines.cpp.o" "gcc" "src/analysis/CMakeFiles/anycast_analysis.dir/baselines.cpp.o.d"
+  "/root/repo/src/analysis/diff.cpp" "src/analysis/CMakeFiles/anycast_analysis.dir/diff.cpp.o" "gcc" "src/analysis/CMakeFiles/anycast_analysis.dir/diff.cpp.o.d"
+  "/root/repo/src/analysis/geojson.cpp" "src/analysis/CMakeFiles/anycast_analysis.dir/geojson.cpp.o" "gcc" "src/analysis/CMakeFiles/anycast_analysis.dir/geojson.cpp.o.d"
+  "/root/repo/src/analysis/hijack.cpp" "src/analysis/CMakeFiles/anycast_analysis.dir/hijack.cpp.o" "gcc" "src/analysis/CMakeFiles/anycast_analysis.dir/hijack.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/anycast_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/anycast_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/anycast_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/anycast_analysis.dir/stats.cpp.o.d"
+  "/root/repo/src/analysis/validation.cpp" "src/analysis/CMakeFiles/anycast_analysis.dir/validation.cpp.o" "gcc" "src/analysis/CMakeFiles/anycast_analysis.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/census/CMakeFiles/anycast_census.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/anycast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/anycast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipaddr/CMakeFiles/anycast_ipaddr.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/anycast_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/anycast_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/geodesy/CMakeFiles/anycast_geodesy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anycast_analysis.dir/analyzer.cpp.o"
+  "CMakeFiles/anycast_analysis.dir/analyzer.cpp.o.d"
+  "CMakeFiles/anycast_analysis.dir/baselines.cpp.o"
+  "CMakeFiles/anycast_analysis.dir/baselines.cpp.o.d"
+  "CMakeFiles/anycast_analysis.dir/diff.cpp.o"
+  "CMakeFiles/anycast_analysis.dir/diff.cpp.o.d"
+  "CMakeFiles/anycast_analysis.dir/geojson.cpp.o"
+  "CMakeFiles/anycast_analysis.dir/geojson.cpp.o.d"
+  "CMakeFiles/anycast_analysis.dir/hijack.cpp.o"
+  "CMakeFiles/anycast_analysis.dir/hijack.cpp.o.d"
+  "CMakeFiles/anycast_analysis.dir/report.cpp.o"
+  "CMakeFiles/anycast_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/anycast_analysis.dir/stats.cpp.o"
+  "CMakeFiles/anycast_analysis.dir/stats.cpp.o.d"
+  "CMakeFiles/anycast_analysis.dir/validation.cpp.o"
+  "CMakeFiles/anycast_analysis.dir/validation.cpp.o.d"
+  "libanycast_analysis.a"
+  "libanycast_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anycast_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/census/census.cpp" "src/census/CMakeFiles/anycast_census.dir/census.cpp.o" "gcc" "src/census/CMakeFiles/anycast_census.dir/census.cpp.o.d"
+  "/root/repo/src/census/fastping.cpp" "src/census/CMakeFiles/anycast_census.dir/fastping.cpp.o" "gcc" "src/census/CMakeFiles/anycast_census.dir/fastping.cpp.o.d"
+  "/root/repo/src/census/greylist.cpp" "src/census/CMakeFiles/anycast_census.dir/greylist.cpp.o" "gcc" "src/census/CMakeFiles/anycast_census.dir/greylist.cpp.o.d"
+  "/root/repo/src/census/hitlist.cpp" "src/census/CMakeFiles/anycast_census.dir/hitlist.cpp.o" "gcc" "src/census/CMakeFiles/anycast_census.dir/hitlist.cpp.o.d"
+  "/root/repo/src/census/record.cpp" "src/census/CMakeFiles/anycast_census.dir/record.cpp.o" "gcc" "src/census/CMakeFiles/anycast_census.dir/record.cpp.o.d"
+  "/root/repo/src/census/storage.cpp" "src/census/CMakeFiles/anycast_census.dir/storage.cpp.o" "gcc" "src/census/CMakeFiles/anycast_census.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/anycast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/anycast_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/anycast_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/geodesy/CMakeFiles/anycast_geodesy.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipaddr/CMakeFiles/anycast_ipaddr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

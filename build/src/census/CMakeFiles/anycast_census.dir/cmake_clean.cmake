@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anycast_census.dir/census.cpp.o"
+  "CMakeFiles/anycast_census.dir/census.cpp.o.d"
+  "CMakeFiles/anycast_census.dir/fastping.cpp.o"
+  "CMakeFiles/anycast_census.dir/fastping.cpp.o.d"
+  "CMakeFiles/anycast_census.dir/greylist.cpp.o"
+  "CMakeFiles/anycast_census.dir/greylist.cpp.o.d"
+  "CMakeFiles/anycast_census.dir/hitlist.cpp.o"
+  "CMakeFiles/anycast_census.dir/hitlist.cpp.o.d"
+  "CMakeFiles/anycast_census.dir/record.cpp.o"
+  "CMakeFiles/anycast_census.dir/record.cpp.o.d"
+  "CMakeFiles/anycast_census.dir/storage.cpp.o"
+  "CMakeFiles/anycast_census.dir/storage.cpp.o.d"
+  "libanycast_census.a"
+  "libanycast_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anycast_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

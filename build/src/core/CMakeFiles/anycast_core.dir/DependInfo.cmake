@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/igreedy.cpp" "src/core/CMakeFiles/anycast_core.dir/igreedy.cpp.o" "gcc" "src/core/CMakeFiles/anycast_core.dir/igreedy.cpp.o.d"
+  "/root/repo/src/core/mis.cpp" "src/core/CMakeFiles/anycast_core.dir/mis.cpp.o" "gcc" "src/core/CMakeFiles/anycast_core.dir/mis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/anycast_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/geodesy/CMakeFiles/anycast_geodesy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

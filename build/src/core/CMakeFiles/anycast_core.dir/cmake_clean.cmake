@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anycast_core.dir/igreedy.cpp.o"
+  "CMakeFiles/anycast_core.dir/igreedy.cpp.o.d"
+  "CMakeFiles/anycast_core.dir/mis.cpp.o"
+  "CMakeFiles/anycast_core.dir/mis.cpp.o.d"
+  "libanycast_core.a"
+  "libanycast_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anycast_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/city.cpp" "src/geo/CMakeFiles/anycast_geo.dir/city.cpp.o" "gcc" "src/geo/CMakeFiles/anycast_geo.dir/city.cpp.o.d"
+  "/root/repo/src/geo/city_data.cpp" "src/geo/CMakeFiles/anycast_geo.dir/city_data.cpp.o" "gcc" "src/geo/CMakeFiles/anycast_geo.dir/city_data.cpp.o.d"
+  "/root/repo/src/geo/city_index.cpp" "src/geo/CMakeFiles/anycast_geo.dir/city_index.cpp.o" "gcc" "src/geo/CMakeFiles/anycast_geo.dir/city_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geodesy/CMakeFiles/anycast_geodesy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anycast_geo.dir/city.cpp.o"
+  "CMakeFiles/anycast_geo.dir/city.cpp.o.d"
+  "CMakeFiles/anycast_geo.dir/city_data.cpp.o"
+  "CMakeFiles/anycast_geo.dir/city_data.cpp.o.d"
+  "CMakeFiles/anycast_geo.dir/city_index.cpp.o"
+  "CMakeFiles/anycast_geo.dir/city_index.cpp.o.d"
+  "libanycast_geo.a"
+  "libanycast_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anycast_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

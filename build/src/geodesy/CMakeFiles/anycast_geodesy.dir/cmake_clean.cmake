@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anycast_geodesy.dir/disk.cpp.o"
+  "CMakeFiles/anycast_geodesy.dir/disk.cpp.o.d"
+  "CMakeFiles/anycast_geodesy.dir/geopoint.cpp.o"
+  "CMakeFiles/anycast_geodesy.dir/geopoint.cpp.o.d"
+  "libanycast_geodesy.a"
+  "libanycast_geodesy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anycast_geodesy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipaddr/aggregate.cpp" "src/ipaddr/CMakeFiles/anycast_ipaddr.dir/aggregate.cpp.o" "gcc" "src/ipaddr/CMakeFiles/anycast_ipaddr.dir/aggregate.cpp.o.d"
+  "/root/repo/src/ipaddr/ipv4.cpp" "src/ipaddr/CMakeFiles/anycast_ipaddr.dir/ipv4.cpp.o" "gcc" "src/ipaddr/CMakeFiles/anycast_ipaddr.dir/ipv4.cpp.o.d"
+  "/root/repo/src/ipaddr/prefix.cpp" "src/ipaddr/CMakeFiles/anycast_ipaddr.dir/prefix.cpp.o" "gcc" "src/ipaddr/CMakeFiles/anycast_ipaddr.dir/prefix.cpp.o.d"
+  "/root/repo/src/ipaddr/prefix_table.cpp" "src/ipaddr/CMakeFiles/anycast_ipaddr.dir/prefix_table.cpp.o" "gcc" "src/ipaddr/CMakeFiles/anycast_ipaddr.dir/prefix_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

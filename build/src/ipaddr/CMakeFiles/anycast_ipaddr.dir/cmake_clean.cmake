@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anycast_ipaddr.dir/aggregate.cpp.o"
+  "CMakeFiles/anycast_ipaddr.dir/aggregate.cpp.o.d"
+  "CMakeFiles/anycast_ipaddr.dir/ipv4.cpp.o"
+  "CMakeFiles/anycast_ipaddr.dir/ipv4.cpp.o.d"
+  "CMakeFiles/anycast_ipaddr.dir/prefix.cpp.o"
+  "CMakeFiles/anycast_ipaddr.dir/prefix.cpp.o.d"
+  "CMakeFiles/anycast_ipaddr.dir/prefix_table.cpp.o"
+  "CMakeFiles/anycast_ipaddr.dir/prefix_table.cpp.o.d"
+  "libanycast_ipaddr.a"
+  "libanycast_ipaddr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anycast_ipaddr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

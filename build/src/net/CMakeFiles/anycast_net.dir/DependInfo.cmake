@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/catalog.cpp" "src/net/CMakeFiles/anycast_net.dir/catalog.cpp.o" "gcc" "src/net/CMakeFiles/anycast_net.dir/catalog.cpp.o.d"
+  "/root/repo/src/net/internet.cpp" "src/net/CMakeFiles/anycast_net.dir/internet.cpp.o" "gcc" "src/net/CMakeFiles/anycast_net.dir/internet.cpp.o.d"
+  "/root/repo/src/net/platform.cpp" "src/net/CMakeFiles/anycast_net.dir/platform.cpp.o" "gcc" "src/net/CMakeFiles/anycast_net.dir/platform.cpp.o.d"
+  "/root/repo/src/net/services.cpp" "src/net/CMakeFiles/anycast_net.dir/services.cpp.o" "gcc" "src/net/CMakeFiles/anycast_net.dir/services.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/anycast_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/geodesy/CMakeFiles/anycast_geodesy.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipaddr/CMakeFiles/anycast_ipaddr.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/anycast_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anycast_net.dir/catalog.cpp.o"
+  "CMakeFiles/anycast_net.dir/catalog.cpp.o.d"
+  "CMakeFiles/anycast_net.dir/internet.cpp.o"
+  "CMakeFiles/anycast_net.dir/internet.cpp.o.d"
+  "CMakeFiles/anycast_net.dir/platform.cpp.o"
+  "CMakeFiles/anycast_net.dir/platform.cpp.o.d"
+  "CMakeFiles/anycast_net.dir/services.cpp.o"
+  "CMakeFiles/anycast_net.dir/services.cpp.o.d"
+  "libanycast_net.a"
+  "libanycast_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anycast_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

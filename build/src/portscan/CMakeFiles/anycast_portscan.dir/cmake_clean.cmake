@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anycast_portscan.dir/scanner.cpp.o"
+  "CMakeFiles/anycast_portscan.dir/scanner.cpp.o.d"
+  "libanycast_portscan.a"
+  "libanycast_portscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anycast_portscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

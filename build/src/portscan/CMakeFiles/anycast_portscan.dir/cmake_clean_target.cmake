@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libanycast_portscan.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anycast_rng.dir/distributions.cpp.o"
+  "CMakeFiles/anycast_rng.dir/distributions.cpp.o.d"
+  "CMakeFiles/anycast_rng.dir/lfsr.cpp.o"
+  "CMakeFiles/anycast_rng.dir/lfsr.cpp.o.d"
+  "libanycast_rng.a"
+  "libanycast_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anycast_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

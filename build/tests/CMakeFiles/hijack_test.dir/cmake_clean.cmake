@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hijack_test.dir/hijack_test.cpp.o"
+  "CMakeFiles/hijack_test.dir/hijack_test.cpp.o.d"
+  "hijack_test"
+  "hijack_test.pdb"
+  "hijack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hijack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

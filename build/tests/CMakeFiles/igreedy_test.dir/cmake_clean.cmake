@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igreedy_test.dir/igreedy_test.cpp.o"
+  "CMakeFiles/igreedy_test.dir/igreedy_test.cpp.o.d"
+  "igreedy_test"
+  "igreedy_test.pdb"
+  "igreedy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igreedy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipaddr_test.dir/ipaddr_test.cpp.o"
+  "CMakeFiles/ipaddr_test.dir/ipaddr_test.cpp.o.d"
+  "ipaddr_test"
+  "ipaddr_test.pdb"
+  "ipaddr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipaddr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

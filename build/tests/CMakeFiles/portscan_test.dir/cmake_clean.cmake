@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portscan_test.dir/portscan_test.cpp.o"
+  "CMakeFiles/portscan_test.dir/portscan_test.cpp.o.d"
+  "portscan_test"
+  "portscan_test.pdb"
+  "portscan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portscan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

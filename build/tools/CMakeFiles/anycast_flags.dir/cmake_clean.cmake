@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anycast_flags.dir/flags.cpp.o"
+  "CMakeFiles/anycast_flags.dir/flags.cpp.o.d"
+  "libanycast_flags.a"
+  "libanycast_flags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anycast_flags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anycastd.dir/anycastd.cpp.o"
+  "CMakeFiles/anycastd.dir/anycastd.cpp.o.d"
+  "anycastd"
+  "anycastd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anycastd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
