@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fault_matrix.cpp" "bench-cmake/CMakeFiles/bench_fault_matrix.dir/bench_fault_matrix.cpp.o" "gcc" "bench-cmake/CMakeFiles/bench_fault_matrix.dir/bench_fault_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-cmake/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/anycast_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/census/CMakeFiles/anycast_census.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/anycast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/portscan/CMakeFiles/anycast_portscan.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/anycast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/anycast_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/geodesy/CMakeFiles/anycast_geodesy.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipaddr/CMakeFiles/anycast_ipaddr.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/anycast_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -223,8 +223,6 @@ bench-cmake/CMakeFiles/bench_fig15_ports_ccdf.dir/bench_fig15_ports_ccdf.cpp.o: 
  /root/repo/src/census/include/anycast/census/census.hpp \
  /root/repo/src/census/include/anycast/census/fastping.hpp \
  /root/repo/src/census/include/anycast/census/greylist.hpp \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/census/include/anycast/census/hitlist.hpp \
  /root/repo/src/census/include/anycast/census/record.hpp \
  /root/repo/src/core/include/anycast/core/igreedy.hpp \

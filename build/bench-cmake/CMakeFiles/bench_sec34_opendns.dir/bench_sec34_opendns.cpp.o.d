@@ -155,8 +155,6 @@ bench-cmake/CMakeFiles/bench_sec34_opendns.dir/bench_sec34_opendns.cpp.o: \
  /root/repo/src/census/include/anycast/census/census.hpp \
  /root/repo/src/census/include/anycast/census/fastping.hpp \
  /root/repo/src/census/include/anycast/census/greylist.hpp \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/net/include/anycast/net/types.hpp \
  /root/repo/src/ipaddr/include/anycast/ipaddr/prefix.hpp \
  /root/repo/src/ipaddr/include/anycast/ipaddr/ipv4.hpp \

@@ -134,11 +134,11 @@ src/analysis/CMakeFiles/anycast_analysis.dir/diff.cpp.o: \
  /root/repo/src/census/include/anycast/census/census.hpp \
  /root/repo/src/census/include/anycast/census/fastping.hpp \
  /root/repo/src/census/include/anycast/census/greylist.hpp \
- /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/net/include/anycast/net/types.hpp \
  /root/repo/src/geo/include/anycast/geo/city.hpp \
  /root/repo/src/geodesy/include/anycast/geodesy/geopoint.hpp \
@@ -221,8 +221,6 @@ src/analysis/CMakeFiles/anycast_analysis.dir/diff.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/ipaddr/include/anycast/ipaddr/prefix_table.hpp \
  /root/repo/src/net/include/anycast/net/catalog.hpp \
  /root/repo/src/rng/include/anycast/rng/random.hpp \

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/census/greylist.cpp" "src/census/CMakeFiles/anycast_census.dir/greylist.cpp.o" "gcc" "src/census/CMakeFiles/anycast_census.dir/greylist.cpp.o.d"
   "/root/repo/src/census/hitlist.cpp" "src/census/CMakeFiles/anycast_census.dir/hitlist.cpp.o" "gcc" "src/census/CMakeFiles/anycast_census.dir/hitlist.cpp.o.d"
   "/root/repo/src/census/record.cpp" "src/census/CMakeFiles/anycast_census.dir/record.cpp.o" "gcc" "src/census/CMakeFiles/anycast_census.dir/record.cpp.o.d"
+  "/root/repo/src/census/resume.cpp" "src/census/CMakeFiles/anycast_census.dir/resume.cpp.o" "gcc" "src/census/CMakeFiles/anycast_census.dir/resume.cpp.o.d"
   "/root/repo/src/census/storage.cpp" "src/census/CMakeFiles/anycast_census.dir/storage.cpp.o" "gcc" "src/census/CMakeFiles/anycast_census.dir/storage.cpp.o.d"
   )
 

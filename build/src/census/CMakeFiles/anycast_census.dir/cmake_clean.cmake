@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/anycast_census.dir/hitlist.cpp.o.d"
   "CMakeFiles/anycast_census.dir/record.cpp.o"
   "CMakeFiles/anycast_census.dir/record.cpp.o.d"
+  "CMakeFiles/anycast_census.dir/resume.cpp.o"
+  "CMakeFiles/anycast_census.dir/resume.cpp.o.d"
   "CMakeFiles/anycast_census.dir/storage.cpp.o"
   "CMakeFiles/anycast_census.dir/storage.cpp.o.d"
   "libanycast_census.a"

@@ -21,7 +21,7 @@ src/census/CMakeFiles/anycast_census.dir/greylist.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /usr/include/c++/12/unordered_set /usr/include/c++/12/type_traits \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/type_traits \
  /usr/include/c++/12/initializer_list \
  /usr/include/c++/12/bits/allocator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++allocator.h \
@@ -59,7 +59,7 @@ src/census/CMakeFiles/anycast_census.dir/greylist.cpp.o: \
  /usr/include/c++/12/bits/predefined_ops.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/range_access.h \
  /usr/include/c++/12/bits/erase_if.h \
  /root/repo/src/net/include/anycast/net/types.hpp \

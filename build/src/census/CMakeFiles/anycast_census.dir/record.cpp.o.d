@@ -134,7 +134,17 @@ src/census/CMakeFiles/anycast_census.dir/record.cpp.o: \
  /root/repo/src/geodesy/include/anycast/geodesy/geopoint.hpp \
  /root/repo/src/ipaddr/include/anycast/ipaddr/prefix.hpp \
  /root/repo/src/ipaddr/include/anycast/ipaddr/ipv4.hpp \
- /usr/include/c++/12/charconv /usr/include/c++/12/bit \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/charconv \
+ /usr/include/c++/12/bit \
  /usr/include/x86_64-linux-gnu/c++/12/bits/error_constants.h \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \

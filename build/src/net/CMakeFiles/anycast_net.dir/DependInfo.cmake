@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/net/catalog.cpp" "src/net/CMakeFiles/anycast_net.dir/catalog.cpp.o" "gcc" "src/net/CMakeFiles/anycast_net.dir/catalog.cpp.o.d"
+  "/root/repo/src/net/fault.cpp" "src/net/CMakeFiles/anycast_net.dir/fault.cpp.o" "gcc" "src/net/CMakeFiles/anycast_net.dir/fault.cpp.o.d"
   "/root/repo/src/net/internet.cpp" "src/net/CMakeFiles/anycast_net.dir/internet.cpp.o" "gcc" "src/net/CMakeFiles/anycast_net.dir/internet.cpp.o.d"
   "/root/repo/src/net/platform.cpp" "src/net/CMakeFiles/anycast_net.dir/platform.cpp.o" "gcc" "src/net/CMakeFiles/anycast_net.dir/platform.cpp.o.d"
   "/root/repo/src/net/services.cpp" "src/net/CMakeFiles/anycast_net.dir/services.cpp.o" "gcc" "src/net/CMakeFiles/anycast_net.dir/services.cpp.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/anycast_net.dir/catalog.cpp.o"
   "CMakeFiles/anycast_net.dir/catalog.cpp.o.d"
+  "CMakeFiles/anycast_net.dir/fault.cpp.o"
+  "CMakeFiles/anycast_net.dir/fault.cpp.o.d"
   "CMakeFiles/anycast_net.dir/internet.cpp.o"
   "CMakeFiles/anycast_net.dir/internet.cpp.o.d"
   "CMakeFiles/anycast_net.dir/platform.cpp.o"

@@ -293,4 +293,4 @@ tests/CMakeFiles/flags_test.dir/flags_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/tests/../tools/flags.hpp
+ /root/repo/tests/../tools/flags.hpp /usr/include/c++/12/span

@@ -301,8 +301,6 @@ tests/CMakeFiles/property_test.dir/property_test.cpp.o: \
  /root/repo/src/census/include/anycast/census/census.hpp \
  /root/repo/src/census/include/anycast/census/fastping.hpp \
  /root/repo/src/census/include/anycast/census/greylist.hpp \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/net/include/anycast/net/types.hpp \
  /root/repo/src/geo/include/anycast/geo/city.hpp \
  /root/repo/src/geodesy/include/anycast/geodesy/geopoint.hpp \

@@ -16,6 +16,7 @@ include("/root/repo/build/tests/portscan_test[1]_include.cmake")
 include("/root/repo/build/tests/analysis_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
 include("/root/repo/build/tests/aggregate_test[1]_include.cmake")
 include("/root/repo/build/tests/baselines_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
@@ -24,4 +25,4 @@ include("/root/repo/build/tests/diff_test[1]_include.cmake")
 include("/root/repo/build/tests/geojson_test[1]_include.cmake")
 include("/root/repo/build/tests/flags_test[1]_include.cmake")
 add_test(anycastd_cli_roundtrip "/usr/bin/cmake" "-DANYCASTD=/root/repo/build/tools/anycastd" "-DWORK_DIR=/root/repo/build/cli_smoke" "-P" "/root/repo/tests/cli_smoke.cmake")
-set_tests_properties(anycastd_cli_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;36;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(anycastd_cli_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;37;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "anycast/rng/random.hpp"
+#include "anycast/rng/distributions.hpp"
 
 namespace anycast::census {
 
@@ -60,33 +60,67 @@ void CensusData::combine_min(const CensusData& other) {
   }
 }
 
+std::size_t CensusSummary::outcome_count(VpOutcome outcome) const {
+  std::size_t count = 0;
+  for (const VpStatus& status : vp_outcomes) {
+    if (status.outcome == outcome) ++count;
+  }
+  return count;
+}
+
+bool vp_available(const net::VantagePoint& vp, const FastPingConfig& config) {
+  // Per-census node churn (deterministic in the census seed).
+  if (config.vp_availability >= 1.0) return true;
+  const double u = rng::hash_uniform01(config.seed ^
+                                       (0xA5A5A5A5ull * (vp.id + 0x9E37ull)));
+  return u < config.vp_availability;
+}
+
+VpOutcome census_vp_outcome(const FastPingResult& result,
+                            const FastPingConfig& config) {
+  // Quarantine trumps everything but a crash: a lossy VP's rows are
+  // misleading whether or not it also finished late.
+  if (result.outcome != VpOutcome::kCrashed &&
+      config.quarantine_drop_rate < 1.0 && result.probes_sent > 0) {
+    const double drop_rate = static_cast<double>(result.timeouts) /
+                             static_cast<double>(result.probes_sent);
+    if (drop_rate > config.quarantine_drop_rate) {
+      return VpOutcome::kQuarantined;
+    }
+  }
+  return result.outcome;
+}
+
 CensusOutput run_census(const net::SimulatedInternet& internet,
                         std::span<const net::VantagePoint> vps,
                         const Hitlist& hitlist, Greylist& blacklist,
-                        const FastPingConfig& config) {
+                        const FastPingConfig& config,
+                        const net::FaultPlan* faults) {
   CensusOutput out;
   out.data = CensusData(hitlist.size());
   out.summary.vp_duration_hours.reserve(vps.size());
+  out.summary.vp_outcomes.reserve(vps.size());
 
   Greylist census_greylist;
   for (const net::VantagePoint& vp : vps) {
-    // Per-census node churn (deterministic in the census seed).
-    if (config.vp_availability < 1.0) {
-      rng::SplitMix64 mixer(config.seed ^
-                            (0xA5A5A5A5ull * (vp.id + 0x9E37ull)));
-      mixer.next();
-      const double u =
-          static_cast<double>(mixer.next() >> 11) * 0x1.0p-53;
-      if (u >= config.vp_availability) continue;
+    if (!vp_available(vp, config)) {
+      out.summary.vp_outcomes.push_back({vp.id, VpOutcome::kSkipped});
+      continue;
     }
     ++out.summary.active_vps;
     FastPingResult vp_result = run_fastping(internet, vp, hitlist, blacklist,
-                                            census_greylist, config);
+                                            census_greylist, config, faults);
     out.summary.probes_sent += vp_result.probes_sent;
     out.summary.echo_replies += vp_result.echo_replies;
     out.summary.errors += vp_result.errors;
     out.summary.timeouts += vp_result.timeouts;
+    out.summary.injected_timeouts += vp_result.injected_timeouts;
+    out.summary.retry_probes += vp_result.retry_probes;
+    out.summary.retry_recovered += vp_result.retry_recovered;
     out.summary.vp_duration_hours.push_back(vp_result.duration_hours);
+    const VpOutcome outcome = census_vp_outcome(vp_result, config);
+    out.summary.vp_outcomes.push_back({vp.id, outcome});
+    if (outcome == VpOutcome::kQuarantined) continue;
     for (const Observation& obs : vp_result.observations) {
       if (obs.kind == net::ReplyKind::kEchoReply) {
         out.data.record(obs.target_index, static_cast<std::uint16_t>(vp.id),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "anycast/net/fault.hpp"
 #include "anycast/rng/distributions.hpp"
 #include "anycast/rng/lfsr.hpp"
 
@@ -15,23 +16,39 @@ double reply_drop_probability(double probe_rate_pps, double threshold_pps,
 
 double vp_drop_threshold(const net::VantagePoint& vp,
                          const FastPingConfig& config) {
-  rng::SplitMix64 mixer(config.seed ^ (0x9E3779B97F4A7C15ull * (vp.id + 1)));
-  mixer.next();
-  const double u = static_cast<double>(mixer.next() >> 11) * 0x1.0p-53;
+  const double u = rng::hash_uniform01(
+      config.seed ^ (0x9E3779B97F4A7C15ull * (vp.id + 1)));
   return config.min_drop_threshold_pps +
          u * (config.max_drop_threshold_pps - config.min_drop_threshold_pps);
+}
+
+std::string_view to_string(VpOutcome outcome) {
+  switch (outcome) {
+    case VpOutcome::kCompleted: return "completed";
+    case VpOutcome::kCrashed: return "crashed";
+    case VpOutcome::kCutOff: return "cut_off";
+    case VpOutcome::kQuarantined: return "quarantined";
+    case VpOutcome::kSkipped: return "skipped";
+  }
+  return "unknown";
 }
 
 FastPingResult run_fastping(const net::SimulatedInternet& internet,
                             const net::VantagePoint& vp,
                             const Hitlist& hitlist, const Greylist& blacklist,
-                            Greylist& greylist,
-                            const FastPingConfig& config) {
+                            Greylist& greylist, const FastPingConfig& config,
+                            const net::FaultPlan* faults) {
   FastPingResult result;
   if (hitlist.size() == 0) return result;
   result.drop_probability = reply_drop_probability(
       config.probe_rate_pps, vp_drop_threshold(vp, config),
       config.drop_slope);
+
+  net::FaultInjector injector;
+  if (faults != nullptr) {
+    injector = net::FaultInjector(faults->schedule_for(vp.id),
+                                  hitlist.size());
+  }
 
   rng::Xoshiro256 gen(config.seed ^ (vp.id * 0xD1B54A32D192ED03ull));
   // LFSR-ordered walk: every VP visits the same cycle from a different
@@ -42,19 +59,33 @@ FastPingResult run_fastping(const net::SimulatedInternet& internet,
   result.observations.reserve(hitlist.size());
   const double seconds_per_probe =
       vp.host_load / std::max(1.0, config.probe_rate_pps);
+  const double deadline_s = config.vp_deadline_hours > 0.0
+                                ? config.vp_deadline_hours * 3600.0
+                                : 0.0;
   double clock_s = 0.0;
-  while (const auto index = order.next()) {
-    const HitlistEntry& entry = hitlist[*index];
-    const std::uint32_t slash24 = entry.representative.slash24_index();
-    if (blacklist.contains(slash24)) continue;
-    ++result.probes_sent;
-    clock_s += seconds_per_probe;
 
-    const net::ProbeReply reply =
-        internet.probe(vp, entry.representative, net::Protocol::kIcmpEcho,
-                       gen, result.drop_probability);
+  // One probe to `target_index`, at fault-schedule position `step` (the
+  // walk's LFSR step during the main pass, past-the-end during retries).
+  const auto probe_once = [&](std::uint32_t target_index,
+                              std::uint64_t step) {
+    const HitlistEntry& entry = hitlist[target_index];
+    ++result.probes_sent;
+    clock_s += seconds_per_probe * injector.dilation_at(step);
+
+    net::ProbeReply reply;
+    if (injector.outage_at(step)) {
+      // The node lost connectivity: the probe (or its reply) never made
+      // it. No RNG draw — the simulated Internet never saw the packet.
+      reply = net::ProbeReply{net::ReplyKind::kTimeout, 0.0};
+      ++result.injected_timeouts;
+    } else {
+      reply = internet.probe(
+          vp, entry.representative, net::Protocol::kIcmpEcho, gen,
+          std::min(0.999,
+                   result.drop_probability + injector.extra_drop_at(step)));
+    }
     Observation obs;
-    obs.target_index = *index;
+    obs.target_index = target_index;
     obs.time_s = clock_s;
     obs.kind = reply.kind;
     obs.rtt_ms = reply.rtt_ms;
@@ -69,10 +100,76 @@ FastPingResult run_fastping(const net::SimulatedInternet& internet,
         break;
       default:
         ++result.errors;
-        greylist.add(slash24, reply.kind);
+        greylist.add(entry.representative.slash24_index(), reply.kind);
         break;
     }
+    return reply.kind;
+  };
+
+  // --- Main walk -----------------------------------------------------------
+  std::uint64_t step = 0;
+  while (const auto index = order.next()) {
+    if (injector.crashed_before(step)) {
+      result.outcome = VpOutcome::kCrashed;
+      break;
+    }
+    const std::uint64_t this_step = step++;
+    const HitlistEntry& entry = hitlist[*index];
+    if (blacklist.contains(entry.representative.slash24_index())) continue;
+    probe_once(*index, this_step);
+    if (deadline_s > 0.0 && clock_s > deadline_s) {
+      result.outcome = VpOutcome::kCutOff;
+      break;
+    }
   }
+
+  // --- Retry passes over timed-out targets ---------------------------------
+  // Bounded and backed-off: transient outages recover, dead space does
+  // not, and the budget keeps a broken VP from hammering the hitlist.
+  if (config.retry_max_attempts > 0 &&
+      result.outcome == VpOutcome::kCompleted && result.timeouts > 0) {
+    std::vector<std::uint32_t> pending;
+    for (const Observation& obs : result.observations) {
+      if (obs.kind == net::ReplyKind::kTimeout) {
+        pending.push_back(obs.target_index);
+      }
+    }
+    const std::uint64_t walk_end = hitlist.size();  // past every window
+    double backoff_s = std::max(0.0, config.retry_backoff_s);
+    bool out_of_time = false;
+    for (int attempt = 0;
+         attempt < config.retry_max_attempts && !pending.empty() &&
+         !out_of_time;
+         ++attempt, backoff_s *= 2.0) {
+      clock_s += backoff_s;
+      std::vector<std::uint32_t> still_pending;
+      for (const std::uint32_t target : pending) {
+        if (config.retry_probe_budget != 0 &&
+            result.retry_probes >= config.retry_probe_budget) {
+          still_pending.push_back(target);
+          continue;
+        }
+        if (deadline_s > 0.0 && clock_s > deadline_s) {
+          result.outcome = VpOutcome::kCutOff;
+          out_of_time = true;
+          break;
+        }
+        ++result.retry_probes;
+        const net::ReplyKind kind = probe_once(target, walk_end);
+        if (kind == net::ReplyKind::kTimeout) {
+          still_pending.push_back(target);
+        } else if (kind == net::ReplyKind::kEchoReply) {
+          ++result.retry_recovered;
+        }
+      }
+      pending = std::move(still_pending);
+      if (config.retry_probe_budget != 0 &&
+          result.retry_probes >= config.retry_probe_budget) {
+        break;
+      }
+    }
+  }
+
   result.duration_hours = clock_s / 3600.0;
   return result;
 }

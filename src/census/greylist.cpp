@@ -2,24 +2,25 @@
 
 namespace anycast::census {
 
-bool Greylist::add(std::uint32_t slash24_index, net::ReplyKind kind) {
-  const bool inserted = members_.insert(slash24_index).second;
-  if (inserted) {
-    switch (kind) {
-      case net::ReplyKind::kAdminProhibited: ++admin_filtered_; break;
-      case net::ReplyKind::kHostProhibited: ++host_prohibited_; break;
-      case net::ReplyKind::kNetProhibited: ++net_prohibited_; break;
-      default: break;
-    }
+void Greylist::count(net::ReplyKind kind) {
+  switch (kind) {
+    case net::ReplyKind::kAdminProhibited: ++admin_filtered_; break;
+    case net::ReplyKind::kHostProhibited: ++host_prohibited_; break;
+    case net::ReplyKind::kNetProhibited: ++net_prohibited_; break;
+    default: break;
   }
+}
+
+bool Greylist::add(std::uint32_t slash24_index, net::ReplyKind kind) {
+  const bool inserted = members_.emplace(slash24_index, kind).second;
+  if (inserted) count(kind);
   return inserted;
 }
 
 void Greylist::merge(const Greylist& other) {
-  members_.insert(other.members_.begin(), other.members_.end());
-  admin_filtered_ += other.admin_filtered_;
-  host_prohibited_ += other.host_prohibited_;
-  net_prohibited_ += other.net_prohibited_;
+  for (const auto& [member, kind] : other.members_) {
+    if (members_.emplace(member, kind).second) count(kind);
+  }
 }
 
 }  // namespace anycast::census

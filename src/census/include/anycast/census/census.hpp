@@ -53,6 +53,12 @@ class CensusData {
   std::vector<std::vector<VpRtt>> rows_;
 };
 
+/// How one VP fared in a census (one entry per configured VP).
+struct VpStatus {
+  std::uint32_t vp_id = 0;
+  VpOutcome outcome = VpOutcome::kCompleted;
+};
+
 /// Aggregate census accounting (the Fig. 4 funnel and Fig. 8 inputs).
 struct CensusSummary {
   std::uint64_t probes_sent = 0;
@@ -62,11 +68,31 @@ struct CensusSummary {
   std::size_t greylist_new = 0;    // targets newly greylisted this census
   std::size_t active_vps = 0;      // VPs that were up for this census
   std::vector<double> vp_duration_hours;  // one entry per active VP
+  std::vector<VpStatus> vp_outcomes;      // one entry per configured VP
+  std::uint64_t injected_timeouts = 0;  // probes lost to injected outages
+  std::uint64_t retry_probes = 0;       // probes spent in retry passes
+  std::uint64_t retry_recovered = 0;    // targets recovered by retries
+
+  /// VPs that ended with `outcome`.
+  [[nodiscard]] std::size_t outcome_count(VpOutcome outcome) const;
 };
+
+/// Deterministic per-census availability coin: whether `vp` is up for the
+/// census seeded by `config.seed` (PlanetLab node churn). Shared by the
+/// runner and the resume path so both agree on who was ever expected.
+bool vp_available(const net::VantagePoint& vp, const FastPingConfig& config);
+
+/// Final outcome for a VP's fastping run under `config`: applies the
+/// quarantine drop-rate check on top of the prober-reported outcome.
+VpOutcome census_vp_outcome(const FastPingResult& result,
+                            const FastPingConfig& config);
 
 /// Runs one full census: every VP probes every non-blacklisted target,
 /// new offenders land in the greylist which is merged into `blacklist`
-/// afterwards (the Sec. 3.3 workflow). Deterministic in config.seed.
+/// afterwards (the Sec. 3.3 workflow). Deterministic in config.seed; when
+/// `faults` is non-null, also deterministic in the plan's seed (VPs may
+/// crash, straggle, or get quarantined — see `VpOutcome`). Quarantined
+/// VPs keep their summary counters but contribute no rows to `data`.
 struct CensusOutput {
   CensusData data;
   CensusSummary summary;
@@ -75,6 +101,7 @@ struct CensusOutput {
 CensusOutput run_census(const net::SimulatedInternet& internet,
                         std::span<const net::VantagePoint> vps,
                         const Hitlist& hitlist, Greylist& blacklist,
-                        const FastPingConfig& config);
+                        const FastPingConfig& config,
+                        const net::FaultPlan* faults = nullptr);
 
 }  // namespace anycast::census

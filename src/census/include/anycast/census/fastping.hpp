@@ -12,12 +12,17 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "anycast/census/greylist.hpp"
 #include "anycast/census/hitlist.hpp"
 #include "anycast/census/record.hpp"
 #include "anycast/net/internet.hpp"
+
+namespace anycast::net {
+class FaultPlan;
+}
 
 namespace anycast::census {
 
@@ -39,24 +44,67 @@ struct FastPingConfig {
   /// anycast /24s (Fig. 12).
   double vp_availability = 1.0;
   std::uint64_t seed = 7;
+
+  // --- Resilience knobs (defaults preserve the classic single-pass walk,
+  // so every existing census is byte-identical). ---
+
+  /// Extra passes over timed-out targets after the main walk. Pass k waits
+  /// `retry_backoff_s * 2^k` before starting (exponential backoff); every
+  /// retry probe is counted in `duration_hours` and the funnel counters.
+  int retry_max_attempts = 0;
+  double retry_backoff_s = 1.0;
+  /// Hard cap on retry probes per VP across all passes (0 = unlimited):
+  /// footprint discipline — a broken VP must not hammer the hitlist.
+  std::uint64_t retry_probe_budget = 0;
+
+  /// Straggler deadline: when > 0, a VP whose wall clock exceeds this
+  /// budget is cut off (outcome kCutOff), keeping its partial rows — the
+  /// Fig. 8 completion-time tail is bounded instead of waited out.
+  double vp_deadline_hours = 0.0;
+
+  /// Quarantine threshold: a VP whose observed timeout fraction exceeds
+  /// this is marked kQuarantined and its rows are excluded from the
+  /// census data (its replies are untrustworthy). 1.0 disables.
+  double quarantine_drop_rate = 1.0;
 };
 
+/// How one VP's census walk ended (Fig. 8's per-VP fates, made explicit).
+enum class VpOutcome : std::uint8_t {
+  kCompleted,    // walked the full hitlist (retries included)
+  kCrashed,      // died mid-walk; partial observations kept
+  kCutOff,       // exceeded vp_deadline_hours; partial observations kept
+  kQuarantined,  // drop rate over threshold; rows excluded from the data
+  kSkipped,      // down for the whole census (availability coin)
+};
+
+std::string_view to_string(VpOutcome outcome);
+
 struct FastPingResult {
-  std::vector<Observation> observations;  // one per probed target
+  std::vector<Observation> observations;  // one per probe (incl. retries)
   double duration_hours = 0.0;            // wall-clock for this VP
   std::uint64_t probes_sent = 0;
   std::uint64_t echo_replies = 0;
   std::uint64_t errors = 0;    // prohibited replies (greylist feed)
   std::uint64_t timeouts = 0;
   double drop_probability = 0.0;  // the reply-aggregation loss in effect
+  VpOutcome outcome = VpOutcome::kCompleted;
+  std::uint64_t injected_timeouts = 0;  // probes lost to injected outages
+  std::uint64_t retry_probes = 0;       // probes spent in retry passes
+  std::uint64_t retry_recovered = 0;    // targets a retry pass recovered
 };
 
 /// Probes every non-blacklisted hitlist entry once from `vp`, in LFSR
-/// order. Newly prohibited targets are recorded into `greylist`.
+/// order, then (when configured) retries timed-out targets with
+/// exponential backoff. Newly prohibited targets are recorded into
+/// `greylist`. When `faults` is non-null the walk runs under that plan's
+/// schedule for this VP: it may crash mid-walk, time out through an
+/// outage window, lose replies to a storm, or stall; with no plan the
+/// walk is bit-identical to the fault-free implementation.
 FastPingResult run_fastping(const net::SimulatedInternet& internet,
                             const net::VantagePoint& vp,
                             const Hitlist& hitlist, const Greylist& blacklist,
-                            Greylist& greylist, const FastPingConfig& config);
+                            Greylist& greylist, const FastPingConfig& config,
+                            const net::FaultPlan* faults = nullptr);
 
 /// The reply-aggregation drop probability a VP with the given tolerance
 /// threshold suffers at a probing rate (exposed for tests and the probing

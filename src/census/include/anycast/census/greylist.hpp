@@ -8,7 +8,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "anycast/net/types.hpp"
 
@@ -28,7 +28,9 @@ class Greylist {
   }
   [[nodiscard]] std::size_t size() const { return members_.size(); }
 
-  /// Merges `other` into this list (greylist -> blacklist step).
+  /// Merges `other` into this list (greylist -> blacklist step). Only
+  /// newly inserted members bump the per-code counters, so repeated
+  /// merges of overlapping greylists keep the Sec. 3.3 breakdown honest.
   void merge(const Greylist& other);
 
   [[nodiscard]] std::uint64_t admin_filtered_count() const {
@@ -42,7 +44,11 @@ class Greylist {
   }
 
  private:
-  std::unordered_set<std::uint32_t> members_;
+  void count(net::ReplyKind kind);
+
+  // The ICMP code each member was first greylisted with is kept so that
+  // merge() can attribute only newly inserted members to the counters.
+  std::unordered_map<std::uint32_t, net::ReplyKind> members_;
   std::uint64_t admin_filtered_ = 0;
   std::uint64_t host_prohibited_ = 0;
   std::uint64_t net_prohibited_ = 0;

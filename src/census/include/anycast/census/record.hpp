@@ -44,6 +44,16 @@ std::vector<std::uint8_t> encode_binary(
 std::optional<std::vector<Observation>> decode_binary(
     std::span<const std::uint8_t> bytes);
 
+/// Salvage decoder: recovers as many complete records as the buffer
+/// actually holds, capped by the declared count — the valid prefix of a
+/// truncated upload instead of nothing. Returns nullopt only when even
+/// the 8-byte payload header is missing or carries the wrong magic. When
+/// non-null, `declared_count` receives the header's record count so
+/// callers can tell how much was lost.
+std::optional<std::vector<Observation>> decode_binary_prefix(
+    std::span<const std::uint8_t> bytes,
+    std::size_t* declared_count = nullptr);
+
 /// Bytes per observation in each format (for the Tab. 1 size accounting).
 std::size_t textual_bytes(std::span<const Observation> observations);
 constexpr std::size_t binary_bytes_per_observation() { return 6; }

@@ -6,6 +6,12 @@
 // about 300 lists containing millions of targets is needed" (Sec. 3.5) —
 // `collate_census_files` performs exactly that step, producing the
 // per-target RTT rows the analyzer consumes.
+//
+// Files double as checkpoints for crash recovery (see resume.hpp): they
+// are written atomically (tmp + rename), carry a CRC32 trailer (format
+// v2), and a truncated upload can be salvaged down to its valid record
+// prefix instead of being discarded — a killed census keeps everything
+// already paid for.
 #pragma once
 
 #include <filesystem>
@@ -18,33 +24,74 @@
 
 namespace anycast::census {
 
+/// Header flag: the VP finished its walk before this file was written.
+/// Absent on the checkpoint of a crashed or cut-off VP, which tells
+/// `resume_census` to re-run it.
+inline constexpr std::uint32_t kCensusFileComplete = 1u;
+
 /// Identity of one VP's census upload.
 struct CensusFileHeader {
   std::uint32_t vp_id = 0;
   std::uint32_t census_id = 0;
+  std::uint32_t flags = 0;  // kCensusFileComplete when the walk finished
+
+  [[nodiscard]] bool complete() const {
+    return (flags & kCensusFileComplete) != 0;
+  }
 };
 
-/// Writes one VP's observation stream as a binary census file.
-/// Throws std::runtime_error on I/O failure.
+/// Writes one VP's observation stream as a binary census file (format v2:
+/// header, payload, CRC32 trailer). The write is atomic — the bytes land
+/// in `path + ".tmp"` and are renamed over `path` — so a reader never
+/// sees a half-written checkpoint, and a crash leaves at worst a stale
+/// tmp file. Throws std::runtime_error on I/O failure.
 void write_census_file(const std::filesystem::path& path,
                        const CensusFileHeader& header,
                        std::span<const Observation> observations);
 
 /// Reads a census file back. Returns nullopt on a missing, truncated, or
-/// corrupted file (the analysis must survive partial uploads).
+/// corrupted file (the analysis must survive partial uploads). Both v2
+/// (CRC-trailed) and legacy v1 (no trailer) files are accepted; a v2 file
+/// whose CRC does not match its contents is rejected.
 struct CensusFile {
   CensusFileHeader header;
   std::vector<Observation> observations;
+  bool salvaged = false;  // set by salvage_census_file on partial recovery
 };
 std::optional<CensusFile> read_census_file(
     const std::filesystem::path& path);
 
+/// Salvage reader: when the strict read fails because the file is
+/// truncated or fails its CRC, recovers the valid record prefix instead
+/// (marking the result `salvaged`, and never `complete`). Returns nullopt
+/// only when not even the headers survive.
+std::optional<CensusFile> salvage_census_file(
+    const std::filesystem::path& path);
+
+/// What collation did with each input file.
+struct CollateStats {
+  std::size_t files_ok = 0;        // read back intact
+  std::size_t files_salvaged = 0;  // damaged; valid prefix used
+  std::size_t files_skipped = 0;   // unreadable beyond salvage
+  std::uint64_t observations = 0;  // echo-reply rows recorded
+};
+
 /// Collates per-VP census files into per-target RTT rows: the on-the-fly
-/// sort across LFSR-ordered lists. Unreadable files are skipped and
-/// counted in `skipped_files` (when non-null). `target_count` sizes the
-/// result (hitlist size).
+/// sort across LFSR-ordered lists. `target_count` sizes the result
+/// (hitlist size). When `salvage` is true, damaged files contribute their
+/// valid record prefix; otherwise they are skipped whole.
+CensusData collate_census_files(
+    std::span<const std::filesystem::path> paths, std::size_t target_count,
+    CollateStats* stats, bool salvage = true);
+
+/// Legacy strict collation: damaged files are skipped whole and counted
+/// in `skipped_files` (when non-null).
 CensusData collate_census_files(
     std::span<const std::filesystem::path> paths, std::size_t target_count,
     std::size_t* skipped_files = nullptr);
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over `bytes` — the census
+/// file trailer checksum, exposed for tests and external tooling.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
 
 }  // namespace anycast::census

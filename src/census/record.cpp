@@ -1,5 +1,6 @@
 #include "anycast/census/record.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <cstring>
@@ -151,35 +152,57 @@ std::vector<std::uint8_t> encode_binary(
   return out;
 }
 
-std::optional<std::vector<Observation>> decode_binary(
-    std::span<const std::uint8_t> bytes) {
-  const auto get32 = [&bytes](std::size_t at) {
-    return static_cast<std::uint32_t>(bytes[at]) |
-           (static_cast<std::uint32_t>(bytes[at + 1]) << 8) |
-           (static_cast<std::uint32_t>(bytes[at + 2]) << 16) |
-           (static_cast<std::uint32_t>(bytes[at + 3]) << 24);
-  };
-  if (bytes.size() < 8 || get32(0) != kMagic) return std::nullopt;
-  const std::uint32_t count = get32(4);
-  if (bytes.size() != 8 + static_cast<std::size_t>(count) *
-                              binary_bytes_per_observation()) {
-    return std::nullopt;
-  }
+namespace {
+
+std::uint32_t load32_at(std::span<const std::uint8_t> bytes,
+                        std::size_t at) {
+  return static_cast<std::uint32_t>(bytes[at]) |
+         (static_cast<std::uint32_t>(bytes[at + 1]) << 8) |
+         (static_cast<std::uint32_t>(bytes[at + 2]) << 16) |
+         (static_cast<std::uint32_t>(bytes[at + 3]) << 24);
+}
+
+std::vector<Observation> decode_records(std::span<const std::uint8_t> bytes,
+                                        std::size_t count) {
   std::vector<Observation> out;
   out.reserve(count);
   std::size_t at = 8;
-  for (std::uint32_t i = 0; i < count; ++i, at += 6) {
+  for (std::size_t i = 0; i < count; ++i, at += 6) {
     Observation obs;
     const auto delay = static_cast<std::int16_t>(
         static_cast<std::uint16_t>(bytes[at]) |
         (static_cast<std::uint16_t>(bytes[at + 1]) << 8));
     decode_delay(delay, obs);
-    const std::uint32_t packed = get32(at + 2);
+    const std::uint32_t packed = load32_at(bytes, at + 2);
     obs.target_index = packed & 0xFFFFFF;
     obs.time_s = (packed >> 24) * 64.0;
     out.push_back(obs);
   }
   return out;
+}
+
+}  // namespace
+
+std::optional<std::vector<Observation>> decode_binary(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 8 || load32_at(bytes, 0) != kMagic) return std::nullopt;
+  const std::uint32_t count = load32_at(bytes, 4);
+  if (bytes.size() != 8 + static_cast<std::size_t>(count) *
+                              binary_bytes_per_observation()) {
+    return std::nullopt;
+  }
+  return decode_records(bytes, count);
+}
+
+std::optional<std::vector<Observation>> decode_binary_prefix(
+    std::span<const std::uint8_t> bytes, std::size_t* declared_count) {
+  if (bytes.size() < 8 || load32_at(bytes, 0) != kMagic) return std::nullopt;
+  const std::uint32_t declared = load32_at(bytes, 4);
+  if (declared_count != nullptr) *declared_count = declared;
+  const std::size_t available =
+      (bytes.size() - 8) / binary_bytes_per_observation();
+  return decode_records(bytes,
+                        std::min<std::size_t>(declared, available));
 }
 
 std::size_t textual_bytes(std::span<const Observation> observations) {

@@ -1,0 +1,141 @@
+#include "anycast/census/resume.hpp"
+
+#include <string>
+#include <utility>
+
+#include "anycast/census/fastping.hpp"
+
+namespace anycast::census {
+namespace {
+
+/// Rebuilds a FastPingResult from a checkpoint's observation stream. The
+/// funnel counters are exact (one observation per probe, retries
+/// included); duration is coarse because the binary format quantises
+/// timestamps to 64 s.
+FastPingResult result_from_observations(std::vector<Observation> observations,
+                                        const Hitlist& hitlist,
+                                        Greylist& greylist) {
+  FastPingResult result;
+  result.observations = std::move(observations);
+  for (const Observation& obs : result.observations) {
+    ++result.probes_sent;
+    switch (obs.kind) {
+      case net::ReplyKind::kEchoReply:
+        ++result.echo_replies;
+        break;
+      case net::ReplyKind::kTimeout:
+        ++result.timeouts;
+        break;
+      default:
+        ++result.errors;
+        if (obs.target_index < hitlist.size()) {
+          greylist.add(
+              hitlist[obs.target_index].representative.slash24_index(),
+              obs.kind);
+        }
+        break;
+    }
+  }
+  if (!result.observations.empty()) {
+    result.duration_hours = result.observations.back().time_s / 3600.0;
+  }
+  return result;
+}
+
+/// The binary checkpoint quantises RTTs to 1/50 ms; run the live stream
+/// through the codec so in-memory rows are byte-identical to what a later
+/// collation of the on-disk state would produce.
+std::vector<Observation> quantised(
+    const std::vector<Observation>& observations) {
+  auto decoded = decode_binary(encode_binary(observations));
+  return decoded.has_value() ? std::move(*decoded)
+                             : std::vector<Observation>{};
+}
+
+}  // namespace
+
+std::filesystem::path census_checkpoint_path(const std::filesystem::path& dir,
+                                             std::uint32_t census_id,
+                                             std::uint32_t vp_id) {
+  return dir / ("census" + std::to_string(census_id) + "_vp" +
+                std::to_string(vp_id) + ".anc");
+}
+
+ResumeReport resume_census(const net::SimulatedInternet& internet,
+                           std::span<const net::VantagePoint> vps,
+                           const Hitlist& hitlist, Greylist& blacklist,
+                           const FastPingConfig& config,
+                           const std::filesystem::path& dir,
+                           std::uint32_t census_id,
+                           const net::FaultPlan* faults) {
+  std::filesystem::create_directories(dir);
+  ResumeReport report;
+  CensusOutput& out = report.output;
+  out.data = CensusData(hitlist.size());
+  out.summary.vp_duration_hours.reserve(vps.size());
+  out.summary.vp_outcomes.reserve(vps.size());
+
+  Greylist census_greylist;
+  for (const net::VantagePoint& vp : vps) {
+    if (!vp_available(vp, config)) {
+      out.summary.vp_outcomes.push_back({vp.id, VpOutcome::kSkipped});
+      ++report.vps_skipped;
+      continue;
+    }
+    ++out.summary.active_vps;
+
+    const std::filesystem::path path =
+        census_checkpoint_path(dir, census_id, vp.id);
+    auto checkpoint = salvage_census_file(path);
+    if (checkpoint.has_value() && checkpoint->salvaged) {
+      ++report.files_salvaged;
+    }
+    const bool reusable = checkpoint.has_value() &&
+                          checkpoint->header.complete() &&
+                          checkpoint->header.vp_id == vp.id &&
+                          checkpoint->header.census_id == census_id;
+
+    FastPingResult result;
+    if (reusable) {
+      ++report.vps_reused;
+      result = result_from_observations(std::move(checkpoint->observations),
+                                        hitlist, census_greylist);
+    } else {
+      // Missing, incomplete, salvaged, or mislabelled: pay for this VP
+      // again. The walk is deterministic in (seed, vp), so the rewritten
+      // checkpoint matches what an uninterrupted census would have saved.
+      ++report.vps_rerun;
+      result = run_fastping(internet, vp, hitlist, blacklist,
+                            census_greylist, config, faults);
+      CensusFileHeader header{vp.id, census_id, 0};
+      if (result.outcome == VpOutcome::kCompleted) {
+        header.flags |= kCensusFileComplete;
+      }
+      write_census_file(path, header, result.observations);
+      result.observations = quantised(result.observations);
+    }
+
+    out.summary.probes_sent += result.probes_sent;
+    out.summary.echo_replies += result.echo_replies;
+    out.summary.errors += result.errors;
+    out.summary.timeouts += result.timeouts;
+    out.summary.injected_timeouts += result.injected_timeouts;
+    out.summary.retry_probes += result.retry_probes;
+    out.summary.retry_recovered += result.retry_recovered;
+    out.summary.vp_duration_hours.push_back(result.duration_hours);
+    const VpOutcome outcome = census_vp_outcome(result, config);
+    out.summary.vp_outcomes.push_back({vp.id, outcome});
+    if (outcome == VpOutcome::kQuarantined) continue;
+    for (const Observation& obs : result.observations) {
+      if (obs.kind != net::ReplyKind::kEchoReply) continue;
+      if (obs.target_index >= hitlist.size()) continue;  // damaged record
+      out.data.record(obs.target_index, static_cast<std::uint16_t>(vp.id),
+                      static_cast<float>(obs.rtt_ms));
+    }
+  }
+  out.summary.greylist_new = census_greylist.size();
+  blacklist.merge(census_greylist);
+  return report;
+}
+
+}  // namespace anycast::census

@@ -1,12 +1,17 @@
 #include "anycast/census/storage.hpp"
 
+#include <array>
 #include <cstdio>
 #include <stdexcept>
 
 namespace anycast::census {
 namespace {
 
-constexpr std::uint32_t kFileMagic = 0x46434E41;  // "ANCF"
+constexpr std::uint32_t kFileMagicV1 = 0x46434E41;  // "ANCF" (no trailer)
+constexpr std::uint32_t kFileMagicV2 = 0x32434E41;  // "ANC2" (CRC trailer)
+constexpr std::size_t kHeaderBytesV1 = 12;  // magic, vp, census
+constexpr std::size_t kHeaderBytesV2 = 16;  // magic, vp, census, flags
+constexpr std::size_t kTrailerBytes = 4;    // CRC32 of everything before
 
 void append32(std::vector<std::uint8_t>& out, std::uint32_t value) {
   out.push_back(static_cast<std::uint8_t>(value));
@@ -35,32 +40,19 @@ struct File {
   File& operator=(const File&) = delete;
 };
 
-}  // namespace
-
-void write_census_file(const std::filesystem::path& path,
-                       const CensusFileHeader& header,
-                       std::span<const Observation> observations) {
-  std::vector<std::uint8_t> buffer;
-  buffer.reserve(12 + observations.size() * binary_bytes_per_observation() +
-                 8);
-  append32(buffer, kFileMagic);
-  append32(buffer, header.vp_id);
-  append32(buffer, header.census_id);
-  const auto payload = encode_binary(observations);
-  buffer.insert(buffer.end(), payload.begin(), payload.end());
-
-  const File file(path, "wb");
-  if (file.handle == nullptr) {
-    throw std::runtime_error("cannot open census file for writing: " +
-                             path.string());
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
   }
-  if (std::fwrite(buffer.data(), 1, buffer.size(), file.handle) !=
-      buffer.size()) {
-    throw std::runtime_error("short write on census file: " + path.string());
-  }
+  return table;
 }
 
-std::optional<CensusFile> read_census_file(
+std::optional<std::vector<std::uint8_t>> slurp(
     const std::filesystem::path& path) {
   const File file(path, "rb");
   if (file.handle == nullptr) return std::nullopt;
@@ -70,30 +62,148 @@ std::optional<CensusFile> read_census_file(
   while ((got = std::fread(chunk, 1, sizeof chunk, file.handle)) > 0) {
     buffer.insert(buffer.end(), chunk, chunk + got);
   }
-  if (buffer.size() < 12 || load32(buffer.data()) != kFileMagic) {
-    return std::nullopt;
+  return buffer;
+}
+
+/// Parses the version-dependent header. Returns the payload offset, or 0
+/// when the magic is unknown or the buffer too short for its header.
+std::size_t parse_header(const std::vector<std::uint8_t>& buffer,
+                         CensusFileHeader& header, bool& has_trailer) {
+  if (buffer.size() >= kHeaderBytesV2 &&
+      load32(buffer.data()) == kFileMagicV2) {
+    header.vp_id = load32(buffer.data() + 4);
+    header.census_id = load32(buffer.data() + 8);
+    header.flags = load32(buffer.data() + 12);
+    has_trailer = true;
+    return kHeaderBytesV2;
   }
+  if (buffer.size() >= kHeaderBytesV1 &&
+      load32(buffer.data()) == kFileMagicV1) {
+    header.vp_id = load32(buffer.data() + 4);
+    header.census_id = load32(buffer.data() + 8);
+    header.flags = kCensusFileComplete;  // v1 had no notion of partial files
+    has_trailer = false;
+    return kHeaderBytesV1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : bytes) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void write_census_file(const std::filesystem::path& path,
+                       const CensusFileHeader& header,
+                       std::span<const Observation> observations) {
+  std::vector<std::uint8_t> buffer;
+  buffer.reserve(kHeaderBytesV2 +
+                 observations.size() * binary_bytes_per_observation() + 8 +
+                 kTrailerBytes);
+  append32(buffer, kFileMagicV2);
+  append32(buffer, header.vp_id);
+  append32(buffer, header.census_id);
+  append32(buffer, header.flags);
+  const auto payload = encode_binary(observations);
+  buffer.insert(buffer.end(), payload.begin(), payload.end());
+  append32(buffer, crc32(buffer));
+
+  // Atomic publication: a crash mid-write leaves at worst a stale .tmp,
+  // never a half-written checkpoint under the real name.
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    const File file(tmp, "wb");
+    if (file.handle == nullptr) {
+      throw std::runtime_error("cannot open census file for writing: " +
+                               tmp.string());
+    }
+    if (std::fwrite(buffer.data(), 1, buffer.size(), file.handle) !=
+        buffer.size()) {
+      throw std::runtime_error("short write on census file: " + tmp.string());
+    }
+    if (std::fflush(file.handle) != 0) {
+      throw std::runtime_error("flush failed on census file: " +
+                               tmp.string());
+    }
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+std::optional<CensusFile> read_census_file(
+    const std::filesystem::path& path) {
+  const auto buffer = slurp(path);
+  if (!buffer.has_value()) return std::nullopt;
   CensusFile out;
-  out.header.vp_id = load32(buffer.data() + 4);
-  out.header.census_id = load32(buffer.data() + 8);
-  const std::span<const std::uint8_t> payload(buffer.data() + 12,
-                                              buffer.size() - 12);
-  auto decoded = decode_binary(payload);
+  bool has_trailer = false;
+  const std::size_t payload_at = parse_header(*buffer, out.header,
+                                              has_trailer);
+  if (payload_at == 0) return std::nullopt;
+  std::size_t payload_end = buffer->size();
+  if (has_trailer) {
+    if (buffer->size() < payload_at + kTrailerBytes) return std::nullopt;
+    payload_end -= kTrailerBytes;
+    const std::uint32_t stored = load32(buffer->data() + payload_end);
+    const std::uint32_t actual =
+        crc32(std::span<const std::uint8_t>(buffer->data(), payload_end));
+    if (stored != actual) return std::nullopt;
+  }
+  auto decoded = decode_binary(std::span<const std::uint8_t>(
+      buffer->data() + payload_at, payload_end - payload_at));
   if (!decoded.has_value()) return std::nullopt;
   out.observations = std::move(*decoded);
   return out;
 }
 
+std::optional<CensusFile> salvage_census_file(
+    const std::filesystem::path& path) {
+  auto strict = read_census_file(path);
+  if (strict.has_value()) return strict;
+
+  const auto buffer = slurp(path);
+  if (!buffer.has_value()) return std::nullopt;
+  CensusFile out;
+  bool has_trailer = false;
+  const std::size_t payload_at = parse_header(*buffer, out.header,
+                                              has_trailer);
+  if (payload_at == 0) return std::nullopt;
+  // Whatever follows the header is a genuine record-stream prefix: the
+  // trailer only ever exists at the very end of an intact file, so a
+  // truncated file lost it along with the tail. decode_binary_prefix caps
+  // at the declared count, which also drops a dangling trailer when only
+  // the payload was damaged.
+  auto decoded = decode_binary_prefix(std::span<const std::uint8_t>(
+      buffer->data() + payload_at, buffer->size() - payload_at));
+  if (!decoded.has_value()) return std::nullopt;
+  out.observations = std::move(*decoded);
+  out.salvaged = true;
+  // A salvaged checkpoint is by definition not a complete walk.
+  out.header.flags &= ~kCensusFileComplete;
+  return out;
+}
+
 CensusData collate_census_files(
     std::span<const std::filesystem::path> paths, std::size_t target_count,
-    std::size_t* skipped_files) {
+    CollateStats* stats, bool salvage) {
   CensusData data(target_count);
-  std::size_t skipped = 0;
+  CollateStats local;
   for (const std::filesystem::path& path : paths) {
-    const auto file = read_census_file(path);
+    const auto file =
+        salvage ? salvage_census_file(path) : read_census_file(path);
     if (!file.has_value()) {
-      ++skipped;
+      ++local.files_skipped;
       continue;
+    }
+    if (file->salvaged) {
+      ++local.files_salvaged;
+    } else {
+      ++local.files_ok;
     }
     for (const Observation& obs : file->observations) {
       if (obs.kind != net::ReplyKind::kEchoReply) continue;
@@ -101,9 +211,20 @@ CensusData collate_census_files(
       data.record(obs.target_index,
                   static_cast<std::uint16_t>(file->header.vp_id),
                   static_cast<float>(obs.rtt_ms));
+      ++local.observations;
     }
   }
-  if (skipped_files != nullptr) *skipped_files = skipped;
+  if (stats != nullptr) *stats = local;
+  return data;
+}
+
+CensusData collate_census_files(
+    std::span<const std::filesystem::path> paths, std::size_t target_count,
+    std::size_t* skipped_files) {
+  CollateStats stats;
+  CensusData data =
+      collate_census_files(paths, target_count, &stats, /*salvage=*/false);
+  if (skipped_files != nullptr) *skipped_files = stats.files_skipped;
   return data;
 }
 

@@ -1,0 +1,80 @@
+#include "anycast/net/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "anycast/rng/distributions.hpp"
+
+namespace anycast::net {
+namespace {
+
+/// Distinct sub-stream tags so adding a fault kind never perturbs the
+/// draws of another (same discipline as Xoshiro256::split).
+enum Stream : std::uint64_t {
+  kCrashCoin = 1,
+  kCrashWhere = 2,
+  kOutageCoin = 3,
+  kOutageWhere = 4,
+  kStormCoin = 5,
+  kStormWhere = 6,
+  kStallCoin = 7,
+  kStallWhere = 8,
+};
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+VpFaultSchedule FaultPlan::schedule_for(std::uint32_t vp_id) const {
+  const auto draw = [&](std::uint64_t tag) {
+    return rng::hash_uniform01(rng::hash_key(spec_.seed, vp_id, tag));
+  };
+  const auto window = [&](std::uint64_t tag, double span, double& begin,
+                          double& end) {
+    const double width = clamp01(span);
+    begin = draw(tag) * (1.0 - width);
+    end = begin + width;
+  };
+
+  VpFaultSchedule s;
+  if (draw(kCrashCoin) < spec_.crash_rate) {
+    // Die somewhere in the middle 90% of the walk: a crash at 0% is a
+    // skipped VP, at 100% a completed one — neither is interesting.
+    s.crash_fraction = 0.05 + 0.90 * draw(kCrashWhere);
+  }
+  if (draw(kOutageCoin) < spec_.outage_rate) {
+    window(kOutageWhere, spec_.outage_span, s.outage_begin, s.outage_end);
+  }
+  if (draw(kStormCoin) < spec_.storm_rate) {
+    window(kStormWhere, spec_.storm_span, s.storm_begin, s.storm_end);
+    s.storm_drop = clamp01(spec_.storm_drop);
+  }
+  if (draw(kStallCoin) < spec_.straggler_rate) {
+    window(kStallWhere, spec_.stall_span, s.stall_begin, s.stall_end);
+    s.stall_factor = std::max(1.0, spec_.stall_factor);
+  }
+  return s;
+}
+
+FaultInjector::FaultInjector(const VpFaultSchedule& schedule,
+                             std::uint64_t walk_length)
+    : active_(schedule.any()) {
+  if (!active_) return;
+  const auto index_of = [walk_length](double fraction) {
+    return static_cast<std::uint64_t>(clamp01(fraction) *
+                                      static_cast<double>(walk_length));
+  };
+  if (schedule.crash_fraction < 1.0) {
+    crash_at_ = index_of(schedule.crash_fraction);
+  }
+  outage_begin_ = index_of(schedule.outage_begin);
+  outage_end_ = index_of(schedule.outage_end);
+  storm_begin_ = index_of(schedule.storm_begin);
+  storm_end_ = index_of(schedule.storm_end);
+  storm_drop_ = schedule.storm_drop;
+  stall_begin_ = index_of(schedule.stall_begin);
+  stall_end_ = index_of(schedule.stall_end);
+  stall_factor_ = std::max(1.0, schedule.stall_factor);
+}
+
+}  // namespace anycast::net

@@ -1,0 +1,119 @@
+// Deterministic fault injection for the census pipeline.
+//
+// The paper's censuses ran on real PlanetLab, where nodes crash mid-run,
+// suffer transient connectivity outages, drop reply storms when hosting
+// networks rate-limit them, and straggle badly under host load (Sec. 3.5 /
+// Fig. 8: the four censuses used 261/255/269/240 of 308 nodes, and
+// completion time has a heavy per-VP tail). A `FaultPlan` reproduces that
+// weather as a seeded, deterministic schedule: each VP draws — from the
+// plan seed alone — whether it crashes after a fraction of its hitlist
+// walk, goes dark for a window of it, suffers a reply-loss storm, or
+// stalls like an overloaded node. The census prober consumes the schedule
+// through a `FaultInjector` layered over `SimulatedInternet::probe`; with
+// no plan supplied every probe path is bit-identical to the fault-free
+// build, so existing call sites are untouched.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace anycast::net {
+
+/// Census-wide fault rates. All rates are per-VP probabilities; spans are
+/// fractions of a VP's hitlist walk. Defaults inject nothing.
+struct FaultSpec {
+  /// P(VP crashes mid-census). A crashed VP keeps the observations it
+  /// already collected (its checkpoint file is simply incomplete).
+  double crash_rate = 0.0;
+
+  /// P(VP has one transient outage window) during which every probe times
+  /// out — the node lost connectivity but the process survived.
+  double outage_rate = 0.0;
+  double outage_span = 0.10;  // fraction of the walk an outage covers
+
+  /// P(reply-loss storm): a window where the hosting network rate-limits
+  /// the reply aggregate, adding `storm_drop` to the VP's drop probability.
+  double storm_rate = 0.0;
+  double storm_drop = 0.50;
+  double storm_span = 0.20;
+
+  /// P(clock-stall straggler): a window where each probe takes
+  /// `stall_factor` times longer — the Fig. 8 completion-time tail.
+  double straggler_rate = 0.0;
+  double stall_factor = 8.0;
+  double stall_span = 0.25;
+
+  std::uint64_t seed = 42;
+};
+
+/// The faults one VP draws from a plan. Window positions are fractions of
+/// the walk in [0, 1); an empty window (begin == end) means "none".
+struct VpFaultSchedule {
+  double crash_fraction = 2.0;  // >= 1: never crashes
+  double outage_begin = 0.0, outage_end = 0.0;
+  double storm_begin = 0.0, storm_end = 0.0;
+  double storm_drop = 0.0;
+  double stall_begin = 0.0, stall_end = 0.0;
+  double stall_factor = 1.0;
+
+  [[nodiscard]] bool any() const {
+    return crash_fraction < 1.0 || outage_end > outage_begin ||
+           storm_end > storm_begin || stall_end > stall_begin;
+  }
+};
+
+/// A seeded schedule of faults for a whole census. Copyable and cheap: the
+/// per-VP schedule is re-derived from (seed, vp) on demand, so the same
+/// plan replays byte-identically on any subset of VPs — which is what lets
+/// a resumed census re-run one crashed VP and still match the original.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(const FaultSpec& spec) : spec_(spec) {}
+
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+  [[nodiscard]] VpFaultSchedule schedule_for(std::uint32_t vp_id) const;
+
+ private:
+  FaultSpec spec_;
+};
+
+/// Per-VP runtime view of a schedule over a walk of `walk_length` probes:
+/// the prober asks it, per probe index, whether the VP is dead, dark,
+/// storm-lossy, or stalled. Default-constructed injectors inject nothing.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const VpFaultSchedule& schedule, std::uint64_t walk_length);
+
+  [[nodiscard]] bool active() const { return active_; }
+
+  /// True when the VP died before sending probe `index`.
+  [[nodiscard]] bool crashed_before(std::uint64_t index) const {
+    return index >= crash_at_;
+  }
+  /// True when probe `index` falls in the connectivity outage.
+  [[nodiscard]] bool outage_at(std::uint64_t index) const {
+    return index >= outage_begin_ && index < outage_end_;
+  }
+  /// Extra reply-drop probability in effect at probe `index`.
+  [[nodiscard]] double extra_drop_at(std::uint64_t index) const {
+    return (index >= storm_begin_ && index < storm_end_) ? storm_drop_ : 0.0;
+  }
+  /// Wall-clock multiplier for probe `index` (1.0 = healthy).
+  [[nodiscard]] double dilation_at(std::uint64_t index) const {
+    return (index >= stall_begin_ && index < stall_end_) ? stall_factor_
+                                                         : 1.0;
+  }
+
+ private:
+  bool active_ = false;
+  std::uint64_t crash_at_ = ~std::uint64_t{0};
+  std::uint64_t outage_begin_ = 0, outage_end_ = 0;
+  std::uint64_t storm_begin_ = 0, storm_end_ = 0;
+  double storm_drop_ = 0.0;
+  std::uint64_t stall_begin_ = 0, stall_end_ = 0;
+  double stall_factor_ = 1.0;
+};
+
+}  // namespace anycast::net

@@ -62,10 +62,7 @@ constexpr std::uint32_t kAnycastBase = 104u << 16;
 constexpr std::uint32_t kUnicastBase = 16u << 16;
 
 double hash01(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
-  rng::SplitMix64 mixer(a * 0x9E3779B97F4A7C15ull ^ b * 0xC2B2AE3D27D4EB4Full ^
-                        c * 0x165667B19E3779F9ull);
-  mixer.next();
-  return static_cast<double>(mixer.next() >> 11) * 0x1.0p-53;
+  return rng::hash_uniform01(rng::hash_key(a, b, c));
 }
 
 }  // namespace

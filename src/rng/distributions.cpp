@@ -16,6 +16,17 @@ double uniform(Xoshiro256& gen, double lo, double hi) {
   return lo + (hi - lo) * uniform01(gen);
 }
 
+double hash_uniform01(std::uint64_t key) {
+  SplitMix64 mixer(key);
+  mixer.next();  // discard: adjacent keys share high state bits
+  return static_cast<double>(mixer.next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t hash_key(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return a * 0x9E3779B97F4A7C15ull ^ b * 0xC2B2AE3D27D4EB4Full ^
+         c * 0x165667B19E3779F9ull;
+}
+
 std::uint64_t uniform_index(Xoshiro256& gen, std::uint64_t bound) {
   if (bound == 0) throw std::invalid_argument("uniform_index: bound == 0");
   // Rejection sampling to kill modulo bias.

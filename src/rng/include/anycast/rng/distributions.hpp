@@ -15,6 +15,16 @@ namespace anycast::rng {
 /// Uniform double in [0, 1).
 double uniform01(Xoshiro256& gen);
 
+/// Deterministic uniform [0, 1) draw from a 64-bit key: SplitMix64 seeded
+/// with the key, first output discarded (decorrelates sequential keys).
+/// The shared idiom behind per-VP churn coins, per-VP drop thresholds, the
+/// internet's per-path hashes, and fault-plan schedules. Bit-exact
+/// everywhere.
+double hash_uniform01(std::uint64_t key);
+
+/// Order-sensitive three-component key mix for `hash_uniform01`.
+std::uint64_t hash_key(std::uint64_t a, std::uint64_t b, std::uint64_t c);
+
 /// Uniform double in [lo, hi).
 double uniform(Xoshiro256& gen, double lo, double hi);
 

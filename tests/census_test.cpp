@@ -84,6 +84,30 @@ TEST(Greylist, MergeUnions) {
   EXPECT_TRUE(a.contains(2));
 }
 
+TEST(Greylist, MergeCountsOnlyNewMembers) {
+  Greylist blacklist;
+  blacklist.add(1, net::ReplyKind::kAdminProhibited);
+
+  Greylist census1;
+  census1.add(1, net::ReplyKind::kAdminProhibited);  // already blacklisted
+  census1.add(2, net::ReplyKind::kHostProhibited);
+
+  // Merging the same overlapping greylist repeatedly must not inflate the
+  // per-code breakdown: counters follow membership, not merge calls.
+  blacklist.merge(census1);
+  blacklist.merge(census1);
+  blacklist.merge(census1);
+  EXPECT_EQ(blacklist.size(), 2u);
+  EXPECT_EQ(blacklist.admin_filtered_count(), 1u);
+  EXPECT_EQ(blacklist.host_prohibited_count(), 1u);
+  EXPECT_EQ(blacklist.net_prohibited_count(), 0u);
+
+  const std::uint64_t total = blacklist.admin_filtered_count() +
+                              blacklist.host_prohibited_count() +
+                              blacklist.net_prohibited_count();
+  EXPECT_EQ(total, blacklist.size());
+}
+
 // --- Record formats -----------------------------------------------------------
 
 std::vector<Observation> sample_observations() {

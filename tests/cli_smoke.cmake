@@ -38,3 +38,48 @@ execute_process(
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "portscan failed (${rc})")
 endif()
+
+# Chaos leg: a fault-injected census must still produce one checkpoint per
+# VP, resume must repair the damage we do, and analyze must still work.
+execute_process(
+  COMMAND ${ANYCASTD} census --out ${WORK_DIR}/c2 --vps 12 --unicast 400
+          --chaos --retries 2 --quarantine-drop 0.5
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "chaos census failed (${rc}): ${out}${err}")
+endif()
+if(NOT out MATCHES "VP outcomes: [0-9]+ completed")
+  message(FATAL_ERROR "chaos census missing outcome summary: ${out}")
+endif()
+
+file(GLOB chaos_files ${WORK_DIR}/c2/*.anc)
+list(LENGTH chaos_files chaos_count)
+if(NOT chaos_count EQUAL 12)
+  message(FATAL_ERROR "expected 12 chaos census files, got ${chaos_count}")
+endif()
+
+# Destroy one checkpoint (simulating a crash mid-write) and delete
+# another; resume must re-run exactly those VPs and reuse the rest.
+file(WRITE ${WORK_DIR}/c2/census1_vp3.anc "not a census file")
+file(REMOVE ${WORK_DIR}/c2/census1_vp5.anc)
+
+execute_process(
+  COMMAND ${ANYCASTD} resume --out ${WORK_DIR}/c2 --vps 12 --unicast 400
+          --retries 2 --quarantine-drop 0.5
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resume failed (${rc}): ${out}${err}")
+endif()
+if(NOT out MATCHES "resume: [0-9]+ checkpoints reused, [0-9]+ VPs re-run")
+  message(FATAL_ERROR "resume output missing reuse summary: ${out}")
+endif()
+
+execute_process(
+  COMMAND ${ANYCASTD} analyze --in ${WORK_DIR}/c2 --vps 12 --unicast 400
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "chaos analyze failed (${rc}): ${out}${err}")
+endif()
+if(NOT out MATCHES "anycast: [0-9]+ /24 in [0-9]+ ASes")
+  message(FATAL_ERROR "chaos analyze output missing summary: ${out}")
+endif()

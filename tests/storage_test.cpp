@@ -152,6 +152,146 @@ TEST_F(StorageTest, CollationSkipsDamagedUploads) {
   EXPECT_GT(total, 0u);
 }
 
+TEST_F(StorageTest, Crc32KnownVector) {
+  // The canonical IEEE 802.3 check value.
+  const std::string check = "123456789";
+  const std::uint32_t got = crc32(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(check.data()), check.size()));
+  EXPECT_EQ(got, 0xCBF43926u);
+}
+
+TEST_F(StorageTest, AtomicWriteLeavesNoTmpFile) {
+  const fs::path path = dir_ / "atomic.anc";
+  write_census_file(path, {1, 1, kCensusFileComplete}, sample_stream());
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(dir_ / "atomic.anc.tmp"));
+}
+
+TEST_F(StorageTest, CompleteFlagRoundTrips) {
+  const fs::path done = dir_ / "done.anc";
+  const fs::path partial = dir_ / "partial.anc";
+  write_census_file(done, {1, 1, kCensusFileComplete}, sample_stream());
+  write_census_file(partial, {2, 1, 0}, sample_stream());
+  ASSERT_TRUE(read_census_file(done).has_value());
+  EXPECT_TRUE(read_census_file(done)->header.complete());
+  ASSERT_TRUE(read_census_file(partial).has_value());
+  EXPECT_FALSE(read_census_file(partial)->header.complete());
+}
+
+TEST_F(StorageTest, BitFlipRejectedStrictlyButSalvaged) {
+  const auto stream = sample_stream();
+  const fs::path path = dir_ / "flipped.anc";
+  write_census_file(path, {5, 1, kCensusFileComplete}, stream);
+
+  // Flip one bit in the middle of the payload.
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  file.seekg(64);
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  file.seekp(64);
+  file.write(&byte, 1);
+  file.close();
+
+  EXPECT_FALSE(read_census_file(path).has_value());
+  const auto rescued = salvage_census_file(path);
+  ASSERT_TRUE(rescued.has_value());
+  EXPECT_TRUE(rescued->salvaged);
+  // A salvaged file can never claim to be a complete walk.
+  EXPECT_FALSE(rescued->header.complete());
+  EXPECT_EQ(rescued->header.vp_id, 5u);
+  EXPECT_EQ(rescued->observations.size(), stream.size());
+}
+
+TEST_F(StorageTest, TruncatedFileSalvagesValidPrefix) {
+  const auto stream = sample_stream();
+  const fs::path path = dir_ / "chopped.anc";
+  write_census_file(path, {9, 3, kCensusFileComplete}, stream);
+
+  // Keep the 16-byte file header, the 8-byte payload header, and exactly
+  // 100 complete records plus half of the 101st.
+  fs::resize_file(path, 16 + 8 + 100 * binary_bytes_per_observation() + 3);
+
+  EXPECT_FALSE(read_census_file(path).has_value());
+  const auto rescued = salvage_census_file(path);
+  ASSERT_TRUE(rescued.has_value());
+  EXPECT_TRUE(rescued->salvaged);
+  EXPECT_EQ(rescued->header.vp_id, 9u);
+  EXPECT_EQ(rescued->header.census_id, 3u);
+  ASSERT_EQ(rescued->observations.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(rescued->observations[i].target_index,
+              stream[i].target_index);
+    EXPECT_EQ(rescued->observations[i].kind, stream[i].kind);
+  }
+}
+
+TEST_F(StorageTest, SalvageOfIntactFileIsNotMarkedSalvaged) {
+  const fs::path path = dir_ / "intact.anc";
+  write_census_file(path, {2, 2, kCensusFileComplete}, sample_stream());
+  const auto loaded = salvage_census_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_FALSE(loaded->salvaged);
+  EXPECT_TRUE(loaded->header.complete());
+}
+
+TEST_F(StorageTest, LegacyV1FormatStillReadable) {
+  // Hand-build a v1 file: "ANCF" magic, vp, census — no flags word, no
+  // CRC trailer — followed by the shared binary payload.
+  const auto stream = sample_stream();
+  std::vector<std::uint8_t> bytes;
+  const auto append32 = [&bytes](std::uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      bytes.push_back(static_cast<std::uint8_t>(value >> shift));
+    }
+  };
+  append32(0x46434E41u);  // "ANCF"
+  append32(11u);          // vp_id
+  append32(4u);           // census_id
+  const auto payload = encode_binary(stream);
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+
+  const fs::path path = dir_ / "legacy.anc";
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.close();
+
+  const auto loaded = read_census_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->header.vp_id, 11u);
+  EXPECT_EQ(loaded->header.census_id, 4u);
+  // v1 predates partial checkpoints: every v1 file counts as complete.
+  EXPECT_TRUE(loaded->header.complete());
+  EXPECT_EQ(loaded->observations.size(), stream.size());
+}
+
+TEST_F(StorageTest, CollateStatsSeparateSalvagedFromSkipped) {
+  const auto stream = sample_stream();
+  const fs::path good = dir_ / "good.anc";
+  const fs::path chopped = dir_ / "chopped.anc";
+  const fs::path garbage = dir_ / "garbage.anc";
+  write_census_file(good, {1, 1, kCensusFileComplete}, stream);
+  write_census_file(chopped, {2, 1, kCensusFileComplete}, stream);
+  fs::resize_file(chopped,
+                  16 + 8 + 50 * binary_bytes_per_observation());
+  std::ofstream(garbage, std::ios::binary) << "nothing useful here";
+
+  const std::vector<fs::path> paths{good, chopped, garbage};
+  CollateStats stats;
+  const CensusData data = collate_census_files(paths, 400, &stats);
+  EXPECT_EQ(stats.files_ok, 1u);
+  EXPECT_EQ(stats.files_salvaged, 1u);
+  EXPECT_EQ(stats.files_skipped, 1u);
+  EXPECT_GT(stats.observations, 0u);
+
+  // The legacy strict overload refuses the salvageable file too.
+  std::size_t skipped = 0;
+  collate_census_files(paths, 400, &skipped);
+  EXPECT_EQ(skipped, 2u);
+  (void)data;
+}
+
 TEST_F(StorageTest, OutOfRangeTargetsDropped) {
   std::vector<Observation> stream{
       {399, 0.0, net::ReplyKind::kEchoReply, 10.0},

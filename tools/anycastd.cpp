@@ -5,19 +5,27 @@
 //   anycastd world    [--seed N] [--unicast N]
 //       print the simulated world's deployment inventory
 //   anycastd census   --out DIR [--vps N] [--rate PPS] [--census-id N]
-//       run one census; write one binary file per VP into DIR
+//       run one census; write one checkpoint file per VP into DIR.
+//       --chaos injects deterministic faults (crashes, outages, reply
+//       storms, stragglers); --resume reuses complete checkpoints and
+//       re-runs only missing/crashed VPs
+//   anycastd resume   --out DIR [...census flags]
+//       alias for `census --resume`: recover a killed census
 //   anycastd analyze  --in DIR [--geojson FILE] [--top N]
-//       collate per-VP files, detect/enumerate/geolocate, print the
-//       characterisation; optionally export replicas as GeoJSON
+//       collate per-VP files (salvaging damaged ones), detect/enumerate/
+//       geolocate, print the characterisation; optionally export replicas
+//       as GeoJSON
 //   anycastd portscan [--top N]
 //       TCP portscan of the top anycast ASes (Sec. 4.3)
 //   anycastd diff     --out DIR
 //       run two censuses and print the landscape changes (Sec. 5)
 //
-// All commands are deterministic in --seed.
+// All commands are deterministic in --seed (and --chaos-seed).
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
 
 #include "anycast/analysis/analyzer.hpp"
@@ -25,8 +33,10 @@
 #include "anycast/analysis/geojson.hpp"
 #include "anycast/analysis/report.hpp"
 #include "anycast/census/census.hpp"
+#include "anycast/census/resume.hpp"
 #include "anycast/census/storage.hpp"
 #include "anycast/geo/city_index.hpp"
+#include "anycast/net/fault.hpp"
 #include "anycast/net/platform.hpp"
 #include "anycast/portscan/scanner.hpp"
 #include "flags.hpp"
@@ -37,16 +47,49 @@ namespace fs = std::filesystem;
 using namespace anycast;
 using tools::Flags;
 
+constexpr tools::FlagHelp kCommonFlags[] = {
+    {"seed", "N", "world/census seed (default 2015)"},
+    {"unicast", "N", "unicast /24s per liveness class (default 6000)"},
+    {"vps", "N", "PlanetLab vantage points (default 200)"},
+};
+
+constexpr tools::FlagHelp kCensusFlags[] = {
+    {"out", "DIR", "checkpoint directory (required)"},
+    {"rate", "PPS", "probing rate (default 1000; 10000 overdrives VPs)"},
+    {"census-id", "N", "census number, also offsets the seed (default 1)"},
+    {"availability", "F", "P(VP is up for this census) (default 1.0)"},
+    {"retries", "N", "retry passes over timed-out targets (default 0)"},
+    {"retry-backoff", "S", "base backoff before retry pass k: S*2^k (1.0)"},
+    {"retry-budget", "N", "max retry probes per VP, 0 = unlimited (0)"},
+    {"deadline-hours", "H", "cut off VPs exceeding this wall clock (off)"},
+    {"quarantine-drop", "F", "quarantine VPs with timeout rate > F (off)"},
+    {"resume", "", "reuse complete checkpoints; re-run the rest"},
+};
+
+constexpr tools::FlagHelp kChaosFlags[] = {
+    {"chaos", "", "inject deterministic faults into the census"},
+    {"chaos-seed", "N", "fault-plan seed (default 42)"},
+    {"crash-rate", "F", "P(VP crashes mid-walk) (default 0.15)"},
+    {"outage-rate", "F", "P(VP has a transient outage window) (0.15)"},
+    {"storm-rate", "F", "P(VP suffers a reply-loss storm) (0.15)"},
+    {"storm-drop", "F", "extra reply-drop probability in a storm (0.5)"},
+    {"straggler-rate", "F", "P(VP stalls like an overloaded node) (0.15)"},
+    {"stall-factor", "X", "slowdown inside a stall window (8.0)"},
+};
+
 int usage() {
   std::fprintf(
       stderr,
-      "usage: anycastd <world|census|analyze|portscan|diff> [flags]\n"
-      "  common flags: --seed N (default 2015), --unicast N (default 6000),\n"
-      "                --vps N (default 200)\n"
-      "  census:   --out DIR [--rate PPS] [--census-id N]\n"
-      "  analyze:  --in DIR [--geojson FILE] [--top N]\n"
-      "  portscan: [--top N]\n"
-      "  diff:     [--epochs N]\n");
+      "usage: anycastd <world|census|resume|analyze|portscan|diff> [flags]\n"
+      "  common flags:\n");
+  tools::print_flag_help(stderr, kCommonFlags);
+  std::fprintf(stderr, "  census / resume:\n");
+  tools::print_flag_help(stderr, kCensusFlags);
+  tools::print_flag_help(stderr, kChaosFlags);
+  std::fprintf(stderr,
+               "  analyze:  --in DIR [--geojson FILE] [--top N]\n"
+               "  portscan: [--top N]\n"
+               "  diff:     [--epochs N] [--availability F]\n");
   return 2;
 }
 
@@ -104,7 +147,39 @@ int cmd_world(const Flags& flags) {
   return 0;
 }
 
-int cmd_census(const Flags& flags) {
+/// Census prober configuration from the kCensusFlags knobs.
+census::FastPingConfig fastping_config_from(const Flags& flags) {
+  census::FastPingConfig fastping;
+  fastping.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2015)) +
+                  static_cast<std::uint64_t>(flags.get_int("census-id", 1));
+  fastping.probe_rate_pps = flags.get_double("rate", 1000.0);
+  fastping.vp_availability = flags.get_double("availability", 1.0);
+  fastping.retry_max_attempts =
+      static_cast<int>(flags.get_int("retries", 0));
+  fastping.retry_backoff_s = flags.get_double("retry-backoff", 1.0);
+  fastping.retry_probe_budget =
+      static_cast<std::uint64_t>(flags.get_int("retry-budget", 0));
+  fastping.vp_deadline_hours = flags.get_double("deadline-hours", 0.0);
+  fastping.quarantine_drop_rate = flags.get_double("quarantine-drop", 1.0);
+  return fastping;
+}
+
+/// Fault plan from the kChaosFlags knobs; nullopt without --chaos.
+std::optional<net::FaultPlan> fault_plan_from(const Flags& flags) {
+  const bool chaos = flags.get_bool("chaos");
+  net::FaultSpec spec;
+  spec.seed = static_cast<std::uint64_t>(flags.get_int("chaos-seed", 42));
+  spec.crash_rate = flags.get_double("crash-rate", 0.15);
+  spec.outage_rate = flags.get_double("outage-rate", 0.15);
+  spec.storm_rate = flags.get_double("storm-rate", 0.15);
+  spec.storm_drop = flags.get_double("storm-drop", 0.5);
+  spec.straggler_rate = flags.get_double("straggler-rate", 0.15);
+  spec.stall_factor = flags.get_double("stall-factor", 8.0);
+  if (!chaos) return std::nullopt;
+  return net::FaultPlan(spec);
+}
+
+int cmd_census(const Flags& flags, bool resume) {
   const auto out_dir = flags.get("out");
   if (!out_dir.has_value()) {
     std::fprintf(stderr, "census: --out DIR is required\n");
@@ -115,37 +190,54 @@ int cmd_census(const Flags& flags) {
   const census::Hitlist hitlist =
       census::Hitlist::from_world(internet).without_dead();
 
-  census::FastPingConfig fastping;
-  fastping.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2015)) +
-                  static_cast<std::uint64_t>(flags.get_int("census-id", 1));
-  fastping.probe_rate_pps = flags.get_double("rate", 1000.0);
+  const census::FastPingConfig fastping = fastping_config_from(flags);
+  const auto plan = fault_plan_from(flags);
   const auto census_id =
       static_cast<std::uint32_t>(flags.get_int("census-id", 1));
+  resume = resume || flags.get_bool("resume");
   if (const int rc = reject_unknown(flags)) return rc;
 
-  fs::create_directories(*out_dir);
-  census::Greylist blacklist;
-  census::Greylist greylist;
-  std::uint64_t replies = 0;
-  std::uint64_t errors = 0;
-  for (const net::VantagePoint& vp : vps) {
-    const census::FastPingResult result = census::run_fastping(
-        internet, vp, hitlist, blacklist, greylist, fastping);
-    replies += result.echo_replies;
-    errors += result.errors;
-    const fs::path path = fs::path(*out_dir) /
-                          ("census" + std::to_string(census_id) + "_vp" +
-                           std::to_string(vp.id) + ".anc");
-    census::write_census_file(path, {vp.id, census_id},
-                              result.observations);
+  if (!resume) {
+    // A fresh census owns its checkpoints: drop leftovers so stale
+    // complete files from an earlier run cannot masquerade as this one's.
+    for (const net::VantagePoint& vp : vps) {
+      fs::remove(census::census_checkpoint_path(*out_dir, census_id, vp.id));
+    }
   }
+  census::Greylist blacklist;
+  const census::ResumeReport report = census::resume_census(
+      internet, vps, hitlist, blacklist, fastping, *out_dir, census_id,
+      plan.has_value() ? &*plan : nullptr);
+  const census::CensusSummary& summary = report.output.summary;
+
   std::printf(
       "census %u: %zu VPs x %zu targets -> %llu echo replies, %llu ICMP "
       "errors (%zu greylisted)\n",
       census_id, vps.size(), hitlist.size(),
-      static_cast<unsigned long long>(replies),
-      static_cast<unsigned long long>(errors), greylist.size());
-  std::printf("wrote %zu files to %s\n", vps.size(), out_dir->c_str());
+      static_cast<unsigned long long>(summary.echo_replies),
+      static_cast<unsigned long long>(summary.errors),
+      summary.greylist_new);
+  using census::VpOutcome;
+  std::printf(
+      "VP outcomes: %zu completed, %zu crashed, %zu cut off, %zu "
+      "quarantined, %zu skipped\n",
+      summary.outcome_count(VpOutcome::kCompleted),
+      summary.outcome_count(VpOutcome::kCrashed),
+      summary.outcome_count(VpOutcome::kCutOff),
+      summary.outcome_count(VpOutcome::kQuarantined),
+      summary.outcome_count(VpOutcome::kSkipped));
+  if (summary.retry_probes > 0) {
+    std::printf("retries: %llu probes recovered %llu targets\n",
+                static_cast<unsigned long long>(summary.retry_probes),
+                static_cast<unsigned long long>(summary.retry_recovered));
+  }
+  if (resume) {
+    std::printf("resume: %zu checkpoints reused, %zu VPs re-run, %zu "
+                "salvaged\n",
+                report.vps_reused, report.vps_rerun, report.files_salvaged);
+  }
+  std::printf("wrote %zu files to %s\n",
+              report.vps_reused + report.vps_rerun, out_dir->c_str());
   return 0;
 }
 
@@ -171,11 +263,14 @@ int cmd_analyze(const Flags& flags) {
     return 1;
   }
 
-  std::size_t skipped = 0;
+  census::CollateStats stats;
   const census::CensusData data =
-      census::collate_census_files(files, hitlist.size(), &skipped);
-  std::printf("collated %zu files (%zu skipped), %zu responsive targets\n",
-              files.size(), skipped, data.responsive_targets(2));
+      census::collate_census_files(files, hitlist.size(), &stats);
+  std::printf(
+      "collated %zu files (%zu salvaged, %zu skipped), %zu responsive "
+      "targets\n",
+      files.size(), stats.files_salvaged, stats.files_skipped,
+      data.responsive_targets(2));
 
   const analysis::CensusAnalyzer analyzer(vps, geo::world_index());
   analysis::CensusReport report(internet, analyzer.analyze(data, hitlist));
@@ -243,6 +338,7 @@ int cmd_diff(const Flags& flags) {
       census::Hitlist::from_world(internet).without_dead();
   const analysis::CensusAnalyzer analyzer(vps, geo::world_index());
   const auto epochs = static_cast<int>(flags.get_int("epochs", 2));
+  const double availability = flags.get_double("availability", 0.85);
   if (const int rc = reject_unknown(flags)) return rc;
 
   analysis::CensusSnapshot previous;
@@ -250,7 +346,7 @@ int cmd_diff(const Flags& flags) {
     census::Greylist blacklist;
     census::FastPingConfig fastping;
     fastping.seed = 5000 + static_cast<std::uint64_t>(epoch);
-    fastping.vp_availability = 0.85;
+    fastping.vp_availability = availability;
     const auto output =
         run_census(internet, vps, hitlist, blacklist, fastping);
     analysis::CensusSnapshot snapshot(
@@ -280,7 +376,8 @@ int main(int argc, char** argv) {
   const auto flags = Flags::parse(argc, argv, 2);
   if (!flags.has_value()) return usage();
   if (command == "world") return cmd_world(*flags);
-  if (command == "census") return cmd_census(*flags);
+  if (command == "census") return cmd_census(*flags, /*resume=*/false);
+  if (command == "resume") return cmd_census(*flags, /*resume=*/true);
   if (command == "analyze") return cmd_analyze(*flags);
   if (command == "portscan") return cmd_portscan(*flags);
   if (command == "diff") return cmd_diff(*flags);

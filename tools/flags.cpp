@@ -1,5 +1,6 @@
 #include "flags.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -54,6 +55,32 @@ double Flags::get_double(const std::string& name, double fallback) const {
   const auto value = get(name);
   if (!value.has_value()) return fallback;
   return std::strtod(value->c_str(), nullptr);
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const auto value = get(name);
+  if (!value.has_value()) return fallback;
+  return !(*value == "false" || *value == "0" || *value == "no");
+}
+
+void print_flag_help(std::FILE* out, std::span<const FlagHelp> flags) {
+  std::size_t widest = 0;
+  for (const FlagHelp& flag : flags) {
+    widest = std::max(widest, flag.name.size() + 2 +
+                                  (flag.value.empty()
+                                       ? 0
+                                       : flag.value.size() + 1));
+  }
+  for (const FlagHelp& flag : flags) {
+    std::string left = "--" + std::string(flag.name);
+    if (!flag.value.empty()) {
+      left += ' ';
+      left += flag.value;
+    }
+    std::fprintf(out, "    %-*s  %.*s\n", static_cast<int>(widest),
+                 left.c_str(), static_cast<int>(flag.help.size()),
+                 flag.help.data());
+  }
 }
 
 std::vector<std::string> Flags::unknown() const {

@@ -6,12 +6,25 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace anycast::tools {
+
+/// One documented flag, for `print_flag_help` usage tables.
+struct FlagHelp {
+  std::string_view name;   // without the leading "--"
+  std::string_view value;  // value hint, e.g. "N", "DIR"; empty = boolean
+  std::string_view help;   // one-line description (may mention default)
+};
+
+/// Renders an aligned "--name VALUE  help" table to `out`.
+void print_flag_help(std::FILE* out, std::span<const FlagHelp> flags);
 
 class Flags {
  public:
@@ -30,6 +43,10 @@ class Flags {
                                      std::int64_t fallback) const;
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
+  /// Boolean flag: present without a value (or "true"/"1"/"yes") -> true;
+  /// "false"/"0"/"no" -> false; absent -> fallback.
+  [[nodiscard]] bool get_bool(const std::string& name,
+                              bool fallback = false) const;
   [[nodiscard]] bool has(const std::string& name) const {
     return values_.contains(name);
   }
