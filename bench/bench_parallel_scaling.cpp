@@ -1,0 +1,159 @@
+// Parallel scaling of the census + analysis engine.
+//
+// The paper's census probes 6.6M /24s from ~300 VPs in ~24h and analyses
+// a census in under 3h; both hot loops here are embarrassingly parallel
+// (per-VP walks, per-target iGreedy). This bench measures census and
+// analysis wall-clock on the default BenchConfig world at 1/2/4/8
+// threads, verifies the outputs are identical at every thread count (the
+// engine's determinism contract), and writes the machine-readable
+// trajectory to BENCH_parallel.json.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace anycast;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Sample {
+  std::string phase;
+  int threads = 0;
+  double seconds = 0.0;
+  double speedup = 1.0;
+};
+
+/// Fingerprint of one run's output, for the cross-thread-count identity
+/// check. Any divergence in rows, summary, or analysis shows up here.
+struct Fingerprint {
+  std::uint64_t probes = 0;
+  std::uint64_t replies = 0;
+  std::size_t responsive = 0;
+  std::size_t greylisted = 0;
+  std::size_t anycast_ip24 = 0;
+  std::size_t replicas = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+}  // namespace
+
+int main() {
+  const bench::BenchConfig config;  // the default BenchConfig world
+  bench::print_title(
+      "Parallel scaling — census + analysis wall-clock vs threads");
+
+  net::WorldConfig world_config;
+  world_config.seed = config.seed;
+  world_config.unicast_alive_slash24 = config.unicast_alive_slash24;
+  world_config.unicast_silent_slash24 = config.unicast_silent_slash24;
+  world_config.unicast_dead_slash24 = config.unicast_dead_slash24;
+  const net::SimulatedInternet internet(world_config);
+  const auto vps = net::make_planetlab(
+      {.node_count = config.vp_count, .seed = config.seed ^ 0xF1E1D});
+  const census::Hitlist hitlist =
+      census::Hitlist::from_world(internet).without_dead();
+  const analysis::CensusAnalyzer analyzer(vps, geo::world_index());
+  std::printf("  world: %zu targets x %zu VPs (%zu cores available)\n",
+              hitlist.size(), vps.size(),
+              concurrency::default_thread_count());
+
+  const int kThreadCounts[] = {1, 2, 4, 8};
+  std::vector<Sample> samples;
+  Fingerprint reference;
+  bool identical = true;
+
+  for (const int threads : kThreadCounts) {
+    concurrency::ThreadPool pool(static_cast<std::size_t>(threads));
+
+    // Census phase: one full pass, fresh blacklist so every thread count
+    // does identical work.
+    census::Greylist blacklist;
+    census::FastPingConfig fastping;
+    fastping.seed = config.seed;
+    fastping.probe_rate_pps = config.probe_rate_pps;
+    fastping.vp_availability = config.vp_availability;
+    const auto census_start = Clock::now();
+    const census::CensusOutput output =
+        run_census(internet, vps, hitlist, blacklist, fastping,
+                   /*faults=*/nullptr, &pool);
+    const double census_s = seconds_since(census_start);
+
+    // Analysis phase: detection sweep + iGreedy over the census rows.
+    const auto analysis_start = Clock::now();
+    const auto outcomes =
+        analyzer.analyze(output.data, hitlist, /*min_vps=*/2, &pool);
+    const double analysis_s = seconds_since(analysis_start);
+
+    Fingerprint print;
+    print.probes = output.summary.probes_sent;
+    print.replies = output.summary.echo_replies;
+    print.responsive = output.data.responsive_targets(2);
+    print.greylisted = blacklist.size();
+    print.anycast_ip24 = outcomes.size();
+    for (const auto& outcome : outcomes) {
+      print.replicas += outcome.result.replicas.size();
+    }
+    if (threads == kThreadCounts[0]) {
+      reference = print;
+    } else if (!(print == reference)) {
+      identical = false;
+    }
+
+    samples.push_back({"census", threads, census_s, 1.0});
+    samples.push_back({"analysis", threads, analysis_s, 1.0});
+    samples.push_back({"total", threads, census_s + analysis_s, 1.0});
+  }
+
+  // Speedups against the 1-thread baseline of each phase.
+  for (Sample& sample : samples) {
+    for (const Sample& base : samples) {
+      if (base.phase == sample.phase && base.threads == kThreadCounts[0]) {
+        sample.speedup = sample.seconds > 0.0
+                             ? base.seconds / sample.seconds
+                             : 1.0;
+      }
+    }
+  }
+
+  bench::print_subtitle("wall-clock per phase");
+  std::printf("  %-10s %8s %10s %9s\n", "phase", "threads", "seconds",
+              "speedup");
+  for (const Sample& sample : samples) {
+    std::printf("  %-10s %8d %10.3f %8.2fx\n", sample.phase.c_str(),
+                sample.threads, sample.seconds, sample.speedup);
+  }
+  std::printf("\n  outputs identical across thread counts: %s\n",
+              identical ? "yes" : "NO — DETERMINISM BUG");
+
+  std::FILE* json = std::fopen("BENCH_parallel.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"parallel_scaling\",\n"
+                 "  \"targets\": %zu,\n  \"vps\": %zu,\n"
+                 "  \"hardware_threads\": %zu,\n"
+                 "  \"outputs_identical\": %s,\n  \"results\": [\n",
+                 hitlist.size(), vps.size(),
+                 concurrency::default_thread_count(),
+                 identical ? "true" : "false");
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const Sample& sample = samples[i];
+      std::fprintf(json,
+                   "    {\"phase\": \"%s\", \"threads\": %d, "
+                   "\"seconds\": %.6f, \"speedup\": %.3f}%s\n",
+                   sample.phase.c_str(), sample.threads, sample.seconds,
+                   sample.speedup, i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("  wrote BENCH_parallel.json\n");
+  }
+  return identical ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #include "common.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 
 namespace anycast::bench {
@@ -19,28 +20,33 @@ BenchWorld::BenchWorld(const BenchConfig& config)
       full_hitlist(census::Hitlist::from_world(internet)),
       hitlist(full_hitlist.without_dead()) {
   combined = census::CensusData(hitlist.size());
+  concurrency::ThreadPool pool(
+      static_cast<std::size_t>(std::max(0, config.threads)));
   for (int c = 0; c < config.census_count; ++c) {
     census::FastPingConfig fastping;
     fastping.seed = config.seed + static_cast<std::uint64_t>(c) * 101;
     fastping.probe_rate_pps = config.probe_rate_pps;
     fastping.vp_availability = config.vp_availability;
-    census::CensusOutput output =
-        run_census(internet, vps, hitlist, blacklist, fastping);
+    census::CensusOutput output = run_census(
+        internet, vps, hitlist, blacklist, fastping, /*faults=*/nullptr,
+        &pool);
     summaries.push_back(std::move(output.summary));
     combined.combine_min(output.data);
     censuses.push_back(std::move(output.data));
   }
 }
 
-analysis::CensusReport analyze_combined(const BenchWorld& world) {
+analysis::CensusReport analyze_combined(const BenchWorld& world,
+                                        concurrency::ThreadPool* pool) {
   return analysis::CensusReport(world.internet,
-                                analyze_data(world, world.combined));
+                                analyze_data(world, world.combined, pool));
 }
 
 std::vector<analysis::TargetOutcome> analyze_data(
-    const BenchWorld& world, const census::CensusData& data) {
+    const BenchWorld& world, const census::CensusData& data,
+    concurrency::ThreadPool* pool) {
   const analysis::CensusAnalyzer analyzer(world.vps, geo::world_index());
-  return analyzer.analyze(data, world.hitlist);
+  return analyzer.analyze(data, world.hitlist, /*min_vps=*/2, pool);
 }
 
 void print_title(const std::string& title) {

@@ -16,6 +16,7 @@
 #include "anycast/analysis/analyzer.hpp"
 #include "anycast/analysis/report.hpp"
 #include "anycast/census/census.hpp"
+#include "anycast/concurrency/thread_pool.hpp"
 #include "anycast/geo/city_index.hpp"
 #include "anycast/net/internet.hpp"
 #include "anycast/net/platform.hpp"
@@ -35,6 +36,10 @@ struct BenchConfig {
   int census_count = 4;
   double probe_rate_pps = 1000.0;
   double vp_availability = 0.85;  // PL node churn across censuses
+  /// Census worker threads (0 = all cores). Results are thread-count
+  /// invariant — the merge order is fixed — so every bench regenerates
+  /// the same numbers at any setting; 1 keeps the exact serial path.
+  int threads = 1;
 };
 
 /// A fully-built world with a completed (multi-)census and its analysis.
@@ -57,9 +62,14 @@ struct BenchWorld {
 };
 
 /// Analysis over the combined census (detection + iGreedy + attribution).
-analysis::CensusReport analyze_combined(const BenchWorld& world);
+/// A multi-lane `pool` shards the sweep; the report is identical either
+/// way.
+analysis::CensusReport analyze_combined(const BenchWorld& world,
+                                        concurrency::ThreadPool* pool =
+                                            nullptr);
 std::vector<analysis::TargetOutcome> analyze_data(
-    const BenchWorld& world, const census::CensusData& data);
+    const BenchWorld& world, const census::CensusData& data,
+    concurrency::ThreadPool* pool = nullptr);
 
 // ---- Table rendering -------------------------------------------------------
 

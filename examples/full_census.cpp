@@ -7,6 +7,7 @@
 #include "anycast/analysis/analyzer.hpp"
 #include "anycast/analysis/report.hpp"
 #include "anycast/census/census.hpp"
+#include "anycast/concurrency/thread_pool.hpp"
 #include "anycast/geo/city_index.hpp"
 #include "anycast/net/platform.hpp"
 
@@ -33,14 +34,17 @@ int main() {
 
   // 3. Censuses: each VP pings every target in LFSR order; ICMP
   //    prohibitions feed the greylist, merged into the blacklist between
-  //    censuses.
+  //    censuses. One pool drives every VP walk and the analysis sweep;
+  //    output is identical for any thread count (merge order is fixed).
+  concurrency::ThreadPool pool;  // one lane per core
   census::Greylist blacklist;
   census::CensusData combined(hitlist.size());
   for (int c = 0; c < 3; ++c) {
     census::FastPingConfig fastping;
     fastping.seed = 100 + static_cast<std::uint64_t>(c);
-    const census::CensusOutput output =
-        run_census(internet, vps, hitlist, blacklist, fastping);
+    const census::CensusOutput output = run_census(
+        internet, vps, hitlist, blacklist, fastping, /*faults=*/nullptr,
+        &pool);
     std::printf(
         "census %d: %llu probes, %llu replies, %llu errors (%zu newly "
         "greylisted)\n",
@@ -55,8 +59,8 @@ int main() {
   // 4. Analysis: speed-of-light detection, then iGreedy enumeration and
   //    geolocation per detected /24.
   const analysis::CensusAnalyzer analyzer(vps, geo::world_index());
-  const analysis::CensusReport report(internet,
-                                      analyzer.analyze(combined, hitlist));
+  const analysis::CensusReport report(
+      internet, analyzer.analyze(combined, hitlist, /*min_vps=*/2, &pool));
 
   // 5. Characterisation: the Fig. 10-style summary.
   const analysis::GlanceRow all = report.glance_all();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "anycast/concurrency/thread_pool.hpp"
 #include "anycast/geodesy/disk.hpp"
 
 namespace anycast::analysis {
@@ -66,18 +67,45 @@ core::Result CensusAnalyzer::analyze_row(
 
 std::vector<TargetOutcome> CensusAnalyzer::analyze(
     const census::CensusData& data, const census::Hitlist& hitlist,
-    std::size_t min_vps) const {
-  std::vector<TargetOutcome> out;
+    std::size_t min_vps, concurrency::ThreadPool* pool) const {
   const std::size_t targets = std::min(data.target_count(), hitlist.size());
-  for (std::uint32_t t = 0; t < targets; ++t) {
-    const auto row = data.measurements(t);
-    if (row.size() < min_vps) continue;
-    if (!detect(row)) continue;
-    TargetOutcome outcome;
-    outcome.target_index = t;
-    outcome.slash24_index = hitlist[t].representative.slash24_index();
-    outcome.result = analyze_row(row);
-    if (outcome.result.anycast) out.push_back(std::move(outcome));
+
+  // The per-target work (detection pre-filter, then iGreedy on the few
+  // detected rows) only reads `this`, `data`, and `hitlist`, so a range
+  // of targets is an independent task.
+  const auto analyze_range = [&](std::size_t begin, std::size_t end) {
+    std::vector<TargetOutcome> out;
+    for (std::size_t t = begin; t < end; ++t) {
+      const auto row = data.measurements(static_cast<std::uint32_t>(t));
+      if (row.size() < min_vps) continue;
+      if (!detect(row)) continue;
+      TargetOutcome outcome;
+      outcome.target_index = static_cast<std::uint32_t>(t);
+      outcome.slash24_index = hitlist[t].representative.slash24_index();
+      outcome.result = analyze_row(row);
+      if (outcome.result.anycast) out.push_back(std::move(outcome));
+    }
+    return out;
+  };
+
+  if (pool == nullptr || pool->thread_count() <= 1) {
+    return analyze_range(0, targets);
+  }
+
+  // Shard into contiguous ranges (several per lane, so an anycast-dense
+  // range cannot straggle the whole sweep) and concatenate the per-shard
+  // outcomes in index order: element-identical to the serial sweep.
+  const auto ranges =
+      concurrency::shard_ranges(targets, pool->thread_count() * 8);
+  auto shards = pool->parallel_map(ranges.size(), [&](std::size_t s) {
+    return analyze_range(ranges[s].first, ranges[s].second);
+  });
+  std::vector<TargetOutcome> out;
+  std::size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  out.reserve(total);
+  for (auto& shard : shards) {
+    for (auto& outcome : shard) out.push_back(std::move(outcome));
   }
   return out;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "anycast/concurrency/thread_pool.hpp"
 #include "anycast/rng/distributions.hpp"
 
 namespace anycast::census {
@@ -9,6 +10,16 @@ namespace anycast::census {
 void CensusData::record(std::uint32_t target_index, std::uint16_t vp,
                         float rtt_ms) {
   auto& row = rows_[target_index];
+  // Fast path: VP results are reduced in ascending id order, so nearly
+  // every record appends past the current maximum.
+  if (row.empty() || row.back().vp < vp) {
+    row.push_back(VpRtt{vp, rtt_ms});
+    return;
+  }
+  if (row.back().vp == vp) {
+    row.back().rtt_ms = std::min(row.back().rtt_ms, rtt_ms);
+    return;
+  }
   const auto it = std::lower_bound(
       row.begin(), row.end(), vp,
       [](const VpRtt& entry, std::uint16_t v) { return entry.vp < v; });
@@ -17,6 +28,40 @@ void CensusData::record(std::uint32_t target_index, std::uint16_t vp,
   } else {
     row.insert(it, VpRtt{vp, rtt_ms});
   }
+}
+
+void CensusData::record_fragment(std::uint16_t vp,
+                                 std::span<const TargetRtt> fragment) {
+  for (const TargetRtt& entry : fragment) {
+    record(entry.target_index, vp, entry.rtt_ms);
+  }
+}
+
+std::vector<TargetRtt> vp_row_fragment(const FastPingResult& result,
+                                       std::size_t target_limit) {
+  std::vector<TargetRtt> fragment;
+  fragment.reserve(static_cast<std::size_t>(result.echo_replies));
+  for (const Observation& obs : result.observations) {
+    if (obs.kind != net::ReplyKind::kEchoReply) continue;
+    if (obs.target_index >= target_limit) continue;  // damaged record
+    fragment.push_back(
+        TargetRtt{obs.target_index, static_cast<float>(obs.rtt_ms)});
+  }
+  // Retry passes revisit targets: sort by target and keep the minimum per
+  // group (ties by RTT make the sort order — hence the result — unique).
+  std::sort(fragment.begin(), fragment.end(),
+            [](const TargetRtt& a, const TargetRtt& b) {
+              if (a.target_index != b.target_index) {
+                return a.target_index < b.target_index;
+              }
+              return a.rtt_ms < b.rtt_ms;
+            });
+  fragment.erase(std::unique(fragment.begin(), fragment.end(),
+                             [](const TargetRtt& a, const TargetRtt& b) {
+                               return a.target_index == b.target_index;
+                             }),
+                 fragment.end());
+  return fragment;
 }
 
 std::size_t CensusData::responsive_targets(std::size_t min_vps) const {
@@ -29,6 +74,7 @@ std::size_t CensusData::responsive_targets(std::size_t min_vps) const {
 
 void CensusData::combine_min(const CensusData& other) {
   if (rows_.size() < other.rows_.size()) rows_.resize(other.rows_.size());
+  std::vector<VpRtt>& merged = merge_scratch_;  // reused across rows
   for (std::size_t t = 0; t < other.rows_.size(); ++t) {
     const auto& theirs = other.rows_[t];
     auto& ours = rows_[t];
@@ -38,7 +84,7 @@ void CensusData::combine_min(const CensusData& other) {
       continue;
     }
     // Merge two vp-sorted rows, taking minima on common VPs.
-    std::vector<VpRtt> merged;
+    merged.clear();
     merged.reserve(ours.size() + theirs.size());
     std::size_t i = 0;
     std::size_t j = 0;
@@ -56,7 +102,7 @@ void CensusData::combine_min(const CensusData& other) {
     }
     for (; i < ours.size(); ++i) merged.push_back(ours[i]);
     for (; j < theirs.size(); ++j) merged.push_back(theirs[j]);
-    ours = std::move(merged);
+    ours.assign(merged.begin(), merged.end());
   }
 }
 
@@ -91,25 +137,64 @@ VpOutcome census_vp_outcome(const FastPingResult& result,
   return result.outcome;
 }
 
+namespace {
+
+/// One VP's finished walk, produced by its (possibly concurrent) task and
+/// consumed by the in-order reduction on the calling thread.
+struct VpWork {
+  bool ran = false;  // false: the availability coin skipped this VP
+  FastPingResult result;
+  Greylist greylist;               // private; merged in VP order
+  std::vector<TargetRtt> fragment; // per-target minima, merged in VP order
+};
+
+}  // namespace
+
 CensusOutput run_census(const net::SimulatedInternet& internet,
                         std::span<const net::VantagePoint> vps,
                         const Hitlist& hitlist, Greylist& blacklist,
                         const FastPingConfig& config,
-                        const net::FaultPlan* faults) {
+                        const net::FaultPlan* faults,
+                        concurrency::ThreadPool* pool) {
   CensusOutput out;
   out.data = CensusData(hitlist.size());
   out.summary.vp_duration_hours.reserve(vps.size());
   out.summary.vp_outcomes.reserve(vps.size());
 
+  // Map: each available VP walks the hitlist with a *private* greylist
+  // and reduces its own observations to a row fragment. Walks only read
+  // shared state (`internet`, `hitlist`, `blacklist`), so they are
+  // independent — the pool just runs them on every lane.
+  const auto walk_vp = [&](std::size_t i) -> VpWork {
+    VpWork work;
+    if (!vp_available(vps[i], config)) return work;
+    work.ran = true;
+    work.result = run_fastping(internet, vps[i], hitlist, blacklist,
+                               work.greylist, config, faults);
+    work.fragment = vp_row_fragment(work.result, hitlist.size());
+    return work;
+  };
+  std::vector<VpWork> done;
+  if (pool != nullptr && pool->thread_count() > 1) {
+    done = pool->parallel_map(vps.size(), walk_vp);
+  } else {
+    done.reserve(vps.size());
+    for (std::size_t i = 0; i < vps.size(); ++i) done.push_back(walk_vp(i));
+  }
+
+  // Reduce in VP order on this thread: the summary, quarantine decisions,
+  // data rows, and greylist merge all see VPs in exactly the order the
+  // serial loop did, so the output is byte-identical for any thread count.
   Greylist census_greylist;
-  for (const net::VantagePoint& vp : vps) {
-    if (!vp_available(vp, config)) {
+  for (std::size_t i = 0; i < vps.size(); ++i) {
+    const net::VantagePoint& vp = vps[i];
+    VpWork& work = done[i];
+    if (!work.ran) {
       out.summary.vp_outcomes.push_back({vp.id, VpOutcome::kSkipped});
       continue;
     }
     ++out.summary.active_vps;
-    FastPingResult vp_result = run_fastping(internet, vp, hitlist, blacklist,
-                                            census_greylist, config, faults);
+    const FastPingResult& vp_result = work.result;
     out.summary.probes_sent += vp_result.probes_sent;
     out.summary.echo_replies += vp_result.echo_replies;
     out.summary.errors += vp_result.errors;
@@ -120,13 +205,10 @@ CensusOutput run_census(const net::SimulatedInternet& internet,
     out.summary.vp_duration_hours.push_back(vp_result.duration_hours);
     const VpOutcome outcome = census_vp_outcome(vp_result, config);
     out.summary.vp_outcomes.push_back({vp.id, outcome});
+    census_greylist.merge(work.greylist);
     if (outcome == VpOutcome::kQuarantined) continue;
-    for (const Observation& obs : vp_result.observations) {
-      if (obs.kind == net::ReplyKind::kEchoReply) {
-        out.data.record(obs.target_index, static_cast<std::uint16_t>(vp.id),
-                        static_cast<float>(obs.rtt_ms));
-      }
-    }
+    out.data.record_fragment(static_cast<std::uint16_t>(vp.id),
+                             work.fragment);
   }
   out.summary.greylist_new = census_greylist.size();
   blacklist.merge(census_greylist);

@@ -134,6 +134,19 @@ FastPingResult run_fastping(const net::SimulatedInternet& internet,
         pending.push_back(obs.target_index);
       }
     }
+    // The main-walk reserve covered one probe per target; retry passes
+    // append beyond it. Reserve the worst case up front (every pending
+    // target re-probed every pass, clipped to the budget) so the retry
+    // loop never reallocates the observation stream.
+    std::size_t retry_worst_case =
+        pending.size() * static_cast<std::size_t>(config.retry_max_attempts);
+    if (config.retry_probe_budget != 0) {
+      retry_worst_case = std::min(
+          retry_worst_case,
+          static_cast<std::size_t>(config.retry_probe_budget));
+    }
+    result.observations.reserve(result.observations.size() +
+                                retry_worst_case);
     const std::uint64_t walk_end = hitlist.size();  // past every window
     double backoff_s = std::max(0.0, config.retry_backoff_s);
     bool out_of_time = false;

@@ -18,11 +18,24 @@
 #include "anycast/census/hitlist.hpp"
 #include "anycast/net/internet.hpp"
 
+namespace anycast::concurrency {
+class ThreadPool;
+}
+
 namespace anycast::census {
 
 /// One RTT sample: which VP, and the minimum RTT it saw to the target.
 struct VpRtt {
   std::uint16_t vp = 0;
+  float rtt_ms = 0.0F;
+};
+
+/// One row fragment entry: the minimum RTT one VP saw to one target.
+/// A whole `FastPingResult` reduces to a per-target-sorted vector of
+/// these (see `vp_row_fragment`), merged into `CensusData` in one call
+/// instead of one sorted insert per observation.
+struct TargetRtt {
+  std::uint32_t target_index = 0;
   float rtt_ms = 0.0F;
 };
 
@@ -35,6 +48,11 @@ class CensusData {
 
   /// Records a measurement, keeping the minimum per (target, vp).
   void record(std::uint32_t target_index, std::uint16_t vp, float rtt_ms);
+
+  /// Records one VP's whole row fragment (per-target minima, any order).
+  /// Equivalent to calling `record` per entry; rows stay canonical
+  /// (vp-sorted, per-pair minimum) whatever the merge order.
+  void record_fragment(std::uint16_t vp, std::span<const TargetRtt> fragment);
 
   [[nodiscard]] std::span<const VpRtt> measurements(
       std::uint32_t target_index) const {
@@ -51,7 +69,16 @@ class CensusData {
 
  private:
   std::vector<std::vector<VpRtt>> rows_;
+  std::vector<VpRtt> merge_scratch_;  // combine_min's reusable row buffer
 };
+
+/// Reduces one VP's observation stream to its per-target minimum echo
+/// RTTs, sorted by target index. Entries at or beyond `target_limit`
+/// (damaged checkpoint records) are dropped. This is the per-VP half of
+/// the census merge; it runs inside the VP's task when a thread pool is
+/// in use.
+std::vector<TargetRtt> vp_row_fragment(const FastPingResult& result,
+                                       std::size_t target_limit);
 
 /// How one VP fared in a census (one entry per configured VP).
 struct VpStatus {
@@ -93,6 +120,12 @@ VpOutcome census_vp_outcome(const FastPingResult& result,
 /// `faults` is non-null, also deterministic in the plan's seed (VPs may
 /// crash, straggle, or get quarantined — see `VpOutcome`). Quarantined
 /// VPs keep their summary counters but contribute no rows to `data`.
+///
+/// When `pool` is non-null with more than one lane, the per-VP walks run
+/// concurrently (each with a private greylist) and their results are
+/// reduced in VP order on the calling thread, so the output — rows,
+/// summary counters, outcome order, greylist membership and per-code
+/// counters — is byte-identical to the serial run for any thread count.
 struct CensusOutput {
   CensusData data;
   CensusSummary summary;
@@ -102,6 +135,7 @@ CensusOutput run_census(const net::SimulatedInternet& internet,
                         std::span<const net::VantagePoint> vps,
                         const Hitlist& hitlist, Greylist& blacklist,
                         const FastPingConfig& config,
-                        const net::FaultPlan* faults = nullptr);
+                        const net::FaultPlan* faults = nullptr,
+                        concurrency::ThreadPool* pool = nullptr);
 
 }  // namespace anycast::census

@@ -42,12 +42,18 @@ std::filesystem::path census_checkpoint_path(const std::filesystem::path& dir,
 /// blacklist merging, quarantine, and per-VP outcomes behave exactly as
 /// in `run_census`. The returned data collates the final on-disk state,
 /// so RTTs carry the binary format's 1/50 ms quantisation.
+///
+/// With a multi-lane `pool`, VPs recover concurrently (each touches only
+/// its own checkpoint file) and are reduced in VP order, so the report,
+/// the collated data, and the rewritten files are byte-identical to a
+/// serial resume — and therefore to an uninterrupted census.
 ResumeReport resume_census(const net::SimulatedInternet& internet,
                            std::span<const net::VantagePoint> vps,
                            const Hitlist& hitlist, Greylist& blacklist,
                            const FastPingConfig& config,
                            const std::filesystem::path& dir,
                            std::uint32_t census_id,
-                           const net::FaultPlan* faults = nullptr);
+                           const net::FaultPlan* faults = nullptr,
+                           concurrency::ThreadPool* pool = nullptr);
 
 }  // namespace anycast::census

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "anycast/census/fastping.hpp"
+#include "anycast/concurrency/thread_pool.hpp"
 
 namespace anycast::census {
 namespace {
@@ -52,6 +53,16 @@ std::vector<Observation> quantised(
                              : std::vector<Observation>{};
 }
 
+/// One VP's recovered-or-reprobed walk: the per-VP task of a resume pass.
+struct VpWork {
+  bool ran = false;       // false: skipped by the availability coin
+  bool reused = false;    // complete checkpoint kept as-is
+  bool salvaged = false;  // damaged checkpoint partially recovered
+  FastPingResult result;
+  Greylist greylist;               // private; merged in VP order
+  std::vector<TargetRtt> fragment; // per-target minima, merged in VP order
+};
+
 }  // namespace
 
 std::filesystem::path census_checkpoint_path(const std::filesystem::path& dir,
@@ -67,7 +78,8 @@ ResumeReport resume_census(const net::SimulatedInternet& internet,
                            const FastPingConfig& config,
                            const std::filesystem::path& dir,
                            std::uint32_t census_id,
-                           const net::FaultPlan* faults) {
+                           const net::FaultPlan* faults,
+                           concurrency::ThreadPool* pool) {
   std::filesystem::create_directories(dir);
   ResumeReport report;
   CensusOutput& out = report.output;
@@ -75,46 +87,71 @@ ResumeReport resume_census(const net::SimulatedInternet& internet,
   out.summary.vp_duration_hours.reserve(vps.size());
   out.summary.vp_outcomes.reserve(vps.size());
 
+  // Map: each available VP reuses its checkpoint or re-walks, touching
+  // only its own file — tasks are independent, so the pool runs them on
+  // every lane. All greylist feeding happens into the task's private list.
+  const auto recover_vp = [&](std::size_t i) -> VpWork {
+    VpWork work;
+    const net::VantagePoint& vp = vps[i];
+    if (!vp_available(vp, config)) return work;
+    work.ran = true;
+
+    const std::filesystem::path path =
+        census_checkpoint_path(dir, census_id, vp.id);
+    auto checkpoint = salvage_census_file(path);
+    work.salvaged = checkpoint.has_value() && checkpoint->salvaged;
+    work.reused = checkpoint.has_value() && checkpoint->header.complete() &&
+                  checkpoint->header.vp_id == vp.id &&
+                  checkpoint->header.census_id == census_id;
+    if (work.reused) {
+      work.result = result_from_observations(
+          std::move(checkpoint->observations), hitlist, work.greylist);
+    } else {
+      // Missing, incomplete, salvaged, or mislabelled: pay for this VP
+      // again. The walk is deterministic in (seed, vp), so the rewritten
+      // checkpoint matches what an uninterrupted census would have saved.
+      work.result = run_fastping(internet, vp, hitlist, blacklist,
+                                 work.greylist, config, faults);
+      CensusFileHeader header{vp.id, census_id, 0};
+      if (work.result.outcome == VpOutcome::kCompleted) {
+        header.flags |= kCensusFileComplete;
+      }
+      write_census_file(path, header, work.result.observations);
+      work.result.observations = quantised(work.result.observations);
+    }
+    work.fragment = vp_row_fragment(work.result, hitlist.size());
+    return work;
+  };
+  std::vector<VpWork> done;
+  if (pool != nullptr && pool->thread_count() > 1) {
+    done = pool->parallel_map(vps.size(), recover_vp);
+  } else {
+    done.reserve(vps.size());
+    for (std::size_t i = 0; i < vps.size(); ++i) {
+      done.push_back(recover_vp(i));
+    }
+  }
+
+  // Reduce in VP order on this thread (see run_census): byte-identical
+  // output for any thread count, including the resumed checkpoints.
   Greylist census_greylist;
-  for (const net::VantagePoint& vp : vps) {
-    if (!vp_available(vp, config)) {
+  for (std::size_t i = 0; i < vps.size(); ++i) {
+    const net::VantagePoint& vp = vps[i];
+    VpWork& work = done[i];
+    if (!work.ran) {
       out.summary.vp_outcomes.push_back({vp.id, VpOutcome::kSkipped});
       ++report.vps_skipped;
       continue;
     }
     ++out.summary.active_vps;
-
-    const std::filesystem::path path =
-        census_checkpoint_path(dir, census_id, vp.id);
-    auto checkpoint = salvage_census_file(path);
-    if (checkpoint.has_value() && checkpoint->salvaged) {
-      ++report.files_salvaged;
-    }
-    const bool reusable = checkpoint.has_value() &&
-                          checkpoint->header.complete() &&
-                          checkpoint->header.vp_id == vp.id &&
-                          checkpoint->header.census_id == census_id;
-
-    FastPingResult result;
-    if (reusable) {
+    if (work.salvaged) ++report.files_salvaged;
+    if (work.reused) {
       ++report.vps_reused;
-      result = result_from_observations(std::move(checkpoint->observations),
-                                        hitlist, census_greylist);
     } else {
-      // Missing, incomplete, salvaged, or mislabelled: pay for this VP
-      // again. The walk is deterministic in (seed, vp), so the rewritten
-      // checkpoint matches what an uninterrupted census would have saved.
       ++report.vps_rerun;
-      result = run_fastping(internet, vp, hitlist, blacklist,
-                            census_greylist, config, faults);
-      CensusFileHeader header{vp.id, census_id, 0};
-      if (result.outcome == VpOutcome::kCompleted) {
-        header.flags |= kCensusFileComplete;
-      }
-      write_census_file(path, header, result.observations);
-      result.observations = quantised(result.observations);
     }
 
+    const FastPingResult& result = work.result;
     out.summary.probes_sent += result.probes_sent;
     out.summary.echo_replies += result.echo_replies;
     out.summary.errors += result.errors;
@@ -125,13 +162,10 @@ ResumeReport resume_census(const net::SimulatedInternet& internet,
     out.summary.vp_duration_hours.push_back(result.duration_hours);
     const VpOutcome outcome = census_vp_outcome(result, config);
     out.summary.vp_outcomes.push_back({vp.id, outcome});
+    census_greylist.merge(work.greylist);
     if (outcome == VpOutcome::kQuarantined) continue;
-    for (const Observation& obs : result.observations) {
-      if (obs.kind != net::ReplyKind::kEchoReply) continue;
-      if (obs.target_index >= hitlist.size()) continue;  // damaged record
-      out.data.record(obs.target_index, static_cast<std::uint16_t>(vp.id),
-                      static_cast<float>(obs.rtt_ms));
-    }
+    out.data.record_fragment(static_cast<std::uint16_t>(vp.id),
+                             work.fragment);
   }
   out.summary.greylist_new = census_greylist.size();
   blacklist.merge(census_greylist);

@@ -1,0 +1,88 @@
+// Fixed-size thread pool with fork-join helpers.
+//
+// The census and the analysis are embarrassingly parallel with clean
+// merge points: per-VP walks are independent (each VP carries its own
+// RNG, fault schedule, and greylist) and per-target iGreedy runs are
+// independent. This pool supplies the only concurrency primitive those
+// hot paths need — a blocking `parallel_for` over an index space with
+// dynamic work claiming — and nothing else. No external dependencies.
+//
+// Determinism contract: the pool never changes *what* is computed, only
+// *where*. Callers must produce results indexed by input position and
+// reduce them in input order on the calling thread; every user in this
+// repository does exactly that, which is why census and analysis output
+// is byte-identical for any thread count (asserted by
+// tests/concurrency_test.cpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace anycast::concurrency {
+
+/// The hardware's concurrency, never less than 1 (the standard allows
+/// `hardware_concurrency()` to return 0 when unknown).
+std::size_t default_thread_count();
+
+/// A fixed-size pool. `ThreadPool(n)` provides `n` lanes of execution:
+/// the calling thread participates in every `parallel_for`, so `n - 1`
+/// worker threads are spawned. `ThreadPool(1)` spawns no threads at all —
+/// every helper runs inline on the caller, the exact legacy serial path.
+/// `ThreadPool(0)` resolves to `default_thread_count()`.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t thread_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes, including the calling thread; always >= 1.
+  [[nodiscard]] std::size_t thread_count() const {
+    return workers_.size() + 1;
+  }
+
+  /// Runs `fn(i)` for every i in [0, n), blocking until all complete.
+  /// Indices are claimed dynamically (one at a time), so heterogeneous
+  /// task costs balance; the caller participates. The first exception
+  /// thrown by any `fn(i)` stops new claims and is rethrown here after
+  /// in-flight tasks drain. Not reentrant from inside `fn`.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// `parallel_for` that collects `fn(i)` into a vector indexed by i —
+  /// the result is position-stable regardless of execution order.
+  template <typename Fn>
+  auto parallel_map(std::size_t n, Fn&& fn)
+      -> std::vector<decltype(fn(std::size_t{0}))> {
+    std::vector<decltype(fn(std::size_t{0}))> out(n);
+    parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  void worker_loop();
+  void post(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+/// Contiguous [begin, end) shards covering [0, n), at most `max_shards`
+/// of them, sized within one item of each other. Shard boundaries never
+/// affect results (reductions are index-ordered); they only set task
+/// granularity.
+std::vector<std::pair<std::size_t, std::size_t>> shard_ranges(
+    std::size_t n, std::size_t max_shards);
+
+}  // namespace anycast::concurrency

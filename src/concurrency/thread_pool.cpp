@@ -1,0 +1,127 @@
+#include "anycast/concurrency/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace anycast::concurrency {
+
+std::size_t default_thread_count() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  if (thread_count == 0) thread_count = default_thread_count();
+  workers_.reserve(thread_count - 1);
+  for (std::size_t i = 0; i + 1 < thread_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(queue_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    const std::lock_guard lock(queue_mutex_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared fork-join state, alive until the last helper signals done.
+  struct Join {
+    std::atomic<std::size_t> next{0};
+    std::size_t limit = 0;
+    std::atomic<std::size_t> helpers_left{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+  } join;
+  join.limit = n;
+
+  const auto claim_loop = [&fn, &join] {
+    while (true) {
+      const std::size_t i = join.next.fetch_add(1);
+      if (i >= join.limit) break;
+      try {
+        fn(i);
+      } catch (...) {
+        {
+          const std::lock_guard lock(join.error_mutex);
+          if (!join.first_error) join.first_error = std::current_exception();
+        }
+        // Poison the counter so no further index is claimed.
+        join.next.store(join.limit);
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  join.helpers_left.store(helpers);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    post([&claim_loop, &join] {
+      claim_loop();
+      if (join.helpers_left.fetch_sub(1) == 1) {
+        // done_mutex orders this notify against the caller's wait.
+        const std::lock_guard lock(join.done_mutex);
+        join.done_cv.notify_one();
+      }
+    });
+  }
+
+  claim_loop();  // the caller is a lane too
+  {
+    std::unique_lock lock(join.done_mutex);
+    join.done_cv.wait(lock,
+                      [&join] { return join.helpers_left.load() == 0; });
+  }
+  if (join.first_error) std::rethrow_exception(join.first_error);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> shard_ranges(
+    std::size_t n, std::size_t max_shards) {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  if (n == 0 || max_shards == 0) return ranges;
+  const std::size_t shards = std::min(n, max_shards);
+  ranges.reserve(shards);
+  const std::size_t base = n / shards;
+  const std::size_t extra = n % shards;  // first `extra` shards get +1
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t end = begin + base + (s < extra ? 1 : 0);
+    ranges.emplace_back(begin, end);
+    begin = end;
+  }
+  return ranges;
+}
+
+}  // namespace anycast::concurrency

@@ -108,18 +108,19 @@ Result IGreedy::analyze(std::span<const Measurement> measurements) const {
   }
 
   // Working state: `fixed` holds replicas already geolocated (their disks
-  // collapsed onto the classified city); `open` indexes disks not yet part
-  // of the solution.
+  // collapsed onto the classified city); `consumed` flags disks already
+  // part of the solution. A flag sweep per round replaces the former
+  // per-pick vector erase (which cost O(disks) per picked disk).
   std::vector<Replica> fixed;
-  std::vector<std::size_t> open(disks.size());
-  for (std::size_t i = 0; i < open.size(); ++i) open[i] = i;
+  std::vector<char> consumed(disks.size(), 0);
 
   for (int round = 0; round < options_.max_iterations; ++round) {
-    // Candidate disks this round: open disks that do not intersect any
-    // collapsed replica point (those are already explained by a replica).
+    // Candidate disks this round: unconsumed disks that do not intersect
+    // any collapsed replica point (those are already explained).
     std::vector<std::size_t> candidates;
-    candidates.reserve(open.size());
-    for (const std::size_t idx : open) {
+    candidates.reserve(disks.size());
+    for (std::size_t idx = 0; idx < disks.size(); ++idx) {
+      if (consumed[idx] != 0) continue;
       const bool explained = std::any_of(
           fixed.begin(), fixed.end(), [&](const Replica& replica) {
             return disks[idx].contains(replica.location);
@@ -155,7 +156,7 @@ Result IGreedy::analyze(std::span<const Measurement> measurements) const {
         progress = true;
       }
       // Disk is consumed either way.
-      open.erase(std::remove(open.begin(), open.end(), idx), open.end());
+      consumed[idx] = 1;
     }
     ++result.iterations;
     if (!progress) break;

@@ -1,0 +1,411 @@
+// The determinism contract of the parallel engine: any thread count —
+// including the serial path — produces byte-identical censuses, resumes,
+// and analyses. Plus unit coverage for the ThreadPool itself.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+#include <unistd.h>
+#include <vector>
+
+#include "anycast/analysis/analyzer.hpp"
+#include "anycast/analysis/report.hpp"
+#include "anycast/census/census.hpp"
+#include "anycast/census/resume.hpp"
+#include "anycast/concurrency/thread_pool.hpp"
+#include "anycast/geo/city_index.hpp"
+#include "anycast/net/fault.hpp"
+#include "anycast/net/platform.hpp"
+
+namespace anycast {
+namespace {
+
+namespace fs = std::filesystem;
+using census::CensusData;
+using census::CensusOutput;
+using census::CensusSummary;
+using census::FastPingConfig;
+using census::Greylist;
+using census::Hitlist;
+using census::ResumeReport;
+using concurrency::ThreadPool;
+
+// --- ThreadPool --------------------------------------------------------------
+
+TEST(ThreadPool, DefaultThreadCountIsAtLeastOne) {
+  EXPECT_GE(concurrency::default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, ThreadCountSemantics) {
+  EXPECT_EQ(ThreadPool(1).thread_count(), 1u);
+  EXPECT_EQ(ThreadPool(4).thread_count(), 4u);
+  EXPECT_EQ(ThreadPool(0).thread_count(),
+            concurrency::default_thread_count());
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kItems = 1000;
+    std::vector<std::atomic<int>> hits(kItems);
+    pool.parallel_for(kItems, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kItems; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroItemsIsANoOp) {
+  ThreadPool pool(4);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ParallelMapIsPositionStable) {
+  ThreadPool pool(8);
+  const auto out =
+      pool.parallel_map(257, [](std::size_t i) { return 3 * i + 1; });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], 3 * i + 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool survives a failed parallel_for.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossManyForkJoins) {
+  ThreadPool pool(3);
+  std::size_t total = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(64, [&](std::size_t i) { sum += i; });
+    total += sum.load();
+  }
+  EXPECT_EQ(total, 50u * (64u * 63u / 2));
+}
+
+TEST(ShardRanges, CoverContiguouslyAndEvenly) {
+  const auto ranges = concurrency::shard_ranges(103, 10);
+  ASSERT_EQ(ranges.size(), 10u);
+  std::size_t expected_begin = 0;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_EQ(begin, expected_begin);
+    const std::size_t size = end - begin;
+    EXPECT_TRUE(size == 10 || size == 11);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, 103u);
+  // Fewer items than shards: one shard per item.
+  EXPECT_EQ(concurrency::shard_ranges(3, 16).size(), 3u);
+  EXPECT_TRUE(concurrency::shard_ranges(0, 16).empty());
+}
+
+// --- Determinism across thread counts ---------------------------------------
+
+net::WorldConfig tiny_world_config() {
+  net::WorldConfig config;
+  config.seed = 21;
+  config.unicast_alive_slash24 = 400;
+  config.unicast_dead_slash24 = 300;
+  return config;
+}
+
+const net::SimulatedInternet& tiny_world() {
+  static const net::SimulatedInternet world(tiny_world_config());
+  return world;
+}
+
+const Hitlist& tiny_hitlist() {
+  static const Hitlist hitlist =
+      Hitlist::from_world(tiny_world()).without_dead();
+  return hitlist;
+}
+
+/// A config that exercises every runner feature at once: node churn,
+/// retries with a budget, a straggler deadline, and quarantine.
+FastPingConfig loaded_config() {
+  FastPingConfig config;
+  config.seed = 90;
+  config.vp_availability = 0.8;
+  config.retry_max_attempts = 2;
+  config.retry_probe_budget = 64;
+  config.vp_deadline_hours = 10.0;
+  config.quarantine_drop_rate = 0.5;
+  return config;
+}
+
+net::FaultPlan stormy_plan() {
+  net::FaultSpec spec;
+  spec.crash_rate = 0.4;
+  spec.outage_rate = 0.4;
+  spec.storm_rate = 0.4;
+  spec.straggler_rate = 0.4;
+  return net::FaultPlan(spec);
+}
+
+void expect_same_data(const CensusData& a, const CensusData& b) {
+  ASSERT_EQ(a.target_count(), b.target_count());
+  for (std::uint32_t t = 0; t < a.target_count(); ++t) {
+    const auto ra = a.measurements(t);
+    const auto rb = b.measurements(t);
+    ASSERT_EQ(ra.size(), rb.size()) << "target " << t;
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].vp, rb[i].vp) << "target " << t;
+      EXPECT_EQ(ra[i].rtt_ms, rb[i].rtt_ms) << "target " << t;
+    }
+  }
+}
+
+void expect_same_summary(const CensusSummary& a, const CensusSummary& b) {
+  EXPECT_EQ(a.probes_sent, b.probes_sent);
+  EXPECT_EQ(a.echo_replies, b.echo_replies);
+  EXPECT_EQ(a.errors, b.errors);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.injected_timeouts, b.injected_timeouts);
+  EXPECT_EQ(a.retry_probes, b.retry_probes);
+  EXPECT_EQ(a.retry_recovered, b.retry_recovered);
+  EXPECT_EQ(a.greylist_new, b.greylist_new);
+  EXPECT_EQ(a.active_vps, b.active_vps);
+  ASSERT_EQ(a.vp_duration_hours.size(), b.vp_duration_hours.size());
+  for (std::size_t i = 0; i < a.vp_duration_hours.size(); ++i) {
+    EXPECT_EQ(a.vp_duration_hours[i], b.vp_duration_hours[i]) << "vp " << i;
+  }
+  // vp_outcomes must match element-wise *in order* — the summary is part
+  // of the byte-identical output contract.
+  ASSERT_EQ(a.vp_outcomes.size(), b.vp_outcomes.size());
+  for (std::size_t i = 0; i < a.vp_outcomes.size(); ++i) {
+    EXPECT_EQ(a.vp_outcomes[i].vp_id, b.vp_outcomes[i].vp_id) << i;
+    EXPECT_EQ(a.vp_outcomes[i].outcome, b.vp_outcomes[i].outcome) << i;
+  }
+}
+
+void expect_same_greylist_counters(const Greylist& a, const Greylist& b) {
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.admin_filtered_count(), b.admin_filtered_count());
+  EXPECT_EQ(a.host_prohibited_count(), b.host_prohibited_count());
+  EXPECT_EQ(a.net_prohibited_count(), b.net_prohibited_count());
+}
+
+CensusOutput census_with(ThreadPool* pool, const net::FaultPlan* plan,
+                         Greylist& blacklist) {
+  const auto vps = net::make_planetlab({.node_count = 12, .seed = 91});
+  return run_census(tiny_world(), vps, tiny_hitlist(), blacklist,
+                    loaded_config(), plan, pool);
+}
+
+TEST(ParallelCensus, OutputIsIdenticalForAnyThreadCount) {
+  for (const bool chaos : {false, true}) {
+    const net::FaultPlan plan = stormy_plan();
+    const net::FaultPlan* faults = chaos ? &plan : nullptr;
+
+    Greylist serial_blacklist;
+    const CensusOutput serial =
+        census_with(nullptr, faults, serial_blacklist);
+
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      ThreadPool pool(threads);
+      Greylist blacklist;
+      const CensusOutput parallel = census_with(&pool, faults, blacklist);
+      SCOPED_TRACE("chaos=" + std::to_string(chaos) +
+                   " threads=" + std::to_string(threads));
+      expect_same_summary(parallel.summary, serial.summary);
+      expect_same_data(parallel.data, serial.data);
+      expect_same_greylist_counters(blacklist, serial_blacklist);
+    }
+  }
+}
+
+TEST(ParallelCensus, SerialPathIsExactlyTheLegacyLoop) {
+  // threads == 1 must not even touch the pool machinery: a 1-lane pool
+  // and a null pool take the same inline path and agree bit-for-bit.
+  Greylist blacklist_null;
+  Greylist blacklist_one;
+  const CensusOutput with_null = census_with(nullptr, nullptr, blacklist_null);
+  ThreadPool one(1);
+  const CensusOutput with_one = census_with(&one, nullptr, blacklist_one);
+  expect_same_summary(with_one.summary, with_null.summary);
+  expect_same_data(with_one.data, with_null.data);
+  expect_same_greylist_counters(blacklist_one, blacklist_null);
+}
+
+TEST(ParallelAnalysis, OutcomesAndReportAreIdenticalForAnyThreadCount) {
+  const auto vps = net::make_planetlab({.node_count = 16, .seed = 92});
+  Greylist blacklist;
+  FastPingConfig config;
+  config.seed = 92;
+  const CensusOutput output = run_census(tiny_world(), vps, tiny_hitlist(),
+                                         blacklist, config);
+  const analysis::CensusAnalyzer analyzer(vps, geo::world_index());
+
+  const auto serial = analyzer.analyze(output.data, tiny_hitlist());
+  ASSERT_GT(serial.size(), 0u) << "world should contain detectable anycast";
+  const analysis::CensusReport serial_report(tiny_world(), serial);
+  const analysis::GlanceRow serial_glance = serial_report.glance_all();
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    const auto parallel =
+        analyzer.analyze(output.data, tiny_hitlist(), 2, &pool);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].target_index, serial[i].target_index) << i;
+      EXPECT_EQ(parallel[i].slash24_index, serial[i].slash24_index) << i;
+      EXPECT_EQ(parallel[i].result.anycast, serial[i].result.anycast) << i;
+      EXPECT_EQ(parallel[i].result.iterations, serial[i].result.iterations)
+          << i;
+      EXPECT_EQ(parallel[i].result.first_round_replicas,
+                serial[i].result.first_round_replicas)
+          << i;
+      ASSERT_EQ(parallel[i].result.replicas.size(),
+                serial[i].result.replicas.size())
+          << i;
+      for (std::size_t r = 0; r < serial[i].result.replicas.size(); ++r) {
+        EXPECT_EQ(parallel[i].result.replicas[r].vp_id,
+                  serial[i].result.replicas[r].vp_id);
+        EXPECT_EQ(parallel[i].result.replicas[r].city,
+                  serial[i].result.replicas[r].city);
+      }
+    }
+    // The derived report numbers match too.
+    const analysis::CensusReport report(tiny_world(), parallel);
+    const analysis::GlanceRow glance = report.glance_all();
+    EXPECT_EQ(glance.ip24, serial_glance.ip24);
+    EXPECT_EQ(glance.ases, serial_glance.ases);
+    EXPECT_EQ(glance.replicas, serial_glance.replicas);
+    EXPECT_EQ(glance.cities, serial_glance.cities);
+    EXPECT_EQ(glance.countries, serial_glance.countries);
+  }
+}
+
+// --- Resume under threads (extends PR 1's invariant) -------------------------
+
+class ParallelResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("anycast_concurrency_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static std::vector<std::uint8_t> read_bytes(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ParallelResumeTest, ResumeOutputIsIdenticalForAnyThreadCount) {
+  const auto vps = net::make_planetlab({.node_count = 8, .seed = 91});
+  FastPingConfig config;
+  config.seed = 93;
+
+  Greylist serial_blacklist;
+  const ResumeReport serial =
+      resume_census(tiny_world(), vps, tiny_hitlist(), serial_blacklist,
+                    config, dir_ / "serial", /*census_id=*/1);
+
+  for (const std::size_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    const fs::path sub = dir_ / ("threads" + std::to_string(threads));
+    Greylist blacklist;
+    const ResumeReport parallel = resume_census(
+        tiny_world(), vps, tiny_hitlist(), blacklist, config, sub,
+        /*census_id=*/1, /*faults=*/nullptr, &pool);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(parallel.vps_reused, serial.vps_reused);
+    EXPECT_EQ(parallel.vps_rerun, serial.vps_rerun);
+    EXPECT_EQ(parallel.vps_skipped, serial.vps_skipped);
+    EXPECT_EQ(parallel.files_salvaged, serial.files_salvaged);
+    expect_same_summary(parallel.output.summary, serial.output.summary);
+    expect_same_data(parallel.output.data, serial.output.data);
+    expect_same_greylist_counters(blacklist, serial_blacklist);
+    for (const net::VantagePoint& vp : vps) {
+      const auto a = read_bytes(census::census_checkpoint_path(dir_ / "serial", 1,
+                                                       vp.id));
+      const auto b = read_bytes(census::census_checkpoint_path(sub, 1, vp.id));
+      ASSERT_FALSE(a.empty());
+      EXPECT_EQ(a, b) << "vp " << vp.id;
+    }
+  }
+}
+
+TEST_F(ParallelResumeTest, ChaosCrashThenParallelResumeEqualsUninterrupted) {
+  const auto vps = net::make_planetlab({.node_count = 8, .seed = 91});
+  FastPingConfig config;
+  config.seed = 90;
+
+  // Baseline: an uninterrupted fault-free *serial* census.
+  const fs::path clean_dir = dir_ / "clean";
+  Greylist blacklist_clean;
+  const ResumeReport clean =
+      resume_census(tiny_world(), vps, tiny_hitlist(), blacklist_clean,
+                    config, clean_dir, /*census_id=*/1);
+
+  // The same census with 8 threads, under a crashy plan...
+  net::FaultSpec spec;
+  spec.crash_rate = 0.5;
+  const net::FaultPlan plan(spec);
+  const fs::path crash_dir = dir_ / "crashed";
+  ThreadPool pool(8);
+  Greylist blacklist_crash;
+  const ResumeReport crashed = resume_census(
+      tiny_world(), vps, tiny_hitlist(), blacklist_crash, config, crash_dir,
+      /*census_id=*/1, &plan, &pool);
+  const std::size_t crashes =
+      crashed.output.summary.outcome_count(census::VpOutcome::kCrashed);
+  ASSERT_GT(crashes, 0u) << "plan should crash at least one of 8 VPs";
+
+  // ...then a fault-free resume, still at 8 threads, re-runs exactly the
+  // crashed VPs and reproduces the uninterrupted census byte-for-byte.
+  Greylist blacklist_resume;
+  const ResumeReport resumed = resume_census(
+      tiny_world(), vps, tiny_hitlist(), blacklist_resume, config, crash_dir,
+      /*census_id=*/1, /*faults=*/nullptr, &pool);
+  EXPECT_EQ(resumed.vps_rerun, crashes);
+  EXPECT_EQ(resumed.vps_reused, vps.size() - crashes);
+  // Funnel counters, rows, and files match the uninterrupted census.
+  // (Durations are excluded: reused checkpoints reconstruct a coarse
+  // duration from the file's quantised timestamps, as in fault_test.)
+  EXPECT_EQ(resumed.output.summary.probes_sent,
+            clean.output.summary.probes_sent);
+  EXPECT_EQ(resumed.output.summary.echo_replies,
+            clean.output.summary.echo_replies);
+  EXPECT_EQ(resumed.output.summary.timeouts, clean.output.summary.timeouts);
+  EXPECT_EQ(resumed.output.summary.errors, clean.output.summary.errors);
+  EXPECT_EQ(resumed.output.summary.outcome_count(census::VpOutcome::kCompleted),
+            vps.size());
+  expect_same_data(resumed.output.data, clean.output.data);
+  for (const net::VantagePoint& vp : vps) {
+    const auto clean_bytes =
+        read_bytes(census::census_checkpoint_path(clean_dir, 1, vp.id));
+    const auto resumed_bytes =
+        read_bytes(census::census_checkpoint_path(crash_dir, 1, vp.id));
+    ASSERT_FALSE(clean_bytes.empty());
+    EXPECT_EQ(clean_bytes, resumed_bytes) << "vp " << vp.id;
+  }
+}
+
+}  // namespace
+}  // namespace anycast

@@ -35,6 +35,7 @@
 #include "anycast/census/census.hpp"
 #include "anycast/census/resume.hpp"
 #include "anycast/census/storage.hpp"
+#include "anycast/concurrency/thread_pool.hpp"
 #include "anycast/geo/city_index.hpp"
 #include "anycast/net/fault.hpp"
 #include "anycast/net/platform.hpp"
@@ -51,6 +52,9 @@ constexpr tools::FlagHelp kCommonFlags[] = {
     {"seed", "N", "world/census seed (default 2015)"},
     {"unicast", "N", "unicast /24s per liveness class (default 6000)"},
     {"vps", "N", "PlanetLab vantage points (default 200)"},
+    {"threads", "N",
+     "worker threads for census/analyze/diff (default: all cores; "
+     "1 = serial; output is identical for any value)"},
 };
 
 constexpr tools::FlagHelp kCensusFlags[] = {
@@ -111,6 +115,14 @@ std::vector<net::VantagePoint> platform_from(const Flags& flags) {
                0xF1E1D});
 }
 
+/// The --threads pool: default (0) uses every core; 1 is the exact
+/// serial path. Results never depend on the value (merge order is fixed).
+concurrency::ThreadPool pool_from(const Flags& flags) {
+  return concurrency::ThreadPool(
+      static_cast<std::size_t>(std::max<std::int64_t>(
+          0, flags.get_int("threads", 0))));
+}
+
 int reject_unknown(const Flags& flags) {
   const auto unknown = flags.unknown();
   if (unknown.empty()) return 0;
@@ -126,6 +138,7 @@ int cmd_world(const Flags& flags) {
   for (const net::Deployment& deployment : internet.deployments()) {
     anycast_prefixes += deployment.prefixes.size();
   }
+  (void)flags.get_int("threads", 0);  // accepted everywhere, unused here
   std::printf("world seed %lld: %zu routed /24 (%zu anycast in %zu ASes)\n",
               static_cast<long long>(flags.get_int("seed", 2015)),
               internet.targets().size(), anycast_prefixes,
@@ -195,6 +208,7 @@ int cmd_census(const Flags& flags, bool resume) {
   const auto census_id =
       static_cast<std::uint32_t>(flags.get_int("census-id", 1));
   resume = resume || flags.get_bool("resume");
+  concurrency::ThreadPool pool = pool_from(flags);
   if (const int rc = reject_unknown(flags)) return rc;
 
   if (!resume) {
@@ -207,7 +221,7 @@ int cmd_census(const Flags& flags, bool resume) {
   census::Greylist blacklist;
   const census::ResumeReport report = census::resume_census(
       internet, vps, hitlist, blacklist, fastping, *out_dir, census_id,
-      plan.has_value() ? &*plan : nullptr);
+      plan.has_value() ? &*plan : nullptr, &pool);
   const census::CensusSummary& summary = report.output.summary;
 
   std::printf(
@@ -272,8 +286,10 @@ int cmd_analyze(const Flags& flags) {
       files.size(), stats.files_salvaged, stats.files_skipped,
       data.responsive_targets(2));
 
+  concurrency::ThreadPool pool = pool_from(flags);
   const analysis::CensusAnalyzer analyzer(vps, geo::world_index());
-  analysis::CensusReport report(internet, analyzer.analyze(data, hitlist));
+  analysis::CensusReport report(
+      internet, analyzer.analyze(data, hitlist, /*min_vps=*/2, &pool));
   const analysis::GlanceRow all = report.glance_all();
   std::printf(
       "anycast: %zu /24 in %zu ASes, %llu replicas, %zu cities, %zu "
@@ -305,6 +321,7 @@ int cmd_analyze(const Flags& flags) {
 int cmd_portscan(const Flags& flags) {
   const net::SimulatedInternet internet(world_config_from(flags));
   const auto top = static_cast<std::size_t>(flags.get_int("top", 100));
+  (void)flags.get_int("threads", 0);  // accepted everywhere, unused here
   if (const int rc = reject_unknown(flags)) return rc;
   const portscan::PortScanner scanner(internet);
   const auto scans = scanner.scan_all(
@@ -339,6 +356,7 @@ int cmd_diff(const Flags& flags) {
   const analysis::CensusAnalyzer analyzer(vps, geo::world_index());
   const auto epochs = static_cast<int>(flags.get_int("epochs", 2));
   const double availability = flags.get_double("availability", 0.85);
+  concurrency::ThreadPool pool = pool_from(flags);
   if (const int rc = reject_unknown(flags)) return rc;
 
   analysis::CensusSnapshot previous;
@@ -347,10 +365,10 @@ int cmd_diff(const Flags& flags) {
     census::FastPingConfig fastping;
     fastping.seed = 5000 + static_cast<std::uint64_t>(epoch);
     fastping.vp_availability = availability;
-    const auto output =
-        run_census(internet, vps, hitlist, blacklist, fastping);
+    const auto output = run_census(internet, vps, hitlist, blacklist,
+                                   fastping, /*faults=*/nullptr, &pool);
     analysis::CensusSnapshot snapshot(
-        analyzer.analyze(output.data, hitlist));
+        analyzer.analyze(output.data, hitlist, /*min_vps=*/2, &pool));
     std::printf("epoch %d: %zu anycast /24\n", epoch, snapshot.size());
     if (epoch > 1) {
       const analysis::CensusDiff diff =
