@@ -172,6 +172,10 @@ CensusOutput run_census(const net::SimulatedInternet& internet,
     work.result = run_fastping(internet, vps[i], hitlist, blacklist,
                                work.greylist, config, faults);
     work.fragment = vp_row_fragment(work.result, hitlist.size());
+    // The reduction reads only the counters, the outcome, and the
+    // fragment; drop the raw stream so the retained state per VP is the
+    // compact fragment, not O(hitlist) observations held for every VP.
+    work.result.observations = {};
     return work;
   };
   std::vector<VpWork> done;

@@ -59,6 +59,13 @@ class ThreadPool {
 
   /// `parallel_for` that collects `fn(i)` into a vector indexed by i —
   /// the result is position-stable regardless of execution order.
+  ///
+  /// Requires the result type to be default-constructible and
+  /// move-assignable: the output vector is value-initialized up front and
+  /// each slot is assigned when its index completes. Wrap a
+  /// non-default-constructible result in `std::optional<T>` (and unwrap
+  /// after) to use it here; serial callers should impose the same shape
+  /// so the two paths stay interchangeable.
   template <typename Fn>
   auto parallel_map(std::size_t n, Fn&& fn)
       -> std::vector<decltype(fn(std::size_t{0}))> {

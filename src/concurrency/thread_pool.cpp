@@ -60,9 +60,9 @@ void ThreadPool::parallel_for(std::size_t n,
   struct Join {
     std::atomic<std::size_t> next{0};
     std::size_t limit = 0;
-    std::atomic<std::size_t> helpers_left{0};
     std::mutex done_mutex;
     std::condition_variable done_cv;
+    std::size_t helpers_left = 0;  // guarded by done_mutex
     std::mutex error_mutex;
     std::exception_ptr first_error;
   } join;
@@ -86,23 +86,22 @@ void ThreadPool::parallel_for(std::size_t n,
   };
 
   const std::size_t helpers = std::min(workers_.size(), n - 1);
-  join.helpers_left.store(helpers);
+  join.helpers_left = helpers;
   for (std::size_t h = 0; h < helpers; ++h) {
     post([&claim_loop, &join] {
       claim_loop();
-      if (join.helpers_left.fetch_sub(1) == 1) {
-        // done_mutex orders this notify against the caller's wait.
-        const std::lock_guard lock(join.done_mutex);
-        join.done_cv.notify_one();
-      }
+      // Decrement, check, and notify all under done_mutex: the caller's
+      // predicate cannot observe helpers_left == 0 (and destroy Join)
+      // until this helper has released the lock — its last touch of Join.
+      const std::lock_guard lock(join.done_mutex);
+      if (--join.helpers_left == 0) join.done_cv.notify_one();
     });
   }
 
   claim_loop();  // the caller is a lane too
   {
     std::unique_lock lock(join.done_mutex);
-    join.done_cv.wait(lock,
-                      [&join] { return join.helpers_left.load() == 0; });
+    join.done_cv.wait(lock, [&join] { return join.helpers_left == 0; });
   }
   if (join.first_error) std::rethrow_exception(join.first_error);
 }
