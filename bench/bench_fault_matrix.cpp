@@ -25,7 +25,7 @@ namespace {
 namespace fs = std::filesystem;
 using namespace anycast;
 
-std::size_t detected_anycast(const census::CensusData& data,
+std::size_t detected_anycast(const census::CensusMatrix& data,
                              const census::Hitlist& hitlist,
                              std::span<const net::VantagePoint> vps) {
   const analysis::CensusAnalyzer analyzer(vps, geo::world_index());
@@ -139,10 +139,10 @@ int main() {
   }
 
   census::CollateStats salvage_stats;
-  const census::CensusData salvaged =
+  const census::CensusMatrix salvaged =
       census::collate_census_files(files, hitlist.size(), &salvage_stats);
   std::size_t strict_skipped = 0;
-  const census::CensusData strict =
+  const census::CensusMatrix strict =
       census::collate_census_files(files, hitlist.size(), &strict_skipped);
 
   print_subtitle("corrupted-checkpoint salvage");

@@ -30,7 +30,7 @@ int main() {
   constexpr double kArkHitRate = 0.06;
   constexpr int kClusters = 3;
   rng::Xoshiro256 gen(7);
-  census::CensusData ark_data(hitlist.size());
+  census::CensusMatrixBuilder ark_builder(hitlist.size());
   std::uint64_t ark_probes = 0;
   std::uint64_t ark_hits = 0;
   for (std::uint32_t t = 0; t < hitlist.size(); ++t) {
@@ -44,11 +44,12 @@ int main() {
                                         net::Protocol::kIcmpEcho, gen);
       if (reply.kind == net::ReplyKind::kEchoReply) {
         ++ark_hits;
-        ark_data.record(t, static_cast<std::uint16_t>(vp.id),
+        ark_builder.add(t, static_cast<std::uint16_t>(vp.id),
                         static_cast<float>(reply.rtt_ms));
       }
     }
   }
+  const census::CensusMatrix ark_data = ark_builder.build();
   const auto ark_outcomes = analyzer.analyze(ark_data, hitlist);
 
   // --- Census pattern: every VP probes the representative of every /24.

@@ -19,7 +19,7 @@ BenchWorld::BenchWorld(const BenchConfig& config)
            .seed = config.seed ^ 0xF1E1D})),
       full_hitlist(census::Hitlist::from_world(internet)),
       hitlist(full_hitlist.without_dead()) {
-  combined = census::CensusData(hitlist.size());
+  combined = census::CensusMatrix(hitlist.size());
   concurrency::ThreadPool pool(
       static_cast<std::size_t>(std::max(0, config.threads)));
   for (int c = 0; c < config.census_count; ++c) {
@@ -43,7 +43,7 @@ analysis::CensusReport analyze_combined(const BenchWorld& world,
 }
 
 std::vector<analysis::TargetOutcome> analyze_data(
-    const BenchWorld& world, const census::CensusData& data,
+    const BenchWorld& world, const census::CensusMatrix& data,
     concurrency::ThreadPool* pool) {
   const analysis::CensusAnalyzer analyzer(world.vps, geo::world_index());
   return analyzer.analyze(data, world.hitlist, /*min_vps=*/2, pool);

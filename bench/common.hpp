@@ -49,9 +49,9 @@ struct BenchWorld {
   census::Hitlist full_hitlist;  // including dead space
   census::Hitlist hitlist;       // probed targets
   census::Greylist blacklist;
-  std::vector<census::CensusData> censuses;
+  std::vector<census::CensusMatrix> censuses;
   std::vector<census::CensusSummary> summaries;
-  census::CensusData combined;
+  census::CensusMatrix combined;
 
   explicit BenchWorld(const BenchConfig& config = {});
 
@@ -68,7 +68,7 @@ analysis::CensusReport analyze_combined(const BenchWorld& world,
                                         concurrency::ThreadPool* pool =
                                             nullptr);
 std::vector<analysis::TargetOutcome> analyze_data(
-    const BenchWorld& world, const census::CensusData& data,
+    const BenchWorld& world, const census::CensusMatrix& data,
     concurrency::ThreadPool* pool = nullptr);
 
 // ---- Table rendering -------------------------------------------------------

@@ -38,7 +38,7 @@ int main() {
   //    output is identical for any thread count (merge order is fixed).
   concurrency::ThreadPool pool;  // one lane per core
   census::Greylist blacklist;
-  census::CensusData combined(hitlist.size());
+  census::CensusMatrix combined(hitlist.size());
   for (int c = 0; c < 3; ++c) {
     census::FastPingConfig fastping;
     fastping.seed = 100 + static_cast<std::uint64_t>(c);

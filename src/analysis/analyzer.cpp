@@ -66,9 +66,10 @@ core::Result CensusAnalyzer::analyze_row(
 }
 
 std::vector<TargetOutcome> CensusAnalyzer::analyze(
-    const census::CensusData& data, const census::Hitlist& hitlist,
+    const census::CensusMatrix& data, const census::Hitlist& hitlist,
     std::size_t min_vps, concurrency::ThreadPool* pool) const {
   const std::size_t targets = std::min(data.target_count(), hitlist.size());
+  if (targets == 0) return {};
 
   // The per-target work (detection pre-filter, then iGreedy on the few
   // detected rows) only reads `this`, `data`, and `hitlist`, so a range
@@ -92,11 +93,12 @@ std::vector<TargetOutcome> CensusAnalyzer::analyze(
     return analyze_range(0, targets);
   }
 
-  // Shard into contiguous ranges (several per lane, so an anycast-dense
-  // range cannot straggle the whole sweep) and concatenate the per-shard
+  // Shard into contiguous row ranges balanced by stored-measurement
+  // weight via the CSR offset array (several per lane, so a dense range
+  // cannot straggle the whole sweep) and concatenate the per-shard
   // outcomes in index order: element-identical to the serial sweep.
-  const auto ranges =
-      concurrency::shard_ranges(targets, pool->thread_count() * 8);
+  const auto ranges = concurrency::shard_ranges_weighted(
+      data.row_offsets().subspan(0, targets + 1), pool->thread_count() * 8);
   auto shards = pool->parallel_map(ranges.size(), [&](std::size_t s) {
     return analyze_range(ranges[s].first, ranges[s].second);
   });

@@ -7,7 +7,7 @@ HijackMonitor::HijackMonitor(std::span<const net::VantagePoint> vps,
                              core::Options options)
     : analyzer_(vps, cities, options) {}
 
-void HijackMonitor::set_reference(const census::CensusData& reference,
+void HijackMonitor::set_reference(const census::CensusMatrix& reference,
                                   const census::Hitlist& hitlist,
                                   std::size_t min_vps) {
   unicast_reference_.clear();
@@ -24,7 +24,7 @@ void HijackMonitor::set_reference(const census::CensusData& reference,
 }
 
 std::vector<HijackAlarm> HijackMonitor::scan(
-    const census::CensusData& data, const census::Hitlist& hitlist,
+    const census::CensusMatrix& data, const census::Hitlist& hitlist,
     std::size_t min_vps) const {
   std::vector<HijackAlarm> alarms;
   const std::size_t targets = std::min(data.target_count(), hitlist.size());

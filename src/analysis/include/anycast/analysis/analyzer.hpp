@@ -40,11 +40,13 @@ class CensusAnalyzer {
   /// Detection sweep + full iGreedy on detected targets. Only targets with
   /// at least `min_vps` echo replies are considered (a single disk can
   /// never violate the speed of light). With a multi-lane `pool`, targets
-  /// are sharded into contiguous index ranges analysed concurrently and
-  /// the per-shard outcomes are concatenated in index order — the result
-  /// is element-identical to the serial sweep for any thread count.
+  /// are sharded into contiguous row ranges over the matrix's CSR offset
+  /// array — balanced by stored measurements, not row count — analysed
+  /// concurrently, and the per-shard outcomes are concatenated in index
+  /// order: the result is element-identical to the serial sweep for any
+  /// thread count.
   [[nodiscard]] std::vector<TargetOutcome> analyze(
-      const census::CensusData& data, const census::Hitlist& hitlist,
+      const census::CensusMatrix& data, const census::Hitlist& hitlist,
       std::size_t min_vps = 2, concurrency::ThreadPool* pool = nullptr) const;
 
   /// The cheap detection predicate on one target row.

@@ -35,13 +35,13 @@ class HijackMonitor {
   /// geo-inconsistency in `reference` is recorded as knowingly unicast.
   /// Targets already anycast in the reference are ignored by later scans
   /// (they are expected to violate the speed of light).
-  void set_reference(const census::CensusData& reference,
+  void set_reference(const census::CensusMatrix& reference,
                      const census::Hitlist& hitlist, std::size_t min_vps = 2);
 
   /// Scans a later census: raises one alarm per reference-unicast prefix
   /// that now violates the speed of light.
   [[nodiscard]] std::vector<HijackAlarm> scan(
-      const census::CensusData& data, const census::Hitlist& hitlist,
+      const census::CensusMatrix& data, const census::Hitlist& hitlist,
       std::size_t min_vps = 2) const;
 
   [[nodiscard]] std::size_t monitored_prefixes() const {

@@ -7,41 +7,199 @@
 
 namespace anycast::census {
 
-void CensusData::record(std::uint32_t target_index, std::uint16_t vp,
-                        float rtt_ms) {
-  auto& row = rows_[target_index];
-  // Fast path: VP results are reduced in ascending id order, so nearly
-  // every record appends past the current maximum.
-  if (row.empty() || row.back().vp < vp) {
-    row.push_back(VpRtt{vp, rtt_ms});
-    return;
+std::size_t CensusMatrix::responsive_targets(std::size_t min_vps) const {
+  std::size_t count = 0;
+  for (std::size_t t = 0; t + 1 < offsets_.size(); ++t) {
+    if (offsets_[t + 1] - offsets_[t] >= min_vps) ++count;
   }
-  if (row.back().vp == vp) {
-    row.back().rtt_ms = std::min(row.back().rtt_ms, rtt_ms);
-    return;
-  }
-  const auto it = std::lower_bound(
-      row.begin(), row.end(), vp,
-      [](const VpRtt& entry, std::uint16_t v) { return entry.vp < v; });
-  if (it != row.end() && it->vp == vp) {
-    it->rtt_ms = std::min(it->rtt_ms, rtt_ms);
-  } else {
-    row.insert(it, VpRtt{vp, rtt_ms});
-  }
+  return count;
 }
 
-void CensusData::record_fragment(std::uint16_t vp,
-                                 std::span<const TargetRtt> fragment) {
-  for (const TargetRtt& entry : fragment) {
-    record(entry.target_index, vp, entry.rtt_ms);
+void CensusMatrix::combine_min(const CensusMatrix& other) {
+  if (&other == this) return;  // the union with itself changes nothing
+  const std::size_t targets = std::max(target_count(), other.target_count());
+  const auto row = [](const CensusMatrix& m, std::size_t t) {
+    return t < m.target_count()
+               ? m.measurements(static_cast<std::uint32_t>(t))
+               : std::span<const VpRtt>{};
+  };
+
+  // Pass 1 — count each row's vp-union size, so the arena grows exactly
+  // once to its exact final size: no per-row buffer, no reallocation
+  // mid-merge, and no disjoint-VP worst-case (2x) padding. Censuses from
+  // the same platform overlap almost entirely in VPs, so the union is
+  // near max(|ours|, |theirs|), not the sum.
+  std::vector<std::uint64_t> offsets(targets + 1, 0);
+  for (std::size_t t = 0; t < targets; ++t) {
+    const std::span<const VpRtt> ours = row(*this, t);
+    const std::span<const VpRtt> theirs = row(other, t);
+    std::size_t i = 0;
+    std::size_t j = 0;
+    std::uint64_t unique = 0;
+    while (i < ours.size() && j < theirs.size()) {
+      const std::uint16_t a = ours[i].vp;
+      const std::uint16_t b = theirs[j].vp;
+      i += static_cast<std::size_t>(a <= b);
+      j += static_cast<std::size_t>(b <= a);
+      ++unique;
+    }
+    offsets[t + 1] =
+        offsets[t] + unique + (ours.size() - i) + (theirs.size() - j);
   }
+
+  // Grow the value arena once, in place, to the exact final size
+  // (realloc: no transient second buffer). Every row can only grow, so
+  // old rows keep their positions in the front of the buffer.
+  const std::vector<std::uint64_t> old_offsets = std::move(offsets_);
+  values_.resize(offsets[targets]);
+
+  // Pass 2 — merge rows last-to-first, each written back-to-front into
+  // its final slot, taking minima on common VPs. Writes never clobber
+  // unread input: within row t the write cursor w and our read cursor i
+  // keep w - i >= offsets[t] - old_offsets[t] >= 0 (outputs remaining
+  // can never be fewer than our elements remaining), w == i only arises
+  // when the rest of `theirs` duplicates the rest of ours (so the
+  // theirs-only branch cannot fire there), and row t's writes stay at or
+  // above offsets[t] >= old_offsets[t], past every earlier row's data.
+  VpRtt* const v = values_.data();
+  for (std::size_t t = targets; t-- > 0;) {
+    const std::span<const VpRtt> theirs = row(other, t);
+    std::uint64_t ours_begin = 0;
+    std::uint64_t i = 0;
+    if (t + 1 < old_offsets.size()) {
+      ours_begin = old_offsets[t];
+      i = old_offsets[t + 1];
+    }
+    std::uint64_t w = offsets[t + 1];
+    std::size_t j = theirs.size();
+    while (i > ours_begin && j > 0) {
+      const VpRtt a = v[i - 1];
+      const VpRtt b = theirs[j - 1];
+      if (a.vp > b.vp) {
+        v[--w] = a;
+        --i;
+      } else if (b.vp > a.vp) {
+        v[--w] = b;
+        --j;
+      } else {
+        v[--w] = VpRtt{a.vp, std::min(a.rtt_ms, b.rtt_ms)};
+        --i;
+        --j;
+      }
+    }
+    while (i > ours_begin) {
+      --w;
+      --i;
+      v[w] = v[i];
+    }
+    while (j > 0) v[--w] = theirs[--j];
+  }
+  offsets_ = std::move(offsets);
 }
 
-std::vector<TargetRtt> vp_row_fragment(const FastPingResult& result,
-                                       std::size_t target_limit) {
+void CensusMatrixBuilder::add(std::uint32_t target_index, std::uint16_t vp,
+                              float rtt_ms) {
+  loose_.push_back(TargetRtt{target_index, rtt_ms});
+  loose_vps_.push_back(vp);
+}
+
+void CensusMatrixBuilder::add_fragment(std::uint16_t vp,
+                                       std::vector<TargetRtt> fragment) {
+  fragments_.push_back(Fragment{vp, std::move(fragment)});
+}
+
+CensusMatrix CensusMatrixBuilder::build() {
+  CensusMatrix matrix(target_count_);
+
+  // Pass 1 — count: cursor[t + 1] accumulates target t's raw row size.
+  std::vector<std::uint64_t> cursor(target_count_ + 1, 0);
+  const auto count_entry = [&](const TargetRtt& entry) {
+    if (entry.target_index < target_count_) ++cursor[entry.target_index + 1];
+  };
+  for (const Fragment& fragment : fragments_) {
+    for (const TargetRtt& entry : fragment.entries) count_entry(entry);
+  }
+  for (const TargetRtt& entry : loose_) count_entry(entry);
+  // Prefix sum: cursor[t] = where target t's row starts.
+  for (std::size_t t = 1; t <= target_count_; ++t) cursor[t] += cursor[t - 1];
+  matrix.offsets_ = cursor;  // raw (pre-dedup) row boundaries
+  matrix.values_.resize(cursor[target_count_]);
+
+  // Pass 2 — place: every entry lands directly in its row's next slot.
+  const auto place_entry = [&](const TargetRtt& entry, std::uint16_t vp) {
+    if (entry.target_index >= target_count_) return;
+    matrix.values_[cursor[entry.target_index]++] =
+        VpRtt{vp, entry.rtt_ms};
+  };
+  for (const Fragment& fragment : fragments_) {
+    for (const TargetRtt& entry : fragment.entries) {
+      place_entry(entry, fragment.vp);
+    }
+  }
+  for (std::size_t i = 0; i < loose_.size(); ++i) {
+    place_entry(loose_[i], loose_vps_[i]);
+  }
+
+  // Canonicalise each row in place: vp-sorted, one entry per VP keeping
+  // the minimum RTT. Fragments arriving in ascending VP order (the
+  // census reduction) produce already-sorted, duplicate-free rows, so the
+  // common path is a pure linear validation sweep; only rows fed out of
+  // order or with duplicates pay a sort. The compaction cursor `write`
+  // never passes a row's original start, so shifting left is safe.
+  detail::VpRttArena& values = matrix.values_;
+  const auto vp_before = [](const VpRtt& a, const VpRtt& b) {
+    if (a.vp != b.vp) return a.vp < b.vp;
+    return a.rtt_ms < b.rtt_ms;
+  };
+  std::uint64_t write = 0;
+  for (std::size_t t = 0; t < target_count_; ++t) {
+    const std::uint64_t begin = matrix.offsets_[t];
+    const std::uint64_t end = matrix.offsets_[t + 1];
+    bool sorted = true;
+    for (std::uint64_t i = begin + 1; i < end; ++i) {
+      if (values[i - 1].vp >= values[i].vp) {
+        sorted = false;
+        break;
+      }
+    }
+    if (!sorted) {
+      std::sort(values.data() + begin, values.data() + end, vp_before);
+    }
+    const std::uint64_t row_start = write;
+    matrix.offsets_[t] = write;
+    for (std::uint64_t i = begin; i < end; ++i) {
+      if (write > row_start && values[write - 1].vp == values[i].vp) {
+        values[write - 1].rtt_ms =
+            std::min(values[write - 1].rtt_ms, values[i].rtt_ms);
+      } else {
+        values[write++] = values[i];
+      }
+    }
+  }
+  matrix.offsets_[target_count_] = write;
+  values.resize(write);
+
+  fragments_.clear();
+  loose_.clear();
+  loose_vps_.clear();
+  return matrix;
+}
+
+std::vector<TargetRtt> vp_row_fragment(std::span<const Observation>
+                                           observations,
+                                       std::size_t target_limit,
+                                       std::size_t* echo_in_range) {
+  std::size_t usable = 0;
+  for (const Observation& obs : observations) {
+    if (obs.kind == net::ReplyKind::kEchoReply &&
+        obs.target_index < target_limit) {
+      ++usable;
+    }
+  }
+  if (echo_in_range != nullptr) *echo_in_range = usable;
   std::vector<TargetRtt> fragment;
-  fragment.reserve(static_cast<std::size_t>(result.echo_replies));
-  for (const Observation& obs : result.observations) {
+  fragment.reserve(usable);
+  for (const Observation& obs : observations) {
     if (obs.kind != net::ReplyKind::kEchoReply) continue;
     if (obs.target_index >= target_limit) continue;  // damaged record
     fragment.push_back(
@@ -64,46 +222,10 @@ std::vector<TargetRtt> vp_row_fragment(const FastPingResult& result,
   return fragment;
 }
 
-std::size_t CensusData::responsive_targets(std::size_t min_vps) const {
-  std::size_t count = 0;
-  for (const auto& row : rows_) {
-    if (row.size() >= min_vps) ++count;
-  }
-  return count;
-}
-
-void CensusData::combine_min(const CensusData& other) {
-  if (rows_.size() < other.rows_.size()) rows_.resize(other.rows_.size());
-  std::vector<VpRtt>& merged = merge_scratch_;  // reused across rows
-  for (std::size_t t = 0; t < other.rows_.size(); ++t) {
-    const auto& theirs = other.rows_[t];
-    auto& ours = rows_[t];
-    if (theirs.empty()) continue;
-    if (ours.empty()) {
-      ours = theirs;
-      continue;
-    }
-    // Merge two vp-sorted rows, taking minima on common VPs.
-    merged.clear();
-    merged.reserve(ours.size() + theirs.size());
-    std::size_t i = 0;
-    std::size_t j = 0;
-    while (i < ours.size() && j < theirs.size()) {
-      if (ours[i].vp < theirs[j].vp) {
-        merged.push_back(ours[i++]);
-      } else if (theirs[j].vp < ours[i].vp) {
-        merged.push_back(theirs[j++]);
-      } else {
-        merged.push_back(
-            VpRtt{ours[i].vp, std::min(ours[i].rtt_ms, theirs[j].rtt_ms)});
-        ++i;
-        ++j;
-      }
-    }
-    for (; i < ours.size(); ++i) merged.push_back(ours[i]);
-    for (; j < theirs.size(); ++j) merged.push_back(theirs[j]);
-    ours.assign(merged.begin(), merged.end());
-  }
+std::vector<TargetRtt> vp_row_fragment(const FastPingResult& result,
+                                       std::size_t target_limit) {
+  return vp_row_fragment(std::span<const Observation>(result.observations),
+                         target_limit);
 }
 
 std::size_t CensusSummary::outcome_count(VpOutcome outcome) const {
@@ -157,7 +279,6 @@ CensusOutput run_census(const net::SimulatedInternet& internet,
                         const net::FaultPlan* faults,
                         concurrency::ThreadPool* pool) {
   CensusOutput out;
-  out.data = CensusData(hitlist.size());
   out.summary.vp_duration_hours.reserve(vps.size());
   out.summary.vp_outcomes.reserve(vps.size());
 
@@ -187,8 +308,10 @@ CensusOutput run_census(const net::SimulatedInternet& internet,
   }
 
   // Reduce in VP order on this thread: the summary, quarantine decisions,
-  // data rows, and greylist merge all see VPs in exactly the order the
-  // serial loop did, so the output is byte-identical for any thread count.
+  // matrix fragments, and greylist merge all see VPs in exactly the order
+  // the serial loop did, so the output is byte-identical for any thread
+  // count.
+  CensusMatrixBuilder builder(hitlist.size());
   Greylist census_greylist;
   for (std::size_t i = 0; i < vps.size(); ++i) {
     const net::VantagePoint& vp = vps[i];
@@ -211,9 +334,10 @@ CensusOutput run_census(const net::SimulatedInternet& internet,
     out.summary.vp_outcomes.push_back({vp.id, outcome});
     census_greylist.merge(work.greylist);
     if (outcome == VpOutcome::kQuarantined) continue;
-    out.data.record_fragment(static_cast<std::uint16_t>(vp.id),
-                             work.fragment);
+    builder.add_fragment(static_cast<std::uint16_t>(vp.id),
+                         std::move(work.fragment));
   }
+  out.data = builder.build();
   out.summary.greylist_new = census_greylist.size();
   blacklist.merge(census_greylist);
   return out;

@@ -7,11 +7,26 @@
 // pushes each measurement toward the propagation delay and raises recall
 // (Sec. 4.1, Fig. 12: the combination finds ~200 more anycast /24s than an
 // average individual census).
+//
+// The collected RTTs live in a compressed-sparse-row matrix: one
+// contiguous VpRtt buffer plus a per-target offset array, rows sorted by
+// VP id. This is the in-memory continuation of the paper's own Tab. 1
+// layout story (CSV → 6-byte binary records took analysis from >3 days to
+// 3 hours): a census at hitlist scale is a large sparse matrix, and one
+// allocation-free arena beats millions of per-target row vectors on cache
+// misses and peak RSS alike.
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
 #include <span>
 #include <vector>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
 
 #include "anycast/census/fastping.hpp"
 #include "anycast/census/greylist.hpp"
@@ -32,51 +47,199 @@ struct VpRtt {
 
 /// One row fragment entry: the minimum RTT one VP saw to one target.
 /// A whole `FastPingResult` reduces to a per-target-sorted vector of
-/// these (see `vp_row_fragment`), merged into `CensusData` in one call
-/// instead of one sorted insert per observation.
+/// these (see `vp_row_fragment`), handed to a `CensusMatrixBuilder` in
+/// one move instead of one sorted insert per observation.
 struct TargetRtt {
   std::uint32_t target_index = 0;
   float rtt_ms = 0.0F;
 };
 
-/// Per-target collected measurements for one census (or a combination).
-/// Indexed by dense hitlist target id; each row is sorted by VP id.
-class CensusData {
+namespace detail {
+
+/// Growable buffer of (trivially copyable) VpRtt for census-scale value
+/// arenas. std::vector growth must allocate-copy-free — transiently
+/// doubling resident memory on a buffer this large — so the arena
+/// resizes in place instead: mmap/mremap/munmap directly on Linux (no
+/// copy on growth, pages returned to the kernel the moment the buffer
+/// dies, residency independent of allocator history), realloc elsewhere.
+class VpRttArena {
  public:
-  CensusData() = default;
-  explicit CensusData(std::size_t target_count) : rows_(target_count) {}
+  VpRttArena() = default;
+  VpRttArena(const VpRttArena& other) { assign(other); }
+  VpRttArena& operator=(const VpRttArena& other) {
+    if (this != &other) assign(other);
+    return *this;
+  }
+  VpRttArena(VpRttArena&& other) noexcept
+      : data_(other.data_), size_(other.size_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  VpRttArena& operator=(VpRttArena&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = other.data_;
+      size_ = other.size_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  ~VpRttArena() { release(); }
 
-  /// Records a measurement, keeping the minimum per (target, vp).
-  void record(std::uint32_t target_index, std::uint16_t vp, float rtt_ms);
+  [[nodiscard]] const VpRtt* data() const { return data_; }
+  [[nodiscard]] VpRtt* data() { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  VpRtt& operator[](std::size_t i) { return data_[i]; }
+  const VpRtt& operator[](std::size_t i) const { return data_[i]; }
 
-  /// Records one VP's whole row fragment (per-target minima, any order).
-  /// Equivalent to calling `record` per entry; rows stay canonical
-  /// (vp-sorted, per-pair minimum) whatever the merge order.
-  void record_fragment(std::uint16_t vp, std::span<const TargetRtt> fragment);
+  /// Exact-size resize: contents up to min(old, new) are preserved, new
+  /// slots are zero pages on Linux and uninitialised otherwise — either
+  /// way every caller writes them all before reading.
+  void resize(std::size_t count) {
+    if (count == 0) {
+      release();
+      return;
+    }
+#if defined(__linux__)
+    void* grown =
+        data_ == nullptr
+            ? ::mmap(nullptr, count * sizeof(VpRtt), PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0)
+            : ::mremap(data_, size_ * sizeof(VpRtt), count * sizeof(VpRtt),
+                       MREMAP_MAYMOVE);
+    if (grown == MAP_FAILED) throw std::bad_alloc();
+#else
+    void* grown = std::realloc(data_, count * sizeof(VpRtt));
+    if (grown == nullptr) throw std::bad_alloc();
+#endif
+    data_ = static_cast<VpRtt*>(grown);
+    size_ = count;
+  }
+
+ private:
+  void release() {
+#if defined(__linux__)
+    if (data_ != nullptr) ::munmap(data_, size_ * sizeof(VpRtt));
+#else
+    std::free(data_);
+#endif
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  void assign(const VpRttArena& other) {
+    resize(other.size_);
+    if (size_ != 0) std::memcpy(data_, other.data_, size_ * sizeof(VpRtt));
+  }
+
+  VpRtt* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace detail
+
+/// Per-target collected measurements for one census (or a combination),
+/// frozen in CSR form: `values_` holds every row back to back, and
+/// `offsets_[t] .. offsets_[t+1]` delimits target t's row. Rows are
+/// vp-sorted with one entry per VP (the per-pair minimum). Instances are
+/// immutable once built — construction goes through `CensusMatrixBuilder`
+/// (or `combine_min`, which produces a fresh matrix in place).
+class CensusMatrix {
+ public:
+  CensusMatrix() = default;
+  /// A matrix of `target_count` empty rows.
+  explicit CensusMatrix(std::size_t target_count)
+      : offsets_(target_count + 1, 0) {}
 
   [[nodiscard]] std::span<const VpRtt> measurements(
       std::uint32_t target_index) const {
-    return rows_[target_index];
+    const std::uint64_t begin = offsets_[target_index];
+    return {values_.data() + begin, offsets_[target_index + 1] - begin};
   }
-  [[nodiscard]] std::size_t target_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t target_count() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  /// Total stored (vp, target) samples across all rows.
+  [[nodiscard]] std::size_t observation_count() const {
+    return values_.size();
+  }
+  /// The CSR offset array: `target_count() + 1` cumulative row ends (or
+  /// empty for a default-constructed matrix). Exposed so sweeps can shard
+  /// targets into ranges of balanced *measurement* weight, not just
+  /// balanced row counts.
+  [[nodiscard]] std::span<const std::uint64_t> row_offsets() const {
+    return offsets_;
+  }
 
   /// Number of targets with at least `min_vps` measurements.
   [[nodiscard]] std::size_t responsive_targets(std::size_t min_vps = 1) const;
 
   /// Point-wise minimum with `other` (same hitlist required): the
-  /// censuses-combination step.
-  void combine_min(const CensusData& other);
+  /// censuses-combination step. A linear two-matrix merge — each output
+  /// row is the vp-sorted union of the input rows with minima on common
+  /// VPs — performed in place: the arena grows once to the exact union
+  /// size and rows are merged back-to-front, so there is no per-row
+  /// allocation and no second value buffer whatever the row count.
+  void combine_min(const CensusMatrix& other);
 
  private:
-  std::vector<std::vector<VpRtt>> rows_;
-  std::vector<VpRtt> merge_scratch_;  // combine_min's reusable row buffer
+  friend class CensusMatrixBuilder;
+  detail::VpRttArena values_;           // all rows, back to back
+  std::vector<std::uint64_t> offsets_;  // per-target row boundaries
+};
+
+/// Assembles a `CensusMatrix` in two passes from per-VP row fragments
+/// (and/or loose observations): pass one counts each target's row, pass
+/// two places every entry straight into its final slot of the contiguous
+/// buffer. A final linear sweep canonicalises rows — vp-sorted, duplicate
+/// (vp, target) pairs collapsed to their minimum — so the result is
+/// identical whatever the insertion order. Entries at or beyond
+/// `target_count` (damaged checkpoint records) are dropped.
+class CensusMatrixBuilder {
+ public:
+  explicit CensusMatrixBuilder(std::size_t target_count)
+      : target_count_(target_count) {}
+
+  /// Adds one observation (used when no per-VP fragment exists, e.g.
+  /// ad-hoc matrices in tests and studies).
+  void add(std::uint32_t target_index, std::uint16_t vp, float rtt_ms);
+
+  /// Adds one VP's whole row fragment (per-target minima, any order),
+  /// taking ownership — the builder iterates fragments twice (count,
+  /// place) without copying entries around.
+  void add_fragment(std::uint16_t vp, std::vector<TargetRtt> fragment);
+
+  [[nodiscard]] std::size_t target_count() const { return target_count_; }
+
+  /// Freezes the accumulated input into a matrix and resets the builder.
+  [[nodiscard]] CensusMatrix build();
+
+ private:
+  struct Fragment {
+    std::uint16_t vp = 0;
+    std::vector<TargetRtt> entries;
+  };
+
+  std::size_t target_count_ = 0;
+  std::vector<Fragment> fragments_;
+  // Loose observations from add(), as parallel arrays (entry i pairs
+  // loose_[i] with loose_vps_[i]).
+  std::vector<TargetRtt> loose_;
+  std::vector<std::uint16_t> loose_vps_;
 };
 
 /// Reduces one VP's observation stream to its per-target minimum echo
 /// RTTs, sorted by target index. Entries at or beyond `target_limit`
 /// (damaged checkpoint records) are dropped. This is the per-VP half of
 /// the census merge; it runs inside the VP's task when a thread pool is
-/// in use.
+/// in use. When `echo_in_range` is non-null it receives the number of
+/// echo replies within `target_limit` *before* per-target deduplication
+/// (the collation accounting unit).
+std::vector<TargetRtt> vp_row_fragment(std::span<const Observation>
+                                           observations,
+                                       std::size_t target_limit,
+                                       std::size_t* echo_in_range = nullptr);
 std::vector<TargetRtt> vp_row_fragment(const FastPingResult& result,
                                        std::size_t target_limit);
 
@@ -123,11 +286,12 @@ VpOutcome census_vp_outcome(const FastPingResult& result,
 ///
 /// When `pool` is non-null with more than one lane, the per-VP walks run
 /// concurrently (each with a private greylist) and their results are
-/// reduced in VP order on the calling thread, so the output — rows,
-/// summary counters, outcome order, greylist membership and per-code
-/// counters — is byte-identical to the serial run for any thread count.
+/// reduced in VP order on the calling thread into a `CensusMatrixBuilder`,
+/// so the output — rows, summary counters, outcome order, greylist
+/// membership and per-code counters — is byte-identical to the serial run
+/// for any thread count.
 struct CensusOutput {
-  CensusData data;
+  CensusMatrix data;
   CensusSummary summary;
 };
 

@@ -36,8 +36,17 @@ std::vector<Observation> decode_textual(const std::string& text);
 ///          the ICMP code with flipped sign (-9/-10/-13), or -1 = timeout;
 ///   uint32 target index : 24 bits | time offset in ~seconds : 8 bits.
 /// RTTs above int16 range saturate (anything that far is a useless disk).
+///
+/// The 24-bit target field caps the format at 2^24 (~16.8M) targets — the
+/// whole routed IPv4 space holds ~14.7M /24s, so a valid hitlist index
+/// always fits. An index >= 2^24 can therefore only be a corrupted
+/// observation: it is DROPPED from the output (never silently wrapped
+/// into some other target's row) and counted into `*dropped_oversized`
+/// when that is non-null. The header count reflects the records actually
+/// written.
 std::vector<std::uint8_t> encode_binary(
-    std::span<const Observation> observations);
+    std::span<const Observation> observations,
+    std::size_t* dropped_oversized = nullptr);
 
 /// Decodes a binary buffer. Returns nullopt on a malformed buffer
 /// (bad magic, truncated payload).

@@ -76,17 +76,19 @@ struct CollateStats {
   std::uint64_t observations = 0;  // echo-reply rows recorded
 };
 
-/// Collates per-VP census files into per-target RTT rows: the on-the-fly
-/// sort across LFSR-ordered lists. `target_count` sizes the result
-/// (hitlist size). When `salvage` is true, damaged files contribute their
-/// valid record prefix; otherwise they are skipped whole.
-CensusData collate_census_files(
+/// Collates per-VP census files into the per-target CSR matrix: the
+/// on-the-fly sort across LFSR-ordered lists. Each file reduces to its
+/// VP's row fragment, and a `CensusMatrixBuilder` assembles the frozen
+/// matrix in two passes. `target_count` sizes the result (hitlist size).
+/// When `salvage` is true, damaged files contribute their valid record
+/// prefix; otherwise they are skipped whole.
+CensusMatrix collate_census_files(
     std::span<const std::filesystem::path> paths, std::size_t target_count,
     CollateStats* stats, bool salvage = true);
 
 /// Legacy strict collation: damaged files are skipped whole and counted
 /// in `skipped_files` (when non-null).
-CensusData collate_census_files(
+CensusMatrix collate_census_files(
     std::span<const std::filesystem::path> paths, std::size_t target_count,
     std::size_t* skipped_files = nullptr);
 

@@ -127,9 +127,21 @@ std::vector<Observation> decode_textual(const std::string& text) {
 }
 
 std::vector<std::uint8_t> encode_binary(
-    std::span<const Observation> observations) {
+    std::span<const Observation> observations,
+    std::size_t* dropped_oversized) {
+  // A target index needing more than the format's 24 bits cannot come
+  // from a real hitlist (~14.7M routed /24s < 2^24): drop the corrupted
+  // record and account for it, rather than wrapping the index into some
+  // unrelated target's row.
+  std::size_t dropped = 0;
+  for (const Observation& obs : observations) {
+    if (obs.target_index > 0xFFFFFF) ++dropped;
+  }
+  if (dropped_oversized != nullptr) *dropped_oversized = dropped;
+  const std::size_t kept = observations.size() - dropped;
+
   std::vector<std::uint8_t> out;
-  out.reserve(8 + observations.size() * binary_bytes_per_observation());
+  out.reserve(8 + kept * binary_bytes_per_observation());
   const auto put32 = [&out](std::uint32_t value) {
     out.push_back(static_cast<std::uint8_t>(value));
     out.push_back(static_cast<std::uint8_t>(value >> 8));
@@ -137,17 +149,17 @@ std::vector<std::uint8_t> encode_binary(
     out.push_back(static_cast<std::uint8_t>(value >> 24));
   };
   put32(kMagic);
-  put32(static_cast<std::uint32_t>(observations.size()));
+  put32(static_cast<std::uint32_t>(kept));
   for (const Observation& obs : observations) {
+    if (obs.target_index > 0xFFFFFF) continue;
     const auto delay = static_cast<std::uint16_t>(encode_delay(obs));
     out.push_back(static_cast<std::uint8_t>(delay));
     out.push_back(static_cast<std::uint8_t>(delay >> 8));
     // 24-bit target index, 8-bit coarse time offset (in 64 s units,
     // saturating): enough to reconstruct probing order at census scale.
-    const std::uint32_t target = obs.target_index & 0xFFFFFF;
     const auto offset64 = static_cast<std::uint32_t>(
         std::min(255.0, std::max(0.0, obs.time_s / 64.0)));
-    put32(target | (offset64 << 24));
+    put32(obs.target_index | (offset64 << 24));
   }
   return out;
 }

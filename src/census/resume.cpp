@@ -83,7 +83,6 @@ ResumeReport resume_census(const net::SimulatedInternet& internet,
   std::filesystem::create_directories(dir);
   ResumeReport report;
   CensusOutput& out = report.output;
-  out.data = CensusData(hitlist.size());
   out.summary.vp_duration_hours.reserve(vps.size());
   out.summary.vp_outcomes.reserve(vps.size());
 
@@ -138,6 +137,7 @@ ResumeReport resume_census(const net::SimulatedInternet& internet,
 
   // Reduce in VP order on this thread (see run_census): byte-identical
   // output for any thread count, including the resumed checkpoints.
+  CensusMatrixBuilder builder(hitlist.size());
   Greylist census_greylist;
   for (std::size_t i = 0; i < vps.size(); ++i) {
     const net::VantagePoint& vp = vps[i];
@@ -168,9 +168,10 @@ ResumeReport resume_census(const net::SimulatedInternet& internet,
     out.summary.vp_outcomes.push_back({vp.id, outcome});
     census_greylist.merge(work.greylist);
     if (outcome == VpOutcome::kQuarantined) continue;
-    out.data.record_fragment(static_cast<std::uint16_t>(vp.id),
-                             work.fragment);
+    builder.add_fragment(static_cast<std::uint16_t>(vp.id),
+                         std::move(work.fragment));
   }
+  out.data = builder.build();
   out.summary.greylist_new = census_greylist.size();
   blacklist.merge(census_greylist);
   return report;

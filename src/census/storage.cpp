@@ -188,10 +188,10 @@ std::optional<CensusFile> salvage_census_file(
   return out;
 }
 
-CensusData collate_census_files(
+CensusMatrix collate_census_files(
     std::span<const std::filesystem::path> paths, std::size_t target_count,
     CollateStats* stats, bool salvage) {
-  CensusData data(target_count);
+  CensusMatrixBuilder builder(target_count);
   CollateStats local;
   for (const std::filesystem::path& path : paths) {
     const auto file =
@@ -205,24 +205,24 @@ CensusData collate_census_files(
     } else {
       ++local.files_ok;
     }
-    for (const Observation& obs : file->observations) {
-      if (obs.kind != net::ReplyKind::kEchoReply) continue;
-      if (obs.target_index >= target_count) continue;  // damaged record
-      data.record(obs.target_index,
-                  static_cast<std::uint16_t>(file->header.vp_id),
-                  static_cast<float>(obs.rtt_ms));
-      ++local.observations;
-    }
+    // One upload becomes one row fragment; the builder places all
+    // fragments into the contiguous matrix in two passes.
+    std::size_t echo_in_range = 0;
+    builder.add_fragment(
+        static_cast<std::uint16_t>(file->header.vp_id),
+        vp_row_fragment(std::span<const Observation>(file->observations),
+                        target_count, &echo_in_range));
+    local.observations += echo_in_range;
   }
   if (stats != nullptr) *stats = local;
-  return data;
+  return builder.build();
 }
 
-CensusData collate_census_files(
+CensusMatrix collate_census_files(
     std::span<const std::filesystem::path> paths, std::size_t target_count,
     std::size_t* skipped_files) {
   CollateStats stats;
-  CensusData data =
+  CensusMatrix data =
       collate_census_files(paths, target_count, &stats, /*salvage=*/false);
   if (skipped_files != nullptr) *skipped_files = stats.files_skipped;
   return data;

@@ -17,10 +17,12 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -91,5 +93,16 @@ class ThreadPool {
 /// granularity.
 std::vector<std::pair<std::size_t, std::size_t>> shard_ranges(
     std::size_t n, std::size_t max_shards);
+
+/// Contiguous [begin, end) shards covering [0, n) where n =
+/// `cumulative.size() - 1`, balanced by *weight* instead of item count:
+/// `cumulative` is a non-decreasing prefix-weight array (item i weighs
+/// `cumulative[i + 1] - cumulative[i]`, e.g. a CSR row-offset array), and
+/// each shard covers as close to `total / shards` weight as item
+/// boundaries allow. At most `max_shards` non-empty shards are returned;
+/// with all-zero weights this degrades to `shard_ranges`. As with
+/// `shard_ranges`, boundaries never affect results, only load balance.
+std::vector<std::pair<std::size_t, std::size_t>> shard_ranges_weighted(
+    std::span<const std::uint64_t> cumulative, std::size_t max_shards);
 
 }  // namespace anycast::concurrency

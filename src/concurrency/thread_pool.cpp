@@ -123,4 +123,35 @@ std::vector<std::pair<std::size_t, std::size_t>> shard_ranges(
   return ranges;
 }
 
+std::vector<std::pair<std::size_t, std::size_t>> shard_ranges_weighted(
+    std::span<const std::uint64_t> cumulative, std::size_t max_shards) {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  if (cumulative.size() <= 1 || max_shards == 0) return ranges;
+  const std::size_t n = cumulative.size() - 1;
+  const std::uint64_t total = cumulative[n] - cumulative[0];
+  if (total == 0) return shard_ranges(n, max_shards);
+  const std::size_t shards = std::min(n, max_shards);
+  ranges.reserve(shards);
+  std::size_t begin = 0;
+  for (std::size_t s = 1; s <= shards && begin < n; ++s) {
+    std::size_t end = n;
+    if (s < shards) {
+      // First boundary whose cumulative weight reaches this shard's
+      // quantile; heavy single rows may swallow several quantiles, which
+      // simply yields fewer (non-empty) shards.
+      const std::uint64_t quantile =
+          cumulative[0] + (total / shards) * s + (total % shards) * s / shards;
+      end = static_cast<std::size_t>(
+          std::lower_bound(cumulative.begin() + 1, cumulative.end(),
+                           quantile) -
+          cumulative.begin());
+      end = std::min(std::max(end, begin + 1), n);
+    }
+    ranges.emplace_back(begin, end);
+    begin = end;
+  }
+  if (!ranges.empty()) ranges.back().second = n;
+  return ranges;
+}
+
 }  // namespace anycast::concurrency

@@ -84,7 +84,7 @@ struct Pipeline {
   net::SimulatedInternet internet;
   std::vector<net::VantagePoint> vps;
   census::Hitlist hitlist;
-  census::CensusData data;
+  census::CensusMatrix data;
   std::vector<TargetOutcome> outcomes;
 
   explicit Pipeline(std::uint64_t seed, int vp_count = 120)

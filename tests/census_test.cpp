@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <initializer_list>
 #include <set>
+#include <tuple>
 
 #include "anycast/census/census.hpp"
 #include "anycast/census/fastping.hpp"
 #include "anycast/census/greylist.hpp"
 #include "anycast/census/hitlist.hpp"
+#include "anycast/census/legacy_census.hpp"
 #include "anycast/census/record.hpp"
 #include "anycast/net/platform.hpp"
 
@@ -169,6 +172,32 @@ TEST(Record, BinarySaturatesHugeRtt) {
   EXPECT_NEAR((*decoded)[0].rtt_ms, 655.34, 0.01);
 }
 
+TEST(Record, BinaryDropsOversizedTargetIndexInsteadOfWrapping) {
+  // 2^24 would alias target 0 if wrapped; the encoder must drop it.
+  const std::vector<Observation> stream{
+      {5, 0.0, net::ReplyKind::kEchoReply, 10.0},
+      {0x1000000, 1.0, net::ReplyKind::kEchoReply, 11.0},
+      {0xFFFFFF, 2.0, net::ReplyKind::kEchoReply, 12.0},   // max valid
+      {0xFFFFFFFF, 3.0, net::ReplyKind::kTimeout, 0.0},
+  };
+  std::size_t dropped = 0;
+  const auto bytes = encode_binary(stream, &dropped);
+  EXPECT_EQ(dropped, 2u);
+  EXPECT_EQ(bytes.size(), 8 + 2 * binary_bytes_per_observation());
+  const auto decoded = decode_binary(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ((*decoded)[0].target_index, 5u);
+  EXPECT_EQ((*decoded)[1].target_index, 0xFFFFFFu);
+}
+
+TEST(Record, BinaryInRangeStreamReportsZeroDropped) {
+  std::size_t dropped = 123;
+  const auto bytes = encode_binary(sample_observations(), &dropped);
+  EXPECT_EQ(dropped, 0u);
+  EXPECT_EQ(decode_binary(bytes)->size(), sample_observations().size());
+}
+
 TEST(Record, TextualRoundTrip) {
   const auto original = sample_observations();
   const auto text = encode_textual(original);
@@ -294,39 +323,40 @@ TEST(FastPing, OverdrivingLosesReplies) {
   EXPECT_LT(fast_result.echo_replies, slow_result.echo_replies * 0.8);
 }
 
-// --- CensusData ------------------------------------------------------------
+// --- CensusMatrix ----------------------------------------------------------
 
-TEST(CensusData, RecordKeepsMinimumPerVp) {
-  CensusData data(4);
-  data.record(1, 7, 30.0F);
-  data.record(1, 7, 20.0F);
-  data.record(1, 7, 25.0F);
-  data.record(1, 3, 40.0F);
+CensusMatrix matrix_of(std::size_t targets,
+                       std::initializer_list<std::tuple<std::uint32_t,
+                                                        std::uint16_t, float>>
+                           samples) {
+  CensusMatrixBuilder builder(targets);
+  for (const auto& [target, vp, rtt] : samples) builder.add(target, vp, rtt);
+  return builder.build();
+}
+
+TEST(CensusMatrix, BuilderKeepsMinimumPerVp) {
+  const CensusMatrix data = matrix_of(
+      4, {{1, 7, 30.0F}, {1, 7, 20.0F}, {1, 7, 25.0F}, {1, 3, 40.0F}});
   const auto row = data.measurements(1);
   ASSERT_EQ(row.size(), 2u);
   EXPECT_EQ(row[0].vp, 3);   // sorted by vp
   EXPECT_EQ(row[1].vp, 7);
   EXPECT_FLOAT_EQ(row[1].rtt_ms, 20.0F);
+  EXPECT_EQ(data.observation_count(), 2u);
 }
 
-TEST(CensusData, ResponsiveTargetCounts) {
-  CensusData data(5);
-  data.record(0, 1, 10.0F);
-  data.record(0, 2, 11.0F);
-  data.record(3, 1, 12.0F);
+TEST(CensusMatrix, ResponsiveTargetCounts) {
+  const CensusMatrix data =
+      matrix_of(5, {{0, 1, 10.0F}, {0, 2, 11.0F}, {3, 1, 12.0F}});
   EXPECT_EQ(data.responsive_targets(1), 2u);
   EXPECT_EQ(data.responsive_targets(2), 1u);
   EXPECT_EQ(data.responsive_targets(3), 0u);
 }
 
-TEST(CensusData, CombineMinIsPointwiseMinimumAndUnion) {
-  CensusData a(3);
-  CensusData b(3);
-  a.record(0, 1, 10.0F);
-  a.record(0, 2, 50.0F);
-  b.record(0, 2, 30.0F);
-  b.record(0, 3, 70.0F);
-  b.record(2, 1, 5.0F);
+TEST(CensusMatrix, CombineMinIsPointwiseMinimumAndUnion) {
+  CensusMatrix a = matrix_of(3, {{0, 1, 10.0F}, {0, 2, 50.0F}});
+  const CensusMatrix b =
+      matrix_of(3, {{0, 2, 30.0F}, {0, 3, 70.0F}, {2, 1, 5.0F}});
   a.combine_min(b);
   const auto row0 = a.measurements(0);
   ASSERT_EQ(row0.size(), 3u);
@@ -336,14 +366,163 @@ TEST(CensusData, CombineMinIsPointwiseMinimumAndUnion) {
   EXPECT_EQ(a.measurements(2).size(), 1u);
 }
 
-TEST(CensusData, CombineMinIsIdempotent) {
-  CensusData a(2);
-  a.record(0, 1, 10.0F);
-  a.record(1, 2, 20.0F);
-  CensusData copy = a;
+TEST(CensusMatrix, CombineMinIsIdempotent) {
+  CensusMatrix a = matrix_of(2, {{0, 1, 10.0F}, {1, 2, 20.0F}});
+  const CensusMatrix copy = a;
   a.combine_min(copy);
   EXPECT_FLOAT_EQ(a.measurements(0)[0].rtt_ms, 10.0F);
   EXPECT_FLOAT_EQ(a.measurements(1)[0].rtt_ms, 20.0F);
+}
+
+TEST(CensusMatrix, OffsetsAreCumulativeRowEnds) {
+  const CensusMatrix data =
+      matrix_of(4, {{0, 1, 10.0F}, {0, 2, 11.0F}, {2, 5, 12.0F}});
+  const auto offsets = data.row_offsets();
+  ASSERT_EQ(offsets.size(), 5u);
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[1], 2u);
+  EXPECT_EQ(offsets[2], 2u);  // empty row
+  EXPECT_EQ(offsets[3], 3u);
+  EXPECT_EQ(offsets[4], 3u);
+  // Rows are views into one contiguous buffer.
+  EXPECT_EQ(data.measurements(0).data() + 2, data.measurements(2).data());
+}
+
+TEST(CensusMatrix, BuilderDropsOutOfRangeTargets) {
+  CensusMatrixBuilder builder(2);
+  builder.add(0, 1, 10.0F);
+  builder.add(2, 1, 11.0F);  // beyond target_count: damaged record
+  builder.add_fragment(4, {TargetRtt{1, 12.0F}, TargetRtt{9, 13.0F}});
+  const CensusMatrix data = builder.build();
+  EXPECT_EQ(data.observation_count(), 2u);
+  EXPECT_EQ(data.measurements(0).size(), 1u);
+  EXPECT_EQ(data.measurements(1).size(), 1u);
+}
+
+TEST(CensusMatrix, BuildResetsTheBuilder) {
+  CensusMatrixBuilder builder(3);
+  builder.add(0, 1, 10.0F);
+  EXPECT_EQ(builder.build().observation_count(), 1u);
+  const CensusMatrix empty_again = builder.build();
+  EXPECT_EQ(empty_again.target_count(), 3u);
+  EXPECT_EQ(empty_again.observation_count(), 0u);
+}
+
+// --- CensusMatrix vs. the legacy row-of-vectors oracle -----------------------
+//
+// `LegacyCensusData` is the pre-CSR container kept verbatim as a test
+// oracle; on any input stream, matrix and oracle must expose identical
+// rows through the shared `measurements()` read API.
+
+void expect_matches_oracle(const CensusMatrix& matrix,
+                           const LegacyCensusData& oracle) {
+  ASSERT_EQ(matrix.target_count(), oracle.target_count());
+  std::size_t total = 0;
+  for (std::uint32_t t = 0; t < oracle.target_count(); ++t) {
+    const auto got = matrix.measurements(t);
+    const auto want = oracle.measurements(t);
+    ASSERT_EQ(got.size(), want.size()) << "target " << t;
+    total += want.size();
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].vp, want[i].vp) << "target " << t;
+      EXPECT_EQ(got[i].rtt_ms, want[i].rtt_ms) << "target " << t;
+    }
+  }
+  EXPECT_EQ(matrix.observation_count(), total);
+}
+
+TEST(CensusMatrixOracle, EmptyCensus) {
+  CensusMatrixBuilder builder(16);
+  expect_matches_oracle(builder.build(), LegacyCensusData(16));
+  expect_matches_oracle(CensusMatrix(16), LegacyCensusData(16));
+  expect_matches_oracle(CensusMatrix(), LegacyCensusData());
+}
+
+TEST(CensusMatrixOracle, SingleVpFragment) {
+  const std::vector<TargetRtt> fragment{
+      {0, 12.0F}, {3, 9.5F}, {4, 80.25F}, {7, 3.0F}};
+  CensusMatrixBuilder builder(8);
+  builder.add_fragment(5, fragment);
+  LegacyCensusData oracle(8);
+  oracle.record_fragment(5, fragment);
+  expect_matches_oracle(builder.build(), oracle);
+}
+
+TEST(CensusMatrixOracle, DuplicateVpTargetPairsKeepTheMinimum) {
+  // Same (vp, target) seen repeatedly, interleaved across targets and in
+  // descending vp order — the worst case for the canonicalisation sweep.
+  const std::uint32_t targets[] = {2, 0, 2, 1, 2, 0, 2};
+  const std::uint16_t vps[] = {9, 4, 9, 9, 2, 4, 9};
+  const float rtts[] = {30.0F, 12.0F, 10.0F, 55.0F, 41.0F, 11.5F, 20.0F};
+  CensusMatrixBuilder builder(3);
+  LegacyCensusData oracle(3);
+  for (std::size_t i = 0; i < std::size(targets); ++i) {
+    builder.add(targets[i], vps[i], rtts[i]);
+    oracle.record(targets[i], vps[i], rtts[i]);
+  }
+  const CensusMatrix matrix = builder.build();
+  expect_matches_oracle(matrix, oracle);
+  EXPECT_FLOAT_EQ(matrix.measurements(2)[1].rtt_ms, 10.0F);  // min of vp 9
+}
+
+TEST(CensusMatrixOracle, CombineMinDisjointVpSets) {
+  CensusMatrixBuilder builder_a(4);
+  CensusMatrixBuilder builder_b(4);
+  LegacyCensusData oracle_a(4);
+  LegacyCensusData oracle_b(4);
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    builder_a.add(t, static_cast<std::uint16_t>(2 * t), 10.0F + t);
+    oracle_a.record(t, static_cast<std::uint16_t>(2 * t), 10.0F + t);
+    builder_b.add(t, static_cast<std::uint16_t>(2 * t + 1), 20.0F + t);
+    oracle_b.record(t, static_cast<std::uint16_t>(2 * t + 1), 20.0F + t);
+  }
+  CensusMatrix a = builder_a.build();
+  a.combine_min(builder_b.build());
+  oracle_a.combine_min(oracle_b);
+  expect_matches_oracle(a, oracle_a);
+  EXPECT_EQ(a.measurements(0).size(), 2u);
+}
+
+TEST(CensusMatrixOracle, CombineMinOverlappingVpSets) {
+  CensusMatrixBuilder builder_a(3);
+  CensusMatrixBuilder builder_b(3);
+  LegacyCensusData oracle_a(3);
+  LegacyCensusData oracle_b(3);
+  const auto feed_a = [&](std::uint32_t t, std::uint16_t vp, float rtt) {
+    builder_a.add(t, vp, rtt);
+    oracle_a.record(t, vp, rtt);
+  };
+  const auto feed_b = [&](std::uint32_t t, std::uint16_t vp, float rtt) {
+    builder_b.add(t, vp, rtt);
+    oracle_b.record(t, vp, rtt);
+  };
+  feed_a(0, 1, 10.0F);
+  feed_a(0, 2, 50.0F);
+  feed_a(1, 3, 7.0F);
+  feed_b(0, 2, 30.0F);  // overlaps: min wins
+  feed_b(0, 3, 70.0F);
+  feed_b(1, 3, 9.0F);   // overlaps: ours is smaller
+  feed_b(2, 1, 5.0F);   // empty row on our side
+  CensusMatrix a = builder_a.build();
+  a.combine_min(builder_b.build());
+  oracle_a.combine_min(oracle_b);
+  expect_matches_oracle(a, oracle_a);
+}
+
+TEST(CensusMatrixOracle, CombineMinGrowsToTheLargerTargetCount) {
+  CensusMatrixBuilder small_builder(2);
+  small_builder.add(1, 4, 15.0F);
+  CensusMatrix small = small_builder.build();
+  CensusMatrixBuilder big_builder(5);
+  big_builder.add(4, 6, 25.0F);
+  LegacyCensusData oracle_small(2);
+  oracle_small.record(1, 4, 15.0F);
+  LegacyCensusData oracle_big(5);
+  oracle_big.record(4, 6, 25.0F);
+  small.combine_min(big_builder.build());
+  oracle_small.combine_min(oracle_big);
+  expect_matches_oracle(small, oracle_small);
+  EXPECT_EQ(small.target_count(), 5u);
 }
 
 // --- run_census ---------------------------------------------------------------

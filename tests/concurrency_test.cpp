@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
 #include <filesystem>
 #include <fstream>
 #include <numeric>
@@ -15,6 +16,7 @@
 #include "anycast/analysis/report.hpp"
 #include "anycast/census/census.hpp"
 #include "anycast/census/resume.hpp"
+#include "anycast/census/storage.hpp"
 #include "anycast/concurrency/thread_pool.hpp"
 #include "anycast/geo/city_index.hpp"
 #include "anycast/net/fault.hpp"
@@ -24,7 +26,7 @@ namespace anycast {
 namespace {
 
 namespace fs = std::filesystem;
-using census::CensusData;
+using census::CensusMatrix;
 using census::CensusOutput;
 using census::CensusSummary;
 using census::FastPingConfig;
@@ -117,6 +119,50 @@ TEST(ShardRanges, CoverContiguouslyAndEvenly) {
   EXPECT_TRUE(concurrency::shard_ranges(0, 16).empty());
 }
 
+TEST(ShardRangesWeighted, BalancesByWeightNotRowCount) {
+  // 4 rows: weights 90, 2, 4, 4 (cumulative prefix array). Two shards of
+  // equal *row count* would pair the heavy row with another; weighted
+  // sharding isolates it.
+  const std::vector<std::uint64_t> cumulative{0, 90, 92, 96, 100};
+  const auto ranges = concurrency::shard_ranges_weighted(cumulative, 2);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0], (std::pair<std::size_t, std::size_t>{0, 1}));
+  EXPECT_EQ(ranges[1], (std::pair<std::size_t, std::size_t>{1, 4}));
+}
+
+TEST(ShardRangesWeighted, CoversContiguouslyForAnyShardCount) {
+  std::vector<std::uint64_t> cumulative{0};
+  for (std::size_t i = 0; i < 57; ++i) {
+    cumulative.push_back(cumulative.back() + (i * 7) % 13);
+  }
+  for (const std::size_t shards : {1u, 2u, 5u, 16u, 100u}) {
+    const auto ranges = concurrency::shard_ranges_weighted(cumulative, shards);
+    ASSERT_FALSE(ranges.empty());
+    EXPECT_LE(ranges.size(), std::min<std::size_t>(shards, 57));
+    std::size_t expected_begin = 0;
+    for (const auto& [begin, end] : ranges) {
+      EXPECT_EQ(begin, expected_begin);
+      EXPECT_LT(begin, end);  // no empty shards
+      expected_begin = end;
+    }
+    EXPECT_EQ(expected_begin, 57u);
+  }
+}
+
+TEST(ShardRangesWeighted, ZeroWeightsDegradeToEvenRowSplit) {
+  const std::vector<std::uint64_t> cumulative(11, 0);  // 10 empty rows
+  const auto ranges = concurrency::shard_ranges_weighted(cumulative, 5);
+  EXPECT_EQ(ranges, concurrency::shard_ranges(10, 5));
+}
+
+TEST(ShardRangesWeighted, DegenerateInputsYieldNothing) {
+  EXPECT_TRUE(concurrency::shard_ranges_weighted({}, 4).empty());
+  const std::vector<std::uint64_t> one{0};
+  EXPECT_TRUE(concurrency::shard_ranges_weighted(one, 4).empty());
+  const std::vector<std::uint64_t> some{0, 5, 9};
+  EXPECT_TRUE(concurrency::shard_ranges_weighted(some, 0).empty());
+}
+
 // --- Determinism across thread counts ---------------------------------------
 
 net::WorldConfig tiny_world_config() {
@@ -160,7 +206,7 @@ net::FaultPlan stormy_plan() {
   return net::FaultPlan(spec);
 }
 
-void expect_same_data(const CensusData& a, const CensusData& b) {
+void expect_same_data(const CensusMatrix& a, const CensusMatrix& b) {
   ASSERT_EQ(a.target_count(), b.target_count());
   for (std::uint32_t t = 0; t < a.target_count(); ++t) {
     const auto ra = a.measurements(t);
@@ -208,6 +254,136 @@ CensusOutput census_with(ThreadPool* pool, const net::FaultPlan* plan,
   const auto vps = net::make_planetlab({.node_count = 12, .seed = 91});
   return run_census(tiny_world(), vps, tiny_hitlist(), blacklist,
                     loaded_config(), plan, pool);
+}
+
+// --- Pinned output digests ---------------------------------------------------
+//
+// The constants below were recorded from the row-of-vectors engine before
+// the CSR refactor (same worlds, seeds, and configs). They pin the whole
+// observable output — rows, summary counters, greylist counters, analysis
+// outcomes — so any layout change that alters *what* is computed, not just
+// where it lives in memory, fails loudly. The serialization below is
+// layout-independent on purpose: it walks the public row API only.
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put32(out, static_cast<std::uint32_t>(v));
+  put32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t census_digest(const CensusOutput& out,
+                            const Greylist& blacklist) {
+  std::vector<std::uint8_t> bytes;
+  const CensusMatrix& data = out.data;
+  put64(bytes, data.target_count());
+  for (std::uint32_t t = 0; t < data.target_count(); ++t) {
+    const auto row = data.measurements(t);
+    put64(bytes, row.size());
+    for (const census::VpRtt& sample : row) {
+      put32(bytes, sample.vp);
+      put32(bytes, std::bit_cast<std::uint32_t>(sample.rtt_ms));
+    }
+  }
+  const CensusSummary& s = out.summary;
+  put64(bytes, s.probes_sent);
+  put64(bytes, s.echo_replies);
+  put64(bytes, s.errors);
+  put64(bytes, s.timeouts);
+  put64(bytes, s.injected_timeouts);
+  put64(bytes, s.retry_probes);
+  put64(bytes, s.retry_recovered);
+  put64(bytes, s.greylist_new);
+  put64(bytes, s.active_vps);
+  for (const double d : s.vp_duration_hours) {
+    put64(bytes, std::bit_cast<std::uint64_t>(d));
+  }
+  for (const census::VpStatus& status : s.vp_outcomes) {
+    put32(bytes, status.vp_id);
+    put32(bytes, static_cast<std::uint32_t>(status.outcome));
+  }
+  put64(bytes, blacklist.size());
+  put64(bytes, blacklist.admin_filtered_count());
+  put64(bytes, blacklist.host_prohibited_count());
+  put64(bytes, blacklist.net_prohibited_count());
+  return census::crc32(bytes);
+}
+
+std::uint32_t outcome_digest(
+    const std::vector<analysis::TargetOutcome>& outcomes) {
+  std::vector<std::uint8_t> bytes;
+  put64(bytes, outcomes.size());
+  for (const analysis::TargetOutcome& outcome : outcomes) {
+    put32(bytes, outcome.target_index);
+    put32(bytes, outcome.slash24_index);
+    put32(bytes, outcome.result.anycast ? 1u : 0u);
+    put32(bytes, static_cast<std::uint32_t>(outcome.result.iterations));
+    put64(bytes, outcome.result.usable_measurements);
+    put64(bytes, outcome.result.first_round_replicas);
+    put64(bytes, outcome.result.replicas.size());
+    for (const core::Replica& replica : outcome.result.replicas) {
+      put32(bytes, replica.vp_id);
+      put64(bytes,
+            std::bit_cast<std::uint64_t>(replica.location.latitude()));
+      put64(bytes,
+            std::bit_cast<std::uint64_t>(replica.location.longitude()));
+    }
+  }
+  return census::crc32(bytes);
+}
+
+// Recorded from commit 4b30468 (pre-CSR row-of-vectors engine).
+constexpr std::uint32_t kCensusDigestClean = 0xA02F7EE0;
+constexpr std::uint32_t kCensusDigestChaos = 0xBDD46711;
+constexpr std::uint32_t kResumeDigestClean = 0xA108F494;
+constexpr std::uint32_t kResumeDigestChaos = 0x14732D63;
+constexpr std::uint32_t kAnalysisDigest = 0x4A4DFBAC;
+
+TEST(PinnedDigests, CensusMatchesPreRefactorEngineForAnyThreadCount) {
+  for (const bool chaos : {false, true}) {
+    const net::FaultPlan plan = stormy_plan();
+    const net::FaultPlan* faults = chaos ? &plan : nullptr;
+    const std::uint32_t expected =
+        chaos ? kCensusDigestChaos : kCensusDigestClean;
+    {
+      Greylist blacklist;
+      const CensusOutput serial = census_with(nullptr, faults, blacklist);
+      EXPECT_EQ(census_digest(serial, blacklist), expected)
+          << "serial chaos=" << chaos;
+    }
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      ThreadPool pool(threads);
+      Greylist blacklist;
+      const CensusOutput parallel = census_with(&pool, faults, blacklist);
+      EXPECT_EQ(census_digest(parallel, blacklist), expected)
+          << "chaos=" << chaos << " threads=" << threads;
+    }
+  }
+}
+
+TEST(PinnedDigests, AnalysisMatchesPreRefactorEngineForAnyThreadCount) {
+  const auto vps = net::make_planetlab({.node_count = 16, .seed = 92});
+  Greylist blacklist;
+  FastPingConfig config;
+  config.seed = 92;
+  const CensusOutput output =
+      run_census(tiny_world(), vps, tiny_hitlist(), blacklist, config);
+  const analysis::CensusAnalyzer analyzer(vps, geo::world_index());
+  EXPECT_EQ(outcome_digest(analyzer.analyze(output.data, tiny_hitlist())),
+            kAnalysisDigest)
+      << "serial";
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(outcome_digest(
+                  analyzer.analyze(output.data, tiny_hitlist(), 2, &pool)),
+              kAnalysisDigest)
+        << "threads=" << threads;
+  }
 }
 
 TEST(ParallelCensus, OutputIsIdenticalForAnyThreadCount) {
@@ -347,6 +523,39 @@ TEST_F(ParallelResumeTest, ResumeOutputIsIdenticalForAnyThreadCount) {
       const auto b = read_bytes(census::census_checkpoint_path(sub, 1, vp.id));
       ASSERT_FALSE(a.empty());
       EXPECT_EQ(a, b) << "vp " << vp.id;
+    }
+  }
+}
+
+TEST_F(ParallelResumeTest, ResumeMatchesPreRefactorEngineForAnyThreadCount) {
+  const auto vps = net::make_planetlab({.node_count = 8, .seed = 91});
+  FastPingConfig config;
+  config.seed = 93;
+  for (const bool chaos : {false, true}) {
+    const net::FaultPlan plan = stormy_plan();
+    const net::FaultPlan* faults = chaos ? &plan : nullptr;
+    const std::uint32_t expected =
+        chaos ? kResumeDigestChaos : kResumeDigestClean;
+    {
+      const fs::path sub =
+          dir_ / (std::string("serial_chaos") + (chaos ? "1" : "0"));
+      Greylist blacklist;
+      const ResumeReport report =
+          resume_census(tiny_world(), vps, tiny_hitlist(), blacklist, config,
+                        sub, /*census_id=*/1, faults);
+      EXPECT_EQ(census_digest(report.output, blacklist), expected)
+          << "serial chaos=" << chaos;
+    }
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      ThreadPool pool(threads);
+      const fs::path sub = dir_ / (std::string("chaos") + (chaos ? "1" : "0") +
+                                   "_threads" + std::to_string(threads));
+      Greylist blacklist;
+      const ResumeReport report =
+          resume_census(tiny_world(), vps, tiny_hitlist(), blacklist, config,
+                        sub, /*census_id=*/1, faults, &pool);
+      EXPECT_EQ(census_digest(report.output, blacklist), expected)
+          << "chaos=" << chaos << " threads=" << threads;
     }
   }
 }

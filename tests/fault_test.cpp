@@ -43,7 +43,7 @@ std::vector<std::uint8_t> read_bytes(const fs::path& path) {
           std::istreambuf_iterator<char>()};
 }
 
-void expect_same_data(const CensusData& a, const CensusData& b) {
+void expect_same_data(const CensusMatrix& a, const CensusMatrix& b) {
   ASSERT_EQ(a.target_count(), b.target_count());
   for (std::uint32_t t = 0; t < a.target_count(); ++t) {
     const auto ra = a.measurements(t);

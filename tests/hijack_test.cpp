@@ -11,7 +11,7 @@ struct Setup {
   net::SimulatedInternet internet;
   std::vector<net::VantagePoint> vps;
   census::Hitlist hitlist;
-  census::CensusData reference;
+  census::CensusMatrix reference;
 
   Setup()
       : internet([] {
@@ -81,7 +81,7 @@ TEST(HijackMonitor, SplicedHijackRaisesAlarmAndGeolocatesImpostor) {
   // replaces the real one).
   const geo::City* tokyo = geo::world_index().by_name("Tokyo");
   const std::uint32_t victim = pick_unicast_target(tokyo->location());
-  census::CensusData hijacked(setup().hitlist.size());
+  census::CensusMatrixBuilder hijack_builder(setup().hitlist.size());
   for (std::uint32_t t = 0; t < setup().hitlist.size(); ++t) {
     for (const census::VpRtt& sample : setup().reference.measurements(t)) {
       const bool diverted =
@@ -90,15 +90,16 @@ TEST(HijackMonitor, SplicedHijackRaisesAlarmAndGeolocatesImpostor) {
       if (t == victim && diverted) {
         const double km = geodesy::distance_km(
             setup().vps[sample.vp].location, tokyo->location());
-        hijacked.record(t, sample.vp,
-                        static_cast<float>(
-                            geodesy::distance_to_min_rtt_ms(km) * 1.2 +
-                            0.5));
+        hijack_builder.add(t, sample.vp,
+                           static_cast<float>(
+                               geodesy::distance_to_min_rtt_ms(km) * 1.2 +
+                               0.5));
       } else {
-        hijacked.record(t, sample.vp, sample.rtt_ms);
+        hijack_builder.add(t, sample.vp, sample.rtt_ms);
       }
     }
   }
+  const census::CensusMatrix hijacked = hijack_builder.build();
 
   const auto alarms = monitor.scan(hijacked, setup().hitlist);
   ASSERT_EQ(alarms.size(), 1u);

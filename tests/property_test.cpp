@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
 
 #include "anycast/analysis/analyzer.hpp"
 #include "anycast/census/census.hpp"
+#include "anycast/census/record.hpp"
 #include "anycast/core/igreedy.hpp"
 #include "anycast/geo/city_data.hpp"
 #include "anycast/geo/city_index.hpp"
@@ -109,7 +111,7 @@ TEST(CombineProperty, OrderOfCombinationIsIrrelevant) {
   const census::Hitlist hitlist =
       census::Hitlist::from_world(internet).without_dead();
 
-  std::vector<census::CensusData> runs;
+  std::vector<census::CensusMatrix> runs;
   for (int c = 0; c < 3; ++c) {
     census::Greylist blacklist;
     census::FastPingConfig fastping;
@@ -118,9 +120,9 @@ TEST(CombineProperty, OrderOfCombinationIsIrrelevant) {
         run_census(internet, vps, hitlist, blacklist, fastping).data);
   }
 
-  census::CensusData forward(hitlist.size());
+  census::CensusMatrix forward(hitlist.size());
   for (const auto& run : runs) forward.combine_min(run);
-  census::CensusData backward(hitlist.size());
+  census::CensusMatrix backward(hitlist.size());
   for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
     backward.combine_min(*it);
   }
@@ -133,6 +135,110 @@ TEST(CombineProperty, OrderOfCombinationIsIrrelevant) {
       EXPECT_FLOAT_EQ(a[i].rtt_ms, b[i].rtt_ms);
     }
   }
+}
+
+// --- Salvage decoder robustness ----------------------------------------------
+
+std::vector<census::Observation> random_observations(rng::Xoshiro256& gen,
+                                                     std::size_t count) {
+  std::vector<census::Observation> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    census::Observation obs;
+    obs.target_index =
+        static_cast<std::uint32_t>(rng::uniform_index(gen, 0xFFFFFF));
+    obs.time_s = rng::uniform(gen, 0.0, 20000.0);
+    const std::size_t kind = rng::uniform_index(gen, 5);
+    switch (kind) {
+      case 0: obs.kind = net::ReplyKind::kTimeout; break;
+      case 1: obs.kind = net::ReplyKind::kNetProhibited; break;
+      case 2: obs.kind = net::ReplyKind::kHostProhibited; break;
+      case 3: obs.kind = net::ReplyKind::kAdminProhibited; break;
+      default:
+        obs.kind = net::ReplyKind::kEchoReply;
+        obs.rtt_ms = rng::uniform(gen, 0.1, 700.0);
+        break;
+    }
+    out.push_back(obs);
+  }
+  return out;
+}
+
+void expect_observation_prefix(const std::vector<census::Observation>& got,
+                               const std::vector<census::Observation>& full) {
+  ASSERT_LE(got.size(), full.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].target_index, full[i].target_index) << i;
+    EXPECT_EQ(got[i].kind, full[i].kind) << i;
+  }
+}
+
+TEST_P(PipelineProperty, SalvageDecoderSurvivesRandomTruncation) {
+  // Chop an encoded stream anywhere: decode_binary_prefix must never
+  // crash, never exceed the declared count, and always return an exact
+  // record-for-record prefix of the intact decode.
+  rng::Xoshiro256 gen(GetParam() ^ 0x9A17);
+  const auto stream =
+      random_observations(gen, 50 + rng::uniform_index(gen, 200));
+  const auto bytes = census::encode_binary(stream);
+  const auto intact = census::decode_binary(bytes);
+  ASSERT_TRUE(intact.has_value());
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t keep = rng::uniform_index(gen, bytes.size() + 1);
+    std::size_t declared = 0;
+    const auto salvaged = census::decode_binary_prefix(
+        std::span<const std::uint8_t>(bytes.data(), keep), &declared);
+    if (keep < 8) {
+      // Not even a payload header left.
+      EXPECT_FALSE(salvaged.has_value());
+      continue;
+    }
+    ASSERT_TRUE(salvaged.has_value());
+    EXPECT_EQ(declared, stream.size());
+    EXPECT_LE(salvaged->size(), declared);
+    EXPECT_EQ(salvaged->size(), (keep - 8) / 6);  // every whole record
+    expect_observation_prefix(*salvaged, *intact);
+  }
+}
+
+TEST_P(PipelineProperty, SalvageDecoderSurvivesRandomBitFlips) {
+  // Flip random payload bits: never a crash, never more than the declared
+  // count, and records before the first damaged byte still decode
+  // verbatim (record damage is local — 6-byte records, no framing).
+  rng::Xoshiro256 gen(GetParam() ^ 0x77E2);
+  const auto stream =
+      random_observations(gen, 50 + rng::uniform_index(gen, 200));
+  const auto pristine = census::encode_binary(stream);
+  const auto intact = census::decode_binary(pristine);
+  ASSERT_TRUE(intact.has_value());
+  for (int trial = 0; trial < 20; ++trial) {
+    auto bytes = pristine;
+    // 1-4 flips, anywhere past the magic (a wrong magic is the one case
+    // salvage rejects outright, covered separately below).
+    const std::size_t flips = 1 + rng::uniform_index(gen, 4);
+    std::size_t first_damaged = bytes.size();
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t at = 4 + rng::uniform_index(gen, bytes.size() - 4);
+      bytes[at] ^= static_cast<std::uint8_t>(1u << rng::uniform_index(gen, 8));
+      first_damaged = std::min(first_damaged, at);
+    }
+    std::size_t declared = 0;
+    const auto salvaged = census::decode_binary_prefix(bytes, &declared);
+    ASSERT_TRUE(salvaged.has_value());
+    EXPECT_LE(salvaged->size(), declared);
+    const std::size_t undamaged_records =
+        first_damaged < 8 ? 0 : (first_damaged - 8) / 6;
+    const std::size_t trustworthy =
+        std::min(undamaged_records, salvaged->size());
+    expect_observation_prefix(
+        {salvaged->begin(),
+         salvaged->begin() + static_cast<std::ptrdiff_t>(trustworthy)},
+        *intact);
+  }
+  // A damaged magic is unrecoverable by design.
+  auto bad_magic = pristine;
+  bad_magic[0] ^= 0x01;
+  EXPECT_FALSE(census::decode_binary_prefix(bad_magic).has_value());
 }
 
 TEST(AnalyzerProperty, HugeRttsNeverCauseDetection) {

@@ -97,7 +97,7 @@ TEST_F(StorageTest, CollationMatchesDirectCensus) {
 
   Greylist blacklist;
   Greylist greylist;
-  CensusData direct(hitlist.size());
+  CensusMatrixBuilder direct_builder(hitlist.size());
   std::vector<fs::path> paths;
   for (const net::VantagePoint& vp : vps) {
     FastPingConfig config;
@@ -110,14 +110,16 @@ TEST_F(StorageTest, CollationMatchesDirectCensus) {
     paths.push_back(path);
     for (const Observation& obs : run.observations) {
       if (obs.kind == net::ReplyKind::kEchoReply) {
-        direct.record(obs.target_index, static_cast<std::uint16_t>(vp.id),
-                      static_cast<float>(obs.rtt_ms));
+        direct_builder.add(obs.target_index,
+                           static_cast<std::uint16_t>(vp.id),
+                           static_cast<float>(obs.rtt_ms));
       }
     }
   }
+  const CensusMatrix direct = direct_builder.build();
 
   std::size_t skipped = 0;
-  const CensusData collated =
+  const CensusMatrix collated =
       collate_census_files(paths, hitlist.size(), &skipped);
   EXPECT_EQ(skipped, 0u);
   ASSERT_EQ(collated.target_count(), direct.target_count());
@@ -143,7 +145,7 @@ TEST_F(StorageTest, CollationSkipsDamagedUploads) {
 
   const std::vector<fs::path> paths{good, bad, dir_ / "missing.anc"};
   std::size_t skipped = 0;
-  const CensusData data = collate_census_files(paths, 400, &skipped);
+  const CensusMatrix data = collate_census_files(paths, 400, &skipped);
   EXPECT_EQ(skipped, 2u);
   std::size_t total = 0;
   for (std::uint32_t t = 0; t < data.target_count(); ++t) {
@@ -279,7 +281,7 @@ TEST_F(StorageTest, CollateStatsSeparateSalvagedFromSkipped) {
 
   const std::vector<fs::path> paths{good, chopped, garbage};
   CollateStats stats;
-  const CensusData data = collate_census_files(paths, 400, &stats);
+  const CensusMatrix data = collate_census_files(paths, 400, &stats);
   EXPECT_EQ(stats.files_ok, 1u);
   EXPECT_EQ(stats.files_salvaged, 1u);
   EXPECT_EQ(stats.files_skipped, 1u);
@@ -300,7 +302,7 @@ TEST_F(StorageTest, OutOfRangeTargetsDropped) {
   const fs::path path = dir_ / "range.anc";
   write_census_file(path, {1, 1}, stream);
   const std::vector<fs::path> paths{path};
-  const CensusData data = collate_census_files(paths, 400);
+  const CensusMatrix data = collate_census_files(paths, 400);
   EXPECT_EQ(data.measurements(399).size(), 1u);
   std::size_t total = 0;
   for (std::uint32_t t = 0; t < data.target_count(); ++t) {

@@ -278,7 +278,7 @@ int cmd_analyze(const Flags& flags) {
   }
 
   census::CollateStats stats;
-  const census::CensusData data =
+  const census::CensusMatrix data =
       census::collate_census_files(files, hitlist.size(), &stats);
   std::printf(
       "collated %zu files (%zu salvaged, %zu skipped), %zu responsive "

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the census/analysis engine.
+#
+# Configures a dedicated build tree per sanitizer (-DANYCAST_SANITIZE=...),
+# builds the concurrency-sensitive tests, and runs them under that
+# sanitizer. Run it from anywhere; build trees live in
+# <repo>/build-<sanitizer> (gitignored).
+#
+#   tools/run_sanitizers.sh                 # thread, address, undefined
+#   tools/run_sanitizers.sh thread          # one sanitizer
+#   tools/run_sanitizers.sh address -R Census  # extra args go to ctest
+#
+# The first argument selects the sanitizer when it is one of
+# thread|address|undefined|all; everything after it is passed to ctest
+# verbatim (replacing the default test selection).
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+
+selection="all"
+case "${1:-}" in
+  thread|address|undefined|all)
+    selection="$1"
+    shift
+    ;;
+esac
+
+if [ "$selection" = "all" ]; then
+  sanitizers=(thread address undefined)
+else
+  sanitizers=("$selection")
+fi
+
+run_gate() {
+  local sanitizer="$1"
+  shift
+  local build="$repo/build-$sanitizer"
+
+  cmake -S "$repo" -B "$build" -DANYCAST_SANITIZE="$sanitizer" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build" -j "$(nproc)" \
+    --target concurrency_test census_test fault_test integration_test
+
+  # halt_on_error: a single finding fails the gate instead of scrolling
+  # past. UBSAN reports are non-fatal by default, so ask for aborts too.
+  local prefix=()
+  case "$sanitizer" in
+    thread)
+      prefix=(env TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}")
+      ;;
+    address)
+      prefix=(env ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}")
+      ;;
+    undefined)
+      prefix=(env UBSAN_OPTIONS="halt_on_error=1 abort_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}")
+      ;;
+  esac
+
+  if [ "$#" -gt 0 ]; then
+    "${prefix[@]}" ctest --test-dir "$build" --output-on-failure "$@"
+  else
+    "${prefix[@]}" ctest --test-dir "$build" --output-on-failure \
+      -R 'ThreadPool|ShardRanges|Parallel|Census|Resume|Fault'
+  fi
+  echo "$sanitizer sanitizer gate passed."
+}
+
+for sanitizer in "${sanitizers[@]}"; do
+  run_gate "$sanitizer" "$@"
+done
+echo "Sanitizer gate passed: ${sanitizers[*]}."
