@@ -26,6 +26,7 @@
 #endif
 
 #include "anycast/census/legacy_census.hpp"
+#include "anycast/obs/metrics.hpp"
 #include "common.hpp"
 
 // ---- Heap-allocation accounting ---------------------------------------------
@@ -395,16 +396,79 @@ int main() {
   std::printf("\n  outputs identical across thread counts: %s\n",
               identical ? "yes" : "NO — DETERMINISM BUG");
 
+  // ---- Observability overhead ----------------------------------------------
+  //
+  // The metrics registry rides the census hot path (per-thread shards,
+  // one relaxed atomic add per probe), and the scaling loop above already
+  // runs fully instrumented. Contract: that instrumentation costs at most
+  // 3% of census wall-clock at 8 threads. Enabled and disabled runs
+  // alternate round-by-round and each side keeps its best time, so
+  // warm-up and scheduling noise cancels instead of biasing one side.
+  bench::print_subtitle("observability overhead (census, 8 threads)");
+  constexpr int kOverheadRounds = 5;
+  double best_instrumented = 0.0;
+  double best_uninstrumented = 0.0;
+  bool overhead_same_output = true;
+  {
+    concurrency::ThreadPool pool(8);
+    Fingerprint baseline;
+    for (int round = 0; round < kOverheadRounds; ++round) {
+      for (const bool enabled : {false, true}) {
+        obs::metrics().set_enabled(enabled);
+        census::Greylist blacklist;
+        census::FastPingConfig fastping;
+        fastping.seed = config.seed;
+        fastping.probe_rate_pps = config.probe_rate_pps;
+        fastping.vp_availability = config.vp_availability;
+        const auto start = Clock::now();
+        const census::CensusOutput output = run_census(
+            internet, vps, hitlist, blacklist, fastping,
+            /*faults=*/nullptr, &pool);
+        const double seconds = seconds_since(start);
+        double& best = enabled ? best_instrumented : best_uninstrumented;
+        if (best == 0.0 || seconds < best) best = seconds;
+        Fingerprint print;
+        print.probes = output.summary.probes_sent;
+        print.replies = output.summary.echo_replies;
+        print.responsive = output.data.responsive_targets(2);
+        print.greylisted = blacklist.size();
+        if (round == 0 && !enabled) {
+          baseline = print;
+        } else if (!(print == baseline)) {
+          overhead_same_output = false;
+        }
+      }
+    }
+    obs::metrics().set_enabled(true);
+    obs::metrics().reset();
+  }
+  const double overhead_pct =
+      best_uninstrumented > 0.0
+          ? (best_instrumented / best_uninstrumented - 1.0) * 100.0
+          : 0.0;
+  const bool overhead_ok =
+      best_instrumented <= best_uninstrumented * 1.03 && overhead_same_output;
+  std::printf("  %-24s %14.3f\n", "instrumented s", best_instrumented);
+  std::printf("  %-24s %14.3f\n", "uninstrumented s", best_uninstrumented);
+  std::printf("  %-24s %+13.2f%%  (budget 3%%: %s)\n", "overhead",
+              overhead_pct, overhead_ok ? "ok" : "OVER — OBS REGRESSION");
+  if (!overhead_same_output) {
+    std::printf("  WARNING: disabling metrics changed census output\n");
+  }
+
   std::FILE* json = std::fopen("BENCH_parallel.json", "w");
   if (json != nullptr) {
     std::fprintf(json,
                  "{\n  \"bench\": \"parallel_scaling\",\n"
                  "  \"targets\": %zu,\n  \"vps\": %zu,\n"
                  "  \"hardware_threads\": %zu,\n"
-                 "  \"outputs_identical\": %s,\n  \"results\": [\n",
+                 "  \"outputs_identical\": %s,\n"
+                 "  \"obs_overhead_pct\": %.2f,\n"
+                 "  \"obs_overhead_within_budget\": %s,\n  \"results\": [\n",
                  hitlist.size(), vps.size(),
                  concurrency::default_thread_count(),
-                 identical ? "true" : "false");
+                 identical ? "true" : "false", overhead_pct,
+                 overhead_ok ? "true" : "false");
     for (std::size_t i = 0; i < samples.size(); ++i) {
       const Sample& sample = samples[i];
       std::fprintf(json,
@@ -463,5 +527,5 @@ int main() {
     std::fclose(json);
     std::printf("  wrote BENCH_columnar.json\n");
   }
-  return identical && same_result && fewer_allocs ? 0 : 1;
+  return identical && same_result && fewer_allocs && overhead_ok ? 0 : 1;
 }

@@ -4,8 +4,33 @@
 
 #include "anycast/concurrency/thread_pool.hpp"
 #include "anycast/geodesy/disk.hpp"
+#include "anycast/obs/metrics.hpp"
+#include "anycast/obs/trace.hpp"
 
 namespace anycast::analysis {
+namespace {
+
+/// Sweep instruments, flushed once per analyzed range from a range-local
+/// tally (integer sums commute, so the totals are identical however the
+/// sweep is sharded).
+struct AnalysisInstruments {
+  obs::Counter targets_considered = obs::metrics().counter(
+      "analysis_targets_considered", obs::MetricClass::kSemantic,
+      "targets with enough VPs to enter detection");
+  obs::Counter targets_detected = obs::metrics().counter(
+      "analysis_targets_detected", obs::MetricClass::kSemantic,
+      "targets passing the speed-of-light disjointness pre-filter");
+  obs::Counter targets_anycast = obs::metrics().counter(
+      "analysis_targets_anycast", obs::MetricClass::kSemantic,
+      "targets iGreedy confirmed as anycast");
+};
+
+const AnalysisInstruments& analysis_instruments() {
+  static const AnalysisInstruments instruments;
+  return instruments;
+}
+
+}  // namespace
 
 CensusAnalyzer::CensusAnalyzer(std::span<const net::VantagePoint> vps,
                                const geo::CityIndex& cities,
@@ -75,20 +100,32 @@ std::vector<TargetOutcome> CensusAnalyzer::analyze(
   // detected rows) only reads `this`, `data`, and `hitlist`, so a range
   // of targets is an independent task.
   const auto analyze_range = [&](std::size_t begin, std::size_t end) {
+    const obs::Span range_span("analysis_range", begin);
+    std::uint64_t considered = 0;
+    std::uint64_t detected = 0;
     std::vector<TargetOutcome> out;
     for (std::size_t t = begin; t < end; ++t) {
       const auto row = data.measurements(static_cast<std::uint32_t>(t));
       if (row.size() < min_vps) continue;
+      ++considered;
       if (!detect(row)) continue;
+      ++detected;
       TargetOutcome outcome;
       outcome.target_index = static_cast<std::uint32_t>(t);
       outcome.slash24_index = hitlist[t].representative.slash24_index();
       outcome.result = analyze_row(row);
       if (outcome.result.anycast) out.push_back(std::move(outcome));
     }
+    const AnalysisInstruments& in = analysis_instruments();
+    in.targets_considered.add(considered);
+    in.targets_detected.add(detected);
+    in.targets_anycast.add(out.size());
     return out;
   };
 
+  // Adoption point: range spans on worker threads attach here.
+  const obs::Span sweep_span(obs::Span::Root::kAdoptionPoint, "analysis",
+                             targets);
   if (pool == nullptr || pool->thread_count() <= 1) {
     return analyze_range(0, targets);
   }

@@ -3,9 +3,94 @@
 #include <algorithm>
 
 #include "anycast/concurrency/thread_pool.hpp"
+#include "anycast/obs/metrics.hpp"
+#include "anycast/obs/trace.hpp"
 #include "anycast/rng/distributions.hpp"
 
 namespace anycast::census {
+namespace {
+
+/// Census-level instruments, fed on the reduction thread (run_census and
+/// resume_census) — see flush_census_summary_metrics.
+struct CensusInstruments {
+  obs::Counter runs = obs::metrics().counter(
+      "census_runs", obs::MetricClass::kSemantic,
+      "census reductions completed (live or resumed)");
+  obs::Counter vps_active = obs::metrics().counter(
+      "census_vps_active", obs::MetricClass::kSemantic,
+      "VPs up for their census (availability coin heads)");
+  obs::Counter vps_skipped = obs::metrics().counter(
+      "census_vps_skipped", obs::MetricClass::kSemantic,
+      "VPs down for their whole census");
+  obs::Counter vps_completed = obs::metrics().counter(
+      "census_vps_completed", obs::MetricClass::kSemantic,
+      "VPs that walked the full hitlist");
+  obs::Counter vps_crashed = obs::metrics().counter(
+      "census_vps_crashed", obs::MetricClass::kSemantic,
+      "VPs that died mid-walk");
+  obs::Counter vps_cut_off = obs::metrics().counter(
+      "census_vps_cut_off", obs::MetricClass::kSemantic,
+      "VPs cut off by the straggler deadline");
+  obs::Counter vps_quarantined = obs::metrics().counter(
+      "census_vps_quarantined", obs::MetricClass::kSemantic,
+      "VPs whose rows were excluded for excess drops");
+  obs::Counter greylist_new = obs::metrics().counter(
+      "census_greylist_new", obs::MetricClass::kSemantic,
+      "/24s newly greylisted, summed over censuses");
+};
+
+const CensusInstruments& census_instruments() {
+  static const CensusInstruments instruments;
+  return instruments;
+}
+
+/// Matrix instruments, fed by CensusMatrixBuilder::build and the arena.
+struct MatrixInstruments {
+  obs::Counter builds = obs::metrics().counter(
+      "census_matrix_builds", obs::MetricClass::kSemantic,
+      "CensusMatrixBuilder::build calls");
+  obs::Counter values = obs::metrics().counter(
+      "census_matrix_values", obs::MetricClass::kSemantic,
+      "canonical (vp, target) samples across built matrices");
+  obs::Counter arena_remaps = obs::metrics().counter(
+      "census_arena_remaps", obs::MetricClass::kSemantic,
+      "in-place arena regrowths (mremap/realloc, beyond the first map)");
+  obs::Counter arena_maps = obs::metrics().counter(
+      "census_arena_maps", obs::MetricClass::kSemantic,
+      "fresh arena mappings (first allocation of a buffer)");
+};
+
+const MatrixInstruments& matrix_instruments() {
+  static const MatrixInstruments instruments;
+  return instruments;
+}
+
+}  // namespace
+
+namespace detail {
+
+void note_arena_remap(bool fresh_mapping) {
+  const MatrixInstruments& in = matrix_instruments();
+  if (fresh_mapping) {
+    in.arena_maps.inc();
+  } else {
+    in.arena_remaps.inc();
+  }
+}
+
+}  // namespace detail
+
+void flush_census_summary_metrics(const CensusSummary& summary) {
+  const CensusInstruments& in = census_instruments();
+  in.runs.inc();
+  in.vps_active.add(summary.active_vps);
+  in.vps_skipped.add(summary.outcome_count(VpOutcome::kSkipped));
+  in.vps_completed.add(summary.outcome_count(VpOutcome::kCompleted));
+  in.vps_crashed.add(summary.outcome_count(VpOutcome::kCrashed));
+  in.vps_cut_off.add(summary.outcome_count(VpOutcome::kCutOff));
+  in.vps_quarantined.add(summary.outcome_count(VpOutcome::kQuarantined));
+  in.greylist_new.add(summary.greylist_new);
+}
 
 std::size_t CensusMatrix::responsive_targets(std::size_t min_vps) const {
   std::size_t count = 0;
@@ -178,6 +263,8 @@ CensusMatrix CensusMatrixBuilder::build() {
   }
   matrix.offsets_[target_count_] = write;
   values.resize(write);
+  matrix_instruments().builds.inc();
+  matrix_instruments().values.add(write);
 
   fragments_.clear();
   loose_.clear();
@@ -278,6 +365,8 @@ CensusOutput run_census(const net::SimulatedInternet& internet,
                         const FastPingConfig& config,
                         const net::FaultPlan* faults,
                         concurrency::ThreadPool* pool) {
+  // Adoption point: per-VP walk spans on worker threads attach here.
+  const obs::Span census_span(obs::Span::Root::kAdoptionPoint, "census");
   CensusOutput out;
   out.summary.vp_duration_hours.reserve(vps.size());
   out.summary.vp_outcomes.reserve(vps.size());
@@ -290,8 +379,10 @@ CensusOutput run_census(const net::SimulatedInternet& internet,
     VpWork work;
     if (!vp_available(vps[i], config)) return work;
     work.ran = true;
+    const obs::Span walk_span("vp_walk", vps[i].id);
     work.result = run_fastping(internet, vps[i], hitlist, blacklist,
                                work.greylist, config, faults);
+    flush_walk_metrics(work.result);
     work.fragment = vp_row_fragment(work.result, hitlist.size());
     // The reduction reads only the counters, the outcome, and the
     // fragment; drop the raw stream so the retained state per VP is the
@@ -340,6 +431,7 @@ CensusOutput run_census(const net::SimulatedInternet& internet,
   out.data = builder.build();
   out.summary.greylist_new = census_greylist.size();
   blacklist.merge(census_greylist);
+  flush_census_summary_metrics(out.summary);
   return out;
 }
 

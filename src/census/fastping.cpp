@@ -3,10 +3,61 @@
 #include <algorithm>
 
 #include "anycast/net/fault.hpp"
+#include "anycast/obs/metrics.hpp"
 #include "anycast/rng/distributions.hpp"
 #include "anycast/rng/lfsr.hpp"
 
 namespace anycast::census {
+namespace {
+
+/// The prober's instruments, registered once. Every count is flushed from
+/// a finished walk's local tally (see flush_walk_metrics); the probe loop
+/// itself never touches these.
+struct WalkInstruments {
+  obs::Counter walks = obs::metrics().counter(
+      "census_walks", obs::MetricClass::kSemantic,
+      "fastping walks flushed (live or replayed from checkpoint)");
+  obs::Counter probes_sent = obs::metrics().counter(
+      "census_probes_sent", obs::MetricClass::kSemantic,
+      "probes sent across all walks, retries included");
+  obs::Counter replies_echo = obs::metrics().counter(
+      "census_replies_echo", obs::MetricClass::kSemantic,
+      "ICMP echo replies received");
+  obs::Counter replies_prohibited = obs::metrics().counter(
+      "census_replies_prohibited", obs::MetricClass::kSemantic,
+      "prohibited/error replies (greylist feed)");
+  obs::Counter timeouts_organic = obs::metrics().counter(
+      "census_timeouts_organic", obs::MetricClass::kSemantic,
+      "probes that timed out on their own (not fault-injected)");
+  obs::Counter timeouts_injected = obs::metrics().counter(
+      "census_timeouts_injected", obs::MetricClass::kSemantic,
+      "probes lost to injected outage windows");
+  obs::Counter retry_probes = obs::metrics().counter(
+      "census_retry_probes", obs::MetricClass::kSemantic,
+      "probes spent in retry passes");
+  obs::Counter retry_recovered = obs::metrics().counter(
+      "census_retry_recovered", obs::MetricClass::kSemantic,
+      "timed-out targets a retry pass recovered");
+  obs::Histogram rtt_ms = obs::metrics().histogram(
+      "census_rtt_ms", obs::MetricClass::kSemantic,
+      {5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 400.0},
+      "echo RTTs (codec-quantised, so live == replayed)");
+  obs::Histogram vp_duration_hours = obs::metrics().histogram(
+      "census_vp_duration_hours", obs::MetricClass::kTiming,
+      {1.0, 2.0, 4.0, 8.0, 16.0, 32.0},
+      "per-VP walk duration (coarser for replayed checkpoints)");
+  obs::Counter blacklist_skips = obs::metrics().counter(
+      "census_blacklist_skips", obs::MetricClass::kTiming,
+      "walk positions skipped for blacklisted /24s (live walks only; a "
+      "checkpoint replay records no trace of a skip)");
+};
+
+const WalkInstruments& walk_instruments() {
+  static const WalkInstruments instruments;
+  return instruments;
+}
+
+}  // namespace
 
 double reply_drop_probability(double probe_rate_pps, double threshold_pps,
                               double slope) {
@@ -20,6 +71,24 @@ double vp_drop_threshold(const net::VantagePoint& vp,
       config.seed ^ (0x9E3779B97F4A7C15ull * (vp.id + 1)));
   return config.min_drop_threshold_pps +
          u * (config.max_drop_threshold_pps - config.min_drop_threshold_pps);
+}
+
+void flush_walk_metrics(const FastPingResult& result) {
+  const WalkInstruments& in = walk_instruments();
+  in.walks.inc();
+  in.probes_sent.add(result.probes_sent);
+  in.replies_echo.add(result.echo_replies);
+  in.replies_prohibited.add(result.errors);
+  in.timeouts_organic.add(result.timeouts - result.injected_timeouts);
+  in.timeouts_injected.add(result.injected_timeouts);
+  in.retry_probes.add(result.retry_probes);
+  in.retry_recovered.add(result.retry_recovered);
+  for (const Observation& obs : result.observations) {
+    if (obs.kind == net::ReplyKind::kEchoReply) {
+      in.rtt_ms.observe(quantised_rtt_ms(obs.rtt_ms));
+    }
+  }
+  in.vp_duration_hours.observe(result.duration_hours);
 }
 
 std::string_view to_string(VpOutcome outcome) {
@@ -108,6 +177,7 @@ FastPingResult run_fastping(const net::SimulatedInternet& internet,
 
   // --- Main walk -----------------------------------------------------------
   std::uint64_t step = 0;
+  std::uint64_t blacklist_skips = 0;  // walk-local tally, flushed once
   while (const auto index = order.next()) {
     if (injector.crashed_before(step)) {
       result.outcome = VpOutcome::kCrashed;
@@ -115,7 +185,10 @@ FastPingResult run_fastping(const net::SimulatedInternet& internet,
     }
     const std::uint64_t this_step = step++;
     const HitlistEntry& entry = hitlist[*index];
-    if (blacklist.contains(entry.representative.slash24_index())) continue;
+    if (blacklist.contains(entry.representative.slash24_index())) {
+      ++blacklist_skips;
+      continue;
+    }
     probe_once(*index, this_step);
     if (deadline_s > 0.0 && clock_s > deadline_s) {
       result.outcome = VpOutcome::kCutOff;
@@ -184,6 +257,7 @@ FastPingResult run_fastping(const net::SimulatedInternet& internet,
   }
 
   result.duration_hours = clock_s / 3600.0;
+  walk_instruments().blacklist_skips.add(blacklist_skips);
   return result;
 }
 

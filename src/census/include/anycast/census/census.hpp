@@ -56,6 +56,11 @@ struct TargetRtt {
 
 namespace detail {
 
+/// Out-of-line metrics hook (defined in census.cpp) so this header does
+/// not pull in the obs registry: counts one mmap/mremap-backed arena
+/// resize into `census_arena_remaps`.
+void note_arena_remap(bool fresh_mapping);
+
 /// Growable buffer of (trivially copyable) VpRtt for census-scale value
 /// arenas. std::vector growth must allocate-copy-free — transiently
 /// doubling resident memory on a buffer this large — so the arena
@@ -113,6 +118,7 @@ class VpRttArena {
     void* grown = std::realloc(data_, count * sizeof(VpRtt));
     if (grown == nullptr) throw std::bad_alloc();
 #endif
+    note_arena_remap(data_ == nullptr);
     data_ = static_cast<VpRtt*>(grown);
     size_ = count;
   }
@@ -266,6 +272,12 @@ struct CensusSummary {
   /// VPs that ended with `outcome`.
   [[nodiscard]] std::size_t outcome_count(VpOutcome outcome) const;
 };
+
+/// Flushes one census's reduction-level tallies (active/skipped VPs,
+/// per-outcome counts, newly greylisted /24s) into obs::metrics(). Runs on
+/// the reduction thread; run_census and resume_census both call it, so a
+/// live census and its resumed twin report identical semantics.
+void flush_census_summary_metrics(const CensusSummary& summary);
 
 /// Deterministic per-census availability coin: whether `vp` is up for the
 /// census seeded by `config.seed` (PlanetLab node churn). Shared by the

@@ -106,6 +106,17 @@ FastPingResult run_fastping(const net::SimulatedInternet& internet,
                             Greylist& greylist, const FastPingConfig& config,
                             const net::FaultPlan* faults = nullptr);
 
+/// Flushes one finished walk's funnel tally into the global metrics
+/// registry (obs::metrics()): probe/reply/timeout/retry counters plus the
+/// echo-RTT histogram, observed through the checkpoint codec's
+/// quantisation so a live walk and its replayed checkpoint report the
+/// same values. One call per walk — the probe loop itself touches only
+/// its walk-local `FastPingResult` tally, never a shared counter. Called
+/// by the census runner and the resume path (which also replays reused
+/// checkpoints through it); call it yourself only when driving
+/// `run_fastping` directly and wanting it metered.
+void flush_walk_metrics(const FastPingResult& result);
+
 /// The reply-aggregation drop probability a VP with the given tolerance
 /// threshold suffers at a probing rate (exposed for tests and the probing
 /// rate ablation).

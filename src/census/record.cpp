@@ -10,17 +10,20 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x414E4331;  // "ANC1"
 
+std::int16_t encode_ticks(double rtt_ms) {
+  const double ticks = std::round(rtt_ms * 50.0);
+  if (ticks >= 32767.0) return 32767;
+  if (ticks < 1.0) return 1;  // sub-20us RTT still counts as a reply
+  return static_cast<std::int16_t>(ticks);
+}
+
 std::int16_t encode_delay(const Observation& obs) {
   switch (obs.kind) {
-    case net::ReplyKind::kEchoReply: {
+    case net::ReplyKind::kEchoReply:
       // 1/50 ms units: 0.02 ms quantisation with range up to ~655 ms,
       // comfortably above the analysis's max useful RTT (600 ms disks
       // already cover most of the planet).
-      const double ticks = std::round(obs.rtt_ms * 50.0);
-      if (ticks >= 32767.0) return 32767;
-      if (ticks < 1.0) return 1;  // sub-20us RTT still counts as a reply
-      return static_cast<std::int16_t>(ticks);
-    }
+      return encode_ticks(obs.rtt_ms);
     case net::ReplyKind::kTimeout:
       return -1;
     case net::ReplyKind::kNetProhibited:
@@ -219,6 +222,10 @@ std::optional<std::vector<Observation>> decode_binary_prefix(
 
 std::size_t textual_bytes(std::span<const Observation> observations) {
   return encode_textual(observations).size();
+}
+
+double quantised_rtt_ms(double rtt_ms) {
+  return encode_ticks(rtt_ms) / 50.0;
 }
 
 }  // namespace anycast::census

@@ -5,9 +5,32 @@
 
 #include "anycast/census/fastping.hpp"
 #include "anycast/concurrency/thread_pool.hpp"
+#include "anycast/obs/metrics.hpp"
+#include "anycast/obs/trace.hpp"
 
 namespace anycast::census {
 namespace {
+
+/// Resume-path instruments. These are run-history dependent — how many
+/// checkpoints exist decides reused vs rerun — so they are kTiming class:
+/// real operational data, deliberately outside the deterministic
+/// snapshot (see DESIGN.md §10).
+struct ResumeInstruments {
+  obs::Counter vps_reused = obs::metrics().counter(
+      "resume_vps_reused", obs::MetricClass::kTiming,
+      "VPs whose complete checkpoint was reused as-is");
+  obs::Counter vps_rerun = obs::metrics().counter(
+      "resume_vps_rerun", obs::MetricClass::kTiming,
+      "VPs re-walked (checkpoint missing, partial, or mislabelled)");
+  obs::Counter files_salvaged = obs::metrics().counter(
+      "resume_files_salvaged", obs::MetricClass::kTiming,
+      "damaged checkpoints partially recovered");
+};
+
+const ResumeInstruments& resume_instruments() {
+  static const ResumeInstruments instruments;
+  return instruments;
+}
 
 /// Rebuilds a FastPingResult from a checkpoint's observation stream. The
 /// funnel counters are exact (one observation per probe, retries
@@ -81,6 +104,9 @@ ResumeReport resume_census(const net::SimulatedInternet& internet,
                            const net::FaultPlan* faults,
                            concurrency::ThreadPool* pool) {
   std::filesystem::create_directories(dir);
+  // Adoption point: per-VP recovery spans on worker threads attach here.
+  const obs::Span resume_span(obs::Span::Root::kAdoptionPoint,
+                              "resume_census");
   ResumeReport report;
   CensusOutput& out = report.output;
   out.summary.vp_duration_hours.reserve(vps.size());
@@ -94,6 +120,7 @@ ResumeReport resume_census(const net::SimulatedInternet& internet,
     const net::VantagePoint& vp = vps[i];
     if (!vp_available(vp, config)) return work;
     work.ran = true;
+    const obs::Span recover_span("vp_recover", vp.id);
 
     const std::filesystem::path path =
         census_checkpoint_path(dir, census_id, vp.id);
@@ -118,6 +145,10 @@ ResumeReport resume_census(const net::SimulatedInternet& internet,
       write_census_file(path, header, work.result.observations);
       work.result.observations = quantised(work.result.observations);
     }
+    // Reused and rerun walks alike flush through the same chokepoint as a
+    // live census (RTTs quantised either way), so the semantic snapshot
+    // of a resumed census matches its uninterrupted twin byte for byte.
+    flush_walk_metrics(work.result);
     work.fragment = vp_row_fragment(work.result, hitlist.size());
     // The reduction reads only the counters, the outcome, and the
     // fragment; drop the raw stream so the retained state per VP is the
@@ -174,6 +205,11 @@ ResumeReport resume_census(const net::SimulatedInternet& internet,
   out.data = builder.build();
   out.summary.greylist_new = census_greylist.size();
   blacklist.merge(census_greylist);
+  flush_census_summary_metrics(out.summary);
+  const ResumeInstruments& in = resume_instruments();
+  in.vps_reused.add(report.vps_reused);
+  in.vps_rerun.add(report.vps_rerun);
+  in.files_salvaged.add(report.files_salvaged);
   return report;
 }
 

@@ -4,8 +4,36 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "anycast/obs/metrics.hpp"
+
 namespace anycast::census {
 namespace {
+
+/// Checkpoint I/O instruments. All kTiming class: what gets written,
+/// read, or salvaged depends on the run's history (which checkpoints
+/// already exist), not on the pipeline's semantics.
+struct StorageInstruments {
+  obs::Counter writes = obs::metrics().counter(
+      "checkpoint_writes", obs::MetricClass::kTiming,
+      "census checkpoint files published (atomic tmp+rename)");
+  obs::Counter write_bytes = obs::metrics().counter(
+      "checkpoint_write_bytes", obs::MetricClass::kTiming,
+      "bytes written to checkpoints, header and trailer included");
+  obs::Counter reads_ok = obs::metrics().counter(
+      "checkpoint_reads_ok", obs::MetricClass::kTiming,
+      "checkpoints read intact (magic, CRC, and codec all good)");
+  obs::Counter read_failures = obs::metrics().counter(
+      "checkpoint_read_failures", obs::MetricClass::kTiming,
+      "strict checkpoint reads that failed (missing or damaged)");
+  obs::Counter salvages = obs::metrics().counter(
+      "checkpoint_salvages", obs::MetricClass::kTiming,
+      "damaged checkpoints recovered as a valid record prefix");
+};
+
+const StorageInstruments& storage_instruments() {
+  static const StorageInstruments instruments;
+  return instruments;
+}
 
 constexpr std::uint32_t kFileMagicV1 = 0x46434E41;  // "ANCF" (no trailer)
 constexpr std::uint32_t kFileMagicV2 = 0x32434E41;  // "ANC2" (CRC trailer)
@@ -134,6 +162,8 @@ void write_census_file(const std::filesystem::path& path,
     }
   }
   std::filesystem::rename(tmp, path);
+  storage_instruments().writes.inc();
+  storage_instruments().write_bytes.add(buffer.size());
 }
 
 std::optional<CensusFile> read_census_file(
@@ -158,6 +188,7 @@ std::optional<CensusFile> read_census_file(
       buffer->data() + payload_at, payload_end - payload_at));
   if (!decoded.has_value()) return std::nullopt;
   out.observations = std::move(*decoded);
+  storage_instruments().reads_ok.inc();
   return out;
 }
 
@@ -165,6 +196,7 @@ std::optional<CensusFile> salvage_census_file(
     const std::filesystem::path& path) {
   auto strict = read_census_file(path);
   if (strict.has_value()) return strict;
+  storage_instruments().read_failures.inc();
 
   const auto buffer = slurp(path);
   if (!buffer.has_value()) return std::nullopt;
@@ -185,6 +217,7 @@ std::optional<CensusFile> salvage_census_file(
   out.salvaged = true;
   // A salvaged checkpoint is by definition not a complete walk.
   out.header.flags &= ~kCensusFileComplete;
+  storage_instruments().salvages.inc();
   return out;
 }
 

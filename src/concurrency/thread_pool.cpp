@@ -2,8 +2,40 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+
+#include "anycast/obs/metrics.hpp"
 
 namespace anycast::concurrency {
+namespace {
+
+/// Pool instruments. All kTiming class: how indices distribute over lanes
+/// and how long each lane stays busy is scheduling-dependent by nature.
+struct PoolInstruments {
+  obs::Counter parallel_ops = obs::metrics().counter(
+      "pool_parallel_ops", obs::MetricClass::kTiming,
+      "parallel_for/parallel_map invocations that fanned out");
+  obs::Counter helper_dispatches = obs::metrics().counter(
+      "pool_helper_dispatches", obs::MetricClass::kTiming,
+      "helper tasks posted to worker lanes");
+  obs::Counter indices_by_caller = obs::metrics().counter(
+      "pool_indices_by_caller", obs::MetricClass::kTiming,
+      "loop indices the calling thread claimed itself");
+  obs::Counter indices_by_helpers = obs::metrics().counter(
+      "pool_indices_by_helpers", obs::MetricClass::kTiming,
+      "loop indices claimed by worker lanes");
+  obs::Histogram lane_busy_ms = obs::metrics().histogram(
+      "pool_lane_busy_ms", obs::MetricClass::kTiming,
+      {1.0, 10.0, 100.0, 1000.0, 10000.0},
+      "per-lane busy time inside one parallel op");
+};
+
+const PoolInstruments& pool_instruments() {
+  static const PoolInstruments instruments;
+  return instruments;
+}
+
+}  // namespace
 
 std::size_t default_thread_count() {
   return std::max(1u, std::thread::hardware_concurrency());
@@ -68,10 +100,14 @@ void ThreadPool::parallel_for(std::size_t n,
   } join;
   join.limit = n;
 
+  // Returns the indices this lane claimed; the lane flushes its own tally
+  // once, so per-index work never touches a shared counter.
   const auto claim_loop = [&fn, &join] {
+    std::uint64_t claimed = 0;
     while (true) {
       const std::size_t i = join.next.fetch_add(1);
       if (i >= join.limit) break;
+      ++claimed;
       try {
         fn(i);
       } catch (...) {
@@ -83,13 +119,24 @@ void ThreadPool::parallel_for(std::size_t n,
         join.next.store(join.limit);
       }
     }
+    return claimed;
+  };
+  const PoolInstruments& in = pool_instruments();
+  in.parallel_ops.inc();
+  const auto lane_start = std::chrono::steady_clock::now();
+  const auto lane_busy_ms = [lane_start] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - lane_start)
+        .count();
   };
 
   const std::size_t helpers = std::min(workers_.size(), n - 1);
   join.helpers_left = helpers;
+  in.helper_dispatches.add(helpers);
   for (std::size_t h = 0; h < helpers; ++h) {
-    post([&claim_loop, &join] {
-      claim_loop();
+    post([&claim_loop, &join, &in, lane_busy_ms] {
+      in.indices_by_helpers.add(claim_loop());
+      in.lane_busy_ms.observe(lane_busy_ms());
       // Decrement, check, and notify all under done_mutex: the caller's
       // predicate cannot observe helpers_left == 0 (and destroy Join)
       // until this helper has released the lock — its last touch of Join.
@@ -98,7 +145,8 @@ void ThreadPool::parallel_for(std::size_t n,
     });
   }
 
-  claim_loop();  // the caller is a lane too
+  in.indices_by_caller.add(claim_loop());  // the caller is a lane too
+  in.lane_busy_ms.observe(lane_busy_ms());
   {
     std::unique_lock lock(join.done_mutex);
     join.done_cv.wait(lock, [&join] { return join.helpers_left == 0; });

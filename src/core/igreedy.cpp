@@ -4,7 +4,36 @@
 #include <limits>
 #include <unordered_map>
 
+#include "anycast/obs/metrics.hpp"
+
 namespace anycast::core {
+namespace {
+
+/// iGreedy instruments, flushed once per analyze() call. iGreedy runs only
+/// on targets that pass detection, so this is far off the probe hot path.
+struct IGreedyInstruments {
+  obs::Counter runs = obs::metrics().counter(
+      "igreedy_runs", obs::MetricClass::kSemantic,
+      "IGreedy::analyze calls");
+  obs::Counter iterations = obs::metrics().counter(
+      "igreedy_iterations", obs::MetricClass::kSemantic,
+      "collapse-and-resolve rounds across all runs");
+  obs::Histogram replicas = obs::metrics().histogram(
+      "igreedy_replicas", obs::MetricClass::kSemantic,
+      {1.0, 2.0, 3.0, 5.0, 10.0, 20.0, 50.0},
+      "replicas enumerated per anycast run (MIS growth included)");
+  obs::Histogram first_round_mis = obs::metrics().histogram(
+      "igreedy_first_round_mis", obs::MetricClass::kSemantic,
+      {1.0, 2.0, 3.0, 5.0, 10.0, 20.0, 50.0},
+      "maximum-independent-set size of the first round");
+};
+
+const IGreedyInstruments& igreedy_instruments() {
+  static const IGreedyInstruments instruments;
+  return instruments;
+}
+
+}  // namespace
 
 std::vector<geodesy::Disk> IGreedy::make_disks(
     std::span<const Measurement> measurements,
@@ -84,6 +113,7 @@ bool IGreedy::detect(std::span<const Measurement> measurements,
 
 Result IGreedy::analyze(std::span<const Measurement> measurements) const {
   Result result;
+  igreedy_instruments().runs.inc();
   std::vector<std::uint32_t> vp_ids;
   std::vector<geodesy::Disk> disks = make_disks(measurements, &vp_ids);
   result.usable_measurements = disks.size();
@@ -163,6 +193,11 @@ Result IGreedy::analyze(std::span<const Measurement> measurements) const {
   }
 
   result.replicas = std::move(fixed);
+  const IGreedyInstruments& in = igreedy_instruments();
+  in.iterations.add(result.iterations);
+  in.replicas.observe(static_cast<double>(result.replicas.size()));
+  in.first_round_mis.observe(
+      static_cast<double>(result.first_round_replicas));
   return result;
 }
 

@@ -1,0 +1,179 @@
+// Observability: the census pipeline's metrics registry.
+//
+// The paper's census is an operational pipeline — four censuses, millions
+// of targets, greylisting, convergence loops — and its accounting (probes
+// sent, ICMP errors, greylist hits, retry outcomes, iGreedy iterations)
+// is as much a result as the RTT matrix. This registry collects exactly
+// those per-phase counters, under two hard constraints:
+//
+//  1. **Lock-free on the hot path.** Counters and histograms write into
+//     per-thread shards (one cache-friendly slot array per thread, relaxed
+//     atomics touched only by their owner); shards are merged at scrape
+//     time. No shared atomics, no locks, anywhere a probe loop runs.
+//
+//  2. **Semantic metrics are deterministic.** Every metric declares a
+//     class at registration: `kSemantic` values depend only on what the
+//     pipeline computed (probe counts, greylist sizes, simulated RTTs) and
+//     are *byte-identical* across thread counts and across
+//     crash+resume — integer sums and integer bucket counts commute, so
+//     shard merge order cannot leak in. `kTiming` values (wall-clock
+//     durations, pool busy time, per-lane task counts) may vary run to
+//     run and are excluded from `semantic_snapshot()`. The snapshot is
+//     therefore a cheap end-to-end oracle: tier-1 tests pin it the same
+//     way they pin census digests.
+//
+// There is one process-global registry (`metrics()`); unit tests may
+// construct private registries. Registration is idempotent by name, so
+// modules declare their instruments in function-local statics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anycast::obs {
+
+class MetricsRegistry;
+
+/// Determinism class, declared — deliberately, no default — per metric.
+/// Semantic: identical for identical pipeline inputs, whatever the thread
+/// count and whether the run was live or resumed from checkpoints.
+/// Timing: wall-clock or scheduling dependent; excluded from the
+/// deterministic snapshot (tests keep an explicit allowlist of these, so
+/// a forgotten classification fails loudly).
+enum class MetricClass : std::uint8_t { kSemantic, kTiming };
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+std::string_view to_string(MetricClass cls);
+std::string_view to_string(MetricKind kind);
+
+/// Monotonic integer counter. A value-type handle: copy freely, `add` from
+/// any thread — increments land in the calling thread's shard.
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t n = 1) const;
+  inline void inc() const { add(1); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* registry, std::uint32_t slot)
+      : registry_(registry), slot_(slot) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::uint32_t slot_ = 0;
+};
+
+/// Last-write-wins double gauge. Not sharded: gauges record states, not
+/// flows, and every semantic gauge in the pipeline is set from the
+/// deterministic reduction thread. (A gauge set concurrently from racing
+/// threads is last-writer-wins and should be declared kTiming.)
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double value) const;
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* registry, std::uint32_t index)
+      : registry_(registry), index_(index) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::uint32_t index_ = 0;
+};
+
+/// Fixed-bucket histogram. Bucket bounds are fixed at registration;
+/// `observe` increments one integer bucket slot in the calling thread's
+/// shard. The sum is kept in fixed-point milli-units (an integer), so it
+/// commutes across shards like every other semantic value — a floating
+/// sum would depend on merge order.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double value) const;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(MetricsRegistry* registry, std::uint32_t metric_index)
+      : registry_(registry), metric_index_(metric_index) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::uint32_t metric_index_ = 0;
+};
+
+/// One scraped metric, fully merged. Histograms carry per-bucket
+/// (non-cumulative) counts parallel to `bucket_bounds` plus an overflow
+/// bucket at the end.
+struct MetricValue {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  MetricClass cls = MetricClass::kSemantic;
+  std::uint64_t value = 0;                  // counter
+  double gauge = 0.0;                       // gauge
+  std::vector<double> bucket_bounds;        // histogram
+  std::vector<std::uint64_t> bucket_counts; // |bounds| + 1 (overflow last)
+  std::uint64_t count = 0;                  // histogram: total observations
+  std::int64_t sum_milli = 0;               // histogram: fixed-point sum
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or looks up) an instrument. Idempotent by name; a name
+  /// re-registered with a different kind, class, or bucket layout throws
+  /// std::logic_error — one name means one instrument, forever.
+  Counter counter(std::string_view name, MetricClass cls,
+                  std::string_view help = {});
+  Gauge gauge(std::string_view name, MetricClass cls,
+              std::string_view help = {});
+  Histogram histogram(std::string_view name, MetricClass cls,
+                      std::vector<double> bucket_bounds,
+                      std::string_view help = {});
+
+  /// All registered metrics with fully merged values, sorted by name.
+  [[nodiscard]] std::vector<MetricValue> scrape() const;
+
+  /// JSON export of `scrape()` (stable field order, sorted by name).
+  [[nodiscard]] std::string scrape_json() const;
+
+  /// Prometheus text exposition of `scrape()` (counters as `_total`,
+  /// histograms with cumulative `le` buckets).
+  [[nodiscard]] std::string scrape_prometheus() const;
+
+  /// Canonical text of **semantic** metrics only: the deterministic
+  /// fingerprint of a run. Byte-identical across thread counts and across
+  /// crash+resume for the same pipeline input.
+  [[nodiscard]] std::string semantic_snapshot() const;
+
+  /// Zeroes every value (counters, gauges, histograms, live and retired
+  /// shards). Registrations survive. Call only while no thread is
+  /// writing — between pipeline phases, not during one.
+  void reset();
+
+  /// Kill switch for overhead measurement: while disabled, add/observe/set
+  /// return immediately. Enabled by default.
+  void set_enabled(bool enabled);
+  [[nodiscard]] bool enabled() const;
+
+  /// Shards ever created (live + retired): visible for tests.
+  [[nodiscard]] std::size_t shard_count() const;
+
+  struct Impl;  // public so implementation-file helpers can name it
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+  Impl* impl_;  // raw: the global registry is intentionally leaked
+};
+
+/// The process-global registry every pipeline stage reports into. Leaked
+/// on purpose (constructed on first use, never destroyed) so worker
+/// threads retiring their shards at thread exit can never outlive it.
+MetricsRegistry& metrics();
+
+}  // namespace anycast::obs

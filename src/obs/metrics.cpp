@@ -1,0 +1,532 @@
+#include "anycast/obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace anycast::obs {
+namespace {
+
+/// Slot budget per shard. Counters take one slot; a histogram takes
+/// |bounds| + 2 (buckets, overflow, fixed-point sum). The whole pipeline
+/// uses well under 200; the fixed bound keeps a shard one flat allocation
+/// a thread touches only at its own cache lines.
+constexpr std::size_t kMaxSlots = 4096;
+
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kMaxSlots> slots;
+  // Zero explicitly: atomic value-initialization (P0883) is not reliable
+  // on every libstdc++ this builds against, and a shard recycled from the
+  // heap must never leak a previous allocation's bytes into a counter.
+  Shard() {
+    for (auto& slot : slots) slot.store(0, std::memory_order_relaxed);
+  }
+};
+
+std::string_view validate_name(std::string_view name) {
+  if (name.empty()) throw std::logic_error("metric name must not be empty");
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || (c >= 'A' && c <= 'Z');
+    if (!ok) {
+      throw std::logic_error("metric name must be [A-Za-z0-9_]: " +
+                             std::string(name));
+    }
+  }
+  return name;
+}
+
+}  // namespace
+
+std::string_view to_string(MetricClass cls) {
+  return cls == MetricClass::kSemantic ? "semantic" : "timing";
+}
+
+std::string_view to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+struct MetricsRegistry::Impl {
+  struct Metric {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    MetricClass cls = MetricClass::kSemantic;
+    std::uint32_t slot = 0;         // first shard slot (counter/histogram)
+    std::uint32_t gauge_index = 0;  // gauges live outside the shards
+    std::vector<double> bounds;     // histogram bucket upper bounds
+  };
+
+  std::uint64_t id = 0;  // process-unique, for thread-local shard keying
+  std::atomic<bool> enabled{true};
+
+  mutable std::mutex mutex;
+  std::vector<Metric> registered;
+  std::unordered_map<std::string, std::uint32_t> by_name;
+  std::uint32_t next_slot = 0;
+  std::vector<std::unique_ptr<Shard>> live;  // one per reporting thread
+  std::array<std::uint64_t, kMaxSlots> retired{};  // from exited threads
+  std::size_t shards_ever = 0;
+  // Gauges: set/read whole, never summed, so they live centrally. A deque
+  // never relocates existing elements on push_back, so handles may read
+  // their slot without the mutex.
+  std::deque<std::atomic<std::uint64_t>> gauges;
+
+  std::uint64_t merged(std::uint32_t slot) const {
+    // Caller holds `mutex`. Relaxed loads: integer sums commute, and the
+    // scrape contract is "quiescent values are exact, in-flight ones are
+    // eventually counted".
+    std::uint64_t total = retired[slot];
+    for (const auto& shard : live) {
+      total += shard->slots[slot].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+};
+
+namespace {
+
+/// Live-registry table: thread-exit shard retirement must not touch a
+/// registry that was already destroyed (unit tests create short-lived
+/// ones), so retirement resolves the registry id through this table.
+std::mutex& live_registries_mutex() {
+  static std::mutex m;
+  return m;
+}
+std::unordered_map<std::uint64_t, MetricsRegistry::Impl*>& live_registries() {
+  static auto* map =
+      new std::unordered_map<std::uint64_t, MetricsRegistry::Impl*>();
+  return *map;
+}
+
+struct TlsEntry {
+  std::uint64_t registry_id = 0;
+  Shard* shard = nullptr;
+};
+
+struct TlsShards {
+  std::vector<TlsEntry> entries;
+  ~TlsShards() {
+    // Fold this thread's shards into their registries' retired totals (if
+    // the registry is still alive) so counts survive pool teardown.
+    const std::lock_guard live_lock(live_registries_mutex());
+    for (const TlsEntry& entry : entries) {
+      const auto it = live_registries().find(entry.registry_id);
+      if (it == live_registries().end()) continue;
+      MetricsRegistry::Impl* impl = it->second;
+      const std::lock_guard lock(impl->mutex);
+      for (std::size_t s = 0; s < kMaxSlots; ++s) {
+        impl->retired[s] +=
+            entry.shard->slots[s].load(std::memory_order_relaxed);
+      }
+      std::erase_if(impl->live, [&](const std::unique_ptr<Shard>& shard) {
+        return shard.get() == entry.shard;
+      });
+    }
+  }
+};
+
+thread_local TlsShards g_tls;
+
+Shard* tls_shard_slow(MetricsRegistry::Impl* impl) {
+  auto shard = std::make_unique<Shard>();
+  Shard* raw = shard.get();
+  {
+    const std::lock_guard lock(impl->mutex);
+    impl->live.push_back(std::move(shard));
+    ++impl->shards_ever;
+  }
+  g_tls.entries.push_back(TlsEntry{impl->id, raw});
+  return raw;
+}
+
+/// The calling thread's shard for `impl`: a short linear scan (a thread
+/// talks to one or two registries), no locks on the repeat path.
+inline Shard* tls_shard(MetricsRegistry::Impl* impl) {
+  for (const TlsEntry& entry : g_tls.entries) {
+    if (entry.registry_id == impl->id) return entry.shard;
+  }
+  return tls_shard_slow(impl);
+}
+
+std::uint64_t next_registry_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1);
+}
+
+void json_escape_into(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl()) {
+  impl_->id = next_registry_id();
+  const std::lock_guard lock(live_registries_mutex());
+  live_registries().emplace(impl_->id, impl_);
+}
+
+MetricsRegistry::~MetricsRegistry() {
+  {
+    const std::lock_guard lock(live_registries_mutex());
+    live_registries().erase(impl_->id);
+  }
+  delete impl_;
+}
+
+void MetricsRegistry::set_enabled(bool enabled) {
+  impl_->enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsRegistry::enabled() const {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+std::size_t MetricsRegistry::shard_count() const {
+  const std::lock_guard lock(impl_->mutex);
+  return impl_->shards_ever;
+}
+
+Counter MetricsRegistry::counter(std::string_view name, MetricClass cls,
+                                 std::string_view help) {
+  validate_name(name);
+  const std::lock_guard lock(impl_->mutex);
+  const auto it = impl_->by_name.find(std::string(name));
+  if (it != impl_->by_name.end()) {
+    const Impl::Metric& existing = impl_->registered[it->second];
+    if (existing.kind != MetricKind::kCounter || existing.cls != cls) {
+      throw std::logic_error("metric re-registered differently: " +
+                             std::string(name));
+    }
+    return Counter(this, existing.slot);
+  }
+  if (impl_->next_slot + 1 > kMaxSlots) {
+    throw std::logic_error("metric slot budget exhausted");
+  }
+  Impl::Metric metric;
+  metric.name = std::string(name);
+  metric.help = std::string(help);
+  metric.kind = MetricKind::kCounter;
+  metric.cls = cls;
+  metric.slot = impl_->next_slot++;
+  impl_->by_name.emplace(metric.name,
+                         static_cast<std::uint32_t>(impl_->registered.size()));
+  impl_->registered.push_back(std::move(metric));
+  return Counter(this, impl_->registered.back().slot);
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name, MetricClass cls,
+                             std::string_view help) {
+  validate_name(name);
+  const std::lock_guard lock(impl_->mutex);
+  const auto it = impl_->by_name.find(std::string(name));
+  if (it != impl_->by_name.end()) {
+    const Impl::Metric& existing = impl_->registered[it->second];
+    if (existing.kind != MetricKind::kGauge || existing.cls != cls) {
+      throw std::logic_error("metric re-registered differently: " +
+                             std::string(name));
+    }
+    return Gauge(this, existing.gauge_index);
+  }
+  Impl::Metric metric;
+  metric.name = std::string(name);
+  metric.help = std::string(help);
+  metric.kind = MetricKind::kGauge;
+  metric.cls = cls;
+  metric.gauge_index = static_cast<std::uint32_t>(impl_->gauges.size());
+  impl_->gauges.emplace_back(std::bit_cast<std::uint64_t>(0.0));
+  impl_->by_name.emplace(metric.name,
+                         static_cast<std::uint32_t>(impl_->registered.size()));
+  impl_->registered.push_back(std::move(metric));
+  return Gauge(this, impl_->registered.back().gauge_index);
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name, MetricClass cls,
+                                     std::vector<double> bucket_bounds,
+                                     std::string_view help) {
+  validate_name(name);
+  if (bucket_bounds.empty() ||
+      !std::is_sorted(bucket_bounds.begin(), bucket_bounds.end())) {
+    throw std::logic_error("histogram bounds must be non-empty and sorted: " +
+                           std::string(name));
+  }
+  const std::lock_guard lock(impl_->mutex);
+  const auto it = impl_->by_name.find(std::string(name));
+  if (it != impl_->by_name.end()) {
+    const Impl::Metric& existing = impl_->registered[it->second];
+    if (existing.kind != MetricKind::kHistogram || existing.cls != cls ||
+        existing.bounds != bucket_bounds) {
+      throw std::logic_error("metric re-registered differently: " +
+                             std::string(name));
+    }
+    return Histogram(this, it->second);
+  }
+  // Slots: one per bucket, one overflow, one fixed-point sum.
+  const std::size_t needed = bucket_bounds.size() + 2;
+  if (impl_->next_slot + needed > kMaxSlots) {
+    throw std::logic_error("metric slot budget exhausted");
+  }
+  Impl::Metric metric;
+  metric.name = std::string(name);
+  metric.help = std::string(help);
+  metric.kind = MetricKind::kHistogram;
+  metric.cls = cls;
+  metric.slot = impl_->next_slot;
+  metric.bounds = std::move(bucket_bounds);
+  impl_->next_slot += static_cast<std::uint32_t>(needed);
+  const auto index = static_cast<std::uint32_t>(impl_->registered.size());
+  impl_->by_name.emplace(metric.name, index);
+  impl_->registered.push_back(std::move(metric));
+  return Histogram(this, index);
+}
+
+void Counter::add(std::uint64_t n) const {
+  if (registry_ == nullptr || n == 0) return;
+  MetricsRegistry::Impl* impl = registry_->impl_;
+  if (!impl->enabled.load(std::memory_order_relaxed)) return;
+  tls_shard(impl)->slots[slot_].fetch_add(n, std::memory_order_relaxed);
+}
+
+void Gauge::set(double value) const {
+  if (registry_ == nullptr) return;
+  MetricsRegistry::Impl* impl = registry_->impl_;
+  if (!impl->enabled.load(std::memory_order_relaxed)) return;
+  impl->gauges[index_].store(std::bit_cast<std::uint64_t>(value),
+                             std::memory_order_relaxed);
+}
+
+void Histogram::observe(double value) const {
+  if (registry_ == nullptr) return;
+  MetricsRegistry::Impl* impl = registry_->impl_;
+  if (!impl->enabled.load(std::memory_order_relaxed)) return;
+  std::uint32_t slot;
+  std::size_t bucket_count;
+  {
+    // Metric layout is append-only, so reading it needs no lock once the
+    // handle exists; copy what the fast path needs.
+    const MetricsRegistry::Impl::Metric& metric =
+        impl->registered[metric_index_];
+    const auto at = std::lower_bound(metric.bounds.begin(),
+                                     metric.bounds.end(), value);
+    slot = metric.slot +
+           static_cast<std::uint32_t>(at - metric.bounds.begin());
+    bucket_count = metric.bounds.size();
+  }
+  Shard* shard = tls_shard(impl);
+  shard->slots[slot].fetch_add(1, std::memory_order_relaxed);
+  // Fixed-point sum: integer additions commute across shards, so the
+  // scraped sum is deterministic where a double sum would depend on
+  // merge order.
+  const auto milli =
+      static_cast<std::int64_t>(std::llround(value * 1000.0));
+  const MetricsRegistry::Impl::Metric& metric =
+      impl->registered[metric_index_];
+  shard->slots[metric.slot + bucket_count + 1].fetch_add(
+      static_cast<std::uint64_t>(milli), std::memory_order_relaxed);
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard lock(impl_->mutex);
+  impl_->retired.fill(0);
+  for (const auto& shard : impl_->live) {
+    for (auto& slot : shard->slots) {
+      slot.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& gauge : impl_->gauges) {
+    gauge.store(std::bit_cast<std::uint64_t>(0.0),
+                std::memory_order_relaxed);
+  }
+}
+
+std::vector<MetricValue> MetricsRegistry::scrape() const {
+  const std::lock_guard lock(impl_->mutex);
+  std::vector<MetricValue> out;
+  out.reserve(impl_->registered.size());
+  for (const Impl::Metric& metric : impl_->registered) {
+    MetricValue value;
+    value.name = metric.name;
+    value.help = metric.help;
+    value.kind = metric.kind;
+    value.cls = metric.cls;
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        value.value = impl_->merged(metric.slot);
+        break;
+      case MetricKind::kGauge:
+        value.gauge = std::bit_cast<double>(
+            impl_->gauges[metric.gauge_index].load(
+                std::memory_order_relaxed));
+        break;
+      case MetricKind::kHistogram: {
+        value.bucket_bounds = metric.bounds;
+        value.bucket_counts.resize(metric.bounds.size() + 1);
+        for (std::size_t b = 0; b <= metric.bounds.size(); ++b) {
+          value.bucket_counts[b] =
+              impl_->merged(metric.slot + static_cast<std::uint32_t>(b));
+          value.count += value.bucket_counts[b];
+        }
+        value.sum_milli = static_cast<std::int64_t>(impl_->merged(
+            metric.slot + static_cast<std::uint32_t>(metric.bounds.size()) +
+            1));
+        break;
+      }
+    }
+    out.push_back(std::move(value));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string MetricsRegistry::scrape_json() const {
+  const std::vector<MetricValue> values = scrape();
+  std::string out = "{\n  \"metrics\": [\n";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const MetricValue& v = values[i];
+    out += "    {\"name\": \"";
+    json_escape_into(out, v.name);
+    out += "\", \"kind\": \"";
+    out += to_string(v.kind);
+    out += "\", \"class\": \"";
+    out += to_string(v.cls);
+    out += "\"";
+    switch (v.kind) {
+      case MetricKind::kCounter:
+        out += ", \"value\": " + std::to_string(v.value);
+        break;
+      case MetricKind::kGauge:
+        out += ", \"value\": " + format_double(v.gauge);
+        break;
+      case MetricKind::kHistogram: {
+        out += ", \"count\": " + std::to_string(v.count);
+        out += ", \"sum_milli\": " + std::to_string(v.sum_milli);
+        out += ", \"buckets\": [";
+        for (std::size_t b = 0; b < v.bucket_counts.size(); ++b) {
+          if (b != 0) out += ", ";
+          out += "{\"le\": ";
+          out += b < v.bucket_bounds.size()
+                     ? format_double(v.bucket_bounds[b])
+                     : std::string("\"+Inf\"");
+          out += ", \"count\": " + std::to_string(v.bucket_counts[b]) + "}";
+        }
+        out += "]";
+        break;
+      }
+    }
+    if (!v.help.empty()) {
+      out += ", \"help\": \"";
+      json_escape_into(out, v.help);
+      out += "\"";
+    }
+    out += "}";
+    if (i + 1 < values.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+namespace {
+
+void prometheus_lines(std::string& out, const MetricValue& v) {
+  if (!v.help.empty()) {
+    out += "# HELP " + v.name + " " + v.help + "\n";
+  }
+  switch (v.kind) {
+    case MetricKind::kCounter:
+      out += "# TYPE " + v.name + " counter\n";
+      out += v.name + "_total " + std::to_string(v.value) + "\n";
+      break;
+    case MetricKind::kGauge:
+      out += "# TYPE " + v.name + " gauge\n";
+      out += v.name + " " + format_double(v.gauge) + "\n";
+      break;
+    case MetricKind::kHistogram: {
+      out += "# TYPE " + v.name + " histogram\n";
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < v.bucket_counts.size(); ++b) {
+        cumulative += v.bucket_counts[b];
+        out += v.name + "_bucket{le=\"";
+        out += b < v.bucket_bounds.size() ? format_double(v.bucket_bounds[b])
+                                          : std::string("+Inf");
+        out += "\"} " + std::to_string(cumulative) + "\n";
+      }
+      char sum[64];
+      std::snprintf(sum, sizeof sum, "%.3f",
+                    static_cast<double>(v.sum_milli) / 1000.0);
+      out += v.name + "_sum " + sum + "\n";
+      out += v.name + "_count " + std::to_string(v.count) + "\n";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::scrape_prometheus() const {
+  std::string out;
+  for (const MetricValue& v : scrape()) prometheus_lines(out, v);
+  return out;
+}
+
+std::string MetricsRegistry::semantic_snapshot() const {
+  std::string out;
+  for (const MetricValue& v : scrape()) {
+    if (v.cls != MetricClass::kSemantic) continue;
+    switch (v.kind) {
+      case MetricKind::kCounter:
+        out += v.name + " " + std::to_string(v.value) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += v.name + " " + format_double(v.gauge) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        for (std::size_t b = 0; b < v.bucket_counts.size(); ++b) {
+          out += v.name + "{le=";
+          out += b < v.bucket_bounds.size()
+                     ? format_double(v.bucket_bounds[b])
+                     : std::string("+Inf");
+          out += "} " + std::to_string(v.bucket_counts[b]) + "\n";
+        }
+        out += v.name + "_sum_milli " + std::to_string(v.sum_milli) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+MetricsRegistry& metrics() {
+  // Leaked on purpose: worker threads retire shards at thread exit, which
+  // may happen after static destruction began; a never-destroyed registry
+  // (paired with the live-registry table) makes that ordering safe.
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+}  // namespace anycast::obs

@@ -4,10 +4,32 @@
 #include <map>
 #include <set>
 
+#include "anycast/obs/metrics.hpp"
 #include "anycast/rng/random.hpp"
 
 namespace anycast::portscan {
 namespace {
+
+/// Port-scan instruments, flushed once per deployment scan.
+struct ScanInstruments {
+  obs::Counter deployments = obs::metrics().counter(
+      "portscan_deployments", obs::MetricClass::kSemantic,
+      "anycast deployments scanned");
+  obs::Counter prefixes_scanned = obs::metrics().counter(
+      "portscan_prefixes_scanned", obs::MetricClass::kSemantic,
+      "prefixes probed across all deployments");
+  obs::Counter prefixes_responsive = obs::metrics().counter(
+      "portscan_prefixes_responsive", obs::MetricClass::kSemantic,
+      "prefixes with at least one visible open port");
+  obs::Counter open_ports = obs::metrics().counter(
+      "portscan_open_ports", obs::MetricClass::kSemantic,
+      "distinct open ports summed over deployments");
+};
+
+const ScanInstruments& scan_instruments() {
+  static const ScanInstruments instruments;
+  return instruments;
+}
 
 bool port_visible(std::uint64_t seed, std::uint32_t slash24,
                   std::uint16_t port, double probability) {
@@ -61,6 +83,11 @@ DeploymentScan PortScanner::scan(const net::Deployment& deployment) const {
     }
     result.open_ports.push_back(hit);
   }
+  const ScanInstruments& in = scan_instruments();
+  in.deployments.inc();
+  in.prefixes_scanned.add(result.ips_scanned);
+  in.prefixes_responsive.add(result.ips_responsive);
+  in.open_ports.add(result.open_ports.size());
   return result;
 }
 

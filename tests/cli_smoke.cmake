@@ -3,11 +3,50 @@
 file(REMOVE_RECURSE ${WORK_DIR})
 file(MAKE_DIRECTORY ${WORK_DIR})
 
+# Pulls one counter value out of a JSON metrics scrape.
+function(metric_value json name out_var)
+  string(REGEX MATCH "\"name\": \"${name}\"[^\n]*\"value\": ([0-9]+)"
+         _match "${json}")
+  set(value "${CMAKE_MATCH_1}")  # copy: a later MATCHES clobbers it
+  if(NOT value MATCHES "^[0-9]+$")
+    message(FATAL_ERROR "metric ${name} missing from scrape")
+  endif()
+  set(${out_var} "${value}" PARENT_SCOPE)
+endfunction()
+
 execute_process(
   COMMAND ${ANYCASTD} census --out ${WORK_DIR}/c1 --vps 12 --unicast 400
+          --metrics-out ${WORK_DIR}/metrics.json --verbose
   RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "census failed (${rc}): ${out}${err}")
+endif()
+
+# --verbose prints the metrics table and the span tree.
+if(NOT out MATCHES "-- metrics ")
+  message(FATAL_ERROR "verbose census missing metrics table: ${out}")
+endif()
+if(NOT out MATCHES "census_probes_sent")
+  message(FATAL_ERROR "verbose table missing census counters: ${out}")
+endif()
+if(NOT out MATCHES "-- trace spans ")
+  message(FATAL_ERROR "verbose census missing span tree: ${out}")
+endif()
+if(NOT out MATCHES "resume_census")
+  message(FATAL_ERROR "span tree missing the census root span: ${out}")
+endif()
+
+# --metrics-out produced a JSON scrape with the census instruments.
+if(NOT EXISTS ${WORK_DIR}/metrics.json)
+  message(FATAL_ERROR "--metrics-out produced no file")
+endif()
+file(READ ${WORK_DIR}/metrics.json metrics_json)
+if(NOT metrics_json MATCHES "\"metrics\": \\[")
+  message(FATAL_ERROR "metrics scrape is not the expected JSON shape")
+endif()
+metric_value("${metrics_json}" census_probes_sent clean_sent)
+if(clean_sent EQUAL 0)
+  message(FATAL_ERROR "census scrape claims zero probes sent")
 endif()
 
 file(GLOB anc_files ${WORK_DIR}/c1/*.anc)
@@ -34,22 +73,67 @@ endif()
 
 execute_process(
   COMMAND ${ANYCASTD} portscan --top 10 --unicast 100
+          --metrics-out ${WORK_DIR}/portscan.prom
   RESULT_VARIABLE rc OUTPUT_VARIABLE out)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "portscan failed (${rc})")
+endif()
+
+# A .prom suffix selects the Prometheus exposition format.
+file(READ ${WORK_DIR}/portscan.prom prom)
+if(NOT prom MATCHES "# TYPE portscan_deployments counter")
+  message(FATAL_ERROR "Prometheus scrape missing portscan counters")
+endif()
+if(NOT prom MATCHES "portscan_deployments_total [0-9]+")
+  message(FATAL_ERROR "Prometheus scrape missing counter sample")
+endif()
+
+# An unwritable --metrics-out path must fail fast with a clean error —
+# before any probing starts, so no census directory appears.
+execute_process(
+  COMMAND ${ANYCASTD} census --out ${WORK_DIR}/c3 --vps 2 --unicast 50
+          --metrics-out ${WORK_DIR}/no_such_dir/metrics.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unwritable --metrics-out path was not rejected")
+endif()
+if(NOT err MATCHES "cannot open --metrics-out path")
+  message(FATAL_ERROR "unwritable path error message missing: ${err}")
+endif()
+if(EXISTS ${WORK_DIR}/c3)
+  message(FATAL_ERROR "census ran despite an unwritable metrics path")
 endif()
 
 # Chaos leg: a fault-injected census must still produce one checkpoint per
 # VP, resume must repair the damage we do, and analyze must still work.
 execute_process(
   COMMAND ${ANYCASTD} census --out ${WORK_DIR}/c2 --vps 12 --unicast 400
-          --chaos --retries 2 --quarantine-drop 0.5
+          --chaos --outage-rate 0.9 --retries 2 --quarantine-drop 0.5
+          --metrics-out ${WORK_DIR}/chaos_metrics.json
   RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "chaos census failed (${rc}): ${out}${err}")
 endif()
 if(NOT out MATCHES "VP outcomes: [0-9]+ completed")
   message(FATAL_ERROR "chaos census missing outcome summary: ${out}")
+endif()
+
+# Exact probe accounting under chaos: every probe sent is answered,
+# rejected, organically timed out, or lost to an injected fault.
+file(READ ${WORK_DIR}/chaos_metrics.json chaos_json)
+metric_value("${chaos_json}" census_probes_sent sent)
+metric_value("${chaos_json}" census_replies_echo echo)
+metric_value("${chaos_json}" census_replies_prohibited prohibited)
+metric_value("${chaos_json}" census_timeouts_organic organic)
+metric_value("${chaos_json}" census_timeouts_injected injected)
+if(injected EQUAL 0)
+  message(FATAL_ERROR "outage-rate 0.9 chaos census injected no timeouts")
+endif()
+math(EXPR accounted "${echo} + ${prohibited} + ${organic} + ${injected}")
+if(NOT accounted EQUAL sent)
+  message(FATAL_ERROR "probe accounting broken: sent ${sent} != "
+          "echo ${echo} + prohibited ${prohibited} + organic ${organic} "
+          "+ injected ${injected} = ${accounted}")
 endif()
 
 file(GLOB chaos_files ${WORK_DIR}/c2/*.anc)

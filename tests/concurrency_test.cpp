@@ -8,7 +8,9 @@
 #include <filesystem>
 #include <fstream>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <string>
 #include <unistd.h>
 #include <vector>
 
@@ -21,6 +23,8 @@
 #include "anycast/geo/city_index.hpp"
 #include "anycast/net/fault.hpp"
 #include "anycast/net/platform.hpp"
+#include "anycast/obs/metrics.hpp"
+#include "anycast/portscan/scanner.hpp"
 
 namespace anycast {
 namespace {
@@ -613,6 +617,138 @@ TEST_F(ParallelResumeTest, ChaosCrashThenParallelResumeEqualsUninterrupted) {
         read_bytes(census::census_checkpoint_path(crash_dir, 1, vp.id));
     ASSERT_FALSE(clean_bytes.empty());
     EXPECT_EQ(clean_bytes, resumed_bytes) << "vp " << vp.id;
+  }
+}
+
+// --- Metrics determinism -----------------------------------------------------
+//
+// The observability layer's contract (DESIGN.md §10): every kSemantic
+// metric is byte-identical across thread counts and across crash+resume.
+// kTiming metrics are allowed to vary, but only the ones on the declared
+// allowlist below — an undeclared timing metric, or an allowlisted name
+// that went missing or changed class, fails loudly.
+
+std::string census_snapshot(ThreadPool* pool, const net::FaultPlan* plan) {
+  obs::metrics().reset();
+  Greylist blacklist;
+  (void)census_with(pool, plan, blacklist);
+  return obs::metrics().semantic_snapshot();
+}
+
+TEST(MetricsDeterminism, SemanticSnapshotIdenticalAcrossThreadCounts) {
+  std::string clean_serial;
+  for (const bool chaos : {false, true}) {
+    const net::FaultPlan plan = stormy_plan();
+    const net::FaultPlan* faults = chaos ? &plan : nullptr;
+    const std::string serial = census_snapshot(nullptr, faults);
+    ASSERT_NE(serial.find("census_probes_sent"), std::string::npos);
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      ThreadPool pool(threads);
+      EXPECT_EQ(census_snapshot(&pool, faults), serial)
+          << "chaos=" << chaos << " threads=" << threads;
+    }
+    if (!chaos) {
+      clean_serial = serial;
+    } else {
+      // Sanity: the snapshot actually sees the chaos (injected timeouts
+      // change the funnel), it is not just a constant string.
+      EXPECT_NE(serial, clean_serial);
+    }
+  }
+}
+
+TEST_F(ParallelResumeTest, SemanticSnapshotSurvivesCrashAndResume) {
+  // The resumed census must not only reproduce the *data* of its
+  // uninterrupted twin (ChaosCrashThenParallelResumeEqualsUninterrupted),
+  // but the exact same semantic metrics: reused checkpoints replay through
+  // the same flush chokepoint as live walks. Retries stay off — a replayed
+  // checkpoint cannot distinguish retry probes from first attempts.
+  const auto vps = net::make_planetlab({.node_count = 8, .seed = 91});
+  FastPingConfig config;
+  config.seed = 90;
+
+  obs::metrics().reset();
+  Greylist blacklist_clean;
+  const ResumeReport clean =
+      resume_census(tiny_world(), vps, tiny_hitlist(), blacklist_clean,
+                    config, dir_ / "clean", /*census_id=*/1);
+  const std::string clean_snapshot = obs::metrics().semantic_snapshot();
+  ASSERT_NE(clean_snapshot.find("census_rtt_ms"), std::string::npos);
+
+  net::FaultSpec spec;
+  spec.crash_rate = 0.5;
+  const net::FaultPlan plan(spec);
+  const fs::path crash_dir = dir_ / "crashed";
+  ThreadPool pool(8);
+  Greylist blacklist_crash;
+  const ResumeReport crashed = resume_census(
+      tiny_world(), vps, tiny_hitlist(), blacklist_crash, config, crash_dir,
+      /*census_id=*/1, &plan, &pool);
+  ASSERT_GT(
+      crashed.output.summary.outcome_count(census::VpOutcome::kCrashed), 0u);
+
+  obs::metrics().reset();
+  Greylist blacklist_resume;
+  const ResumeReport resumed = resume_census(
+      tiny_world(), vps, tiny_hitlist(), blacklist_resume, config, crash_dir,
+      /*census_id=*/1, /*faults=*/nullptr, &pool);
+  EXPECT_GT(resumed.vps_reused, 0u);
+  EXPECT_EQ(obs::metrics().semantic_snapshot(), clean_snapshot);
+}
+
+TEST_F(ParallelResumeTest, TimingMetricsAreExactlyTheDeclaredAllowlist) {
+  // Drive every instrumented stage once so all instruments are registered,
+  // then check the classification of each registered metric against the
+  // declared list. A new wall-clock/scheduling/run-history metric must be
+  // added HERE as well as classified kTiming at its registration — the
+  // two declarations cross-check each other.
+  const auto vps = net::make_planetlab({.node_count = 4, .seed = 91});
+  FastPingConfig config;
+  config.seed = 90;
+  ThreadPool pool(2);
+  Greylist blacklist;
+  const ResumeReport report =
+      resume_census(tiny_world(), vps, tiny_hitlist(), blacklist, config,
+                    dir_, /*census_id=*/1, /*faults=*/nullptr, &pool);
+  const analysis::CensusAnalyzer analyzer(vps, geo::world_index());
+  (void)analyzer.analyze(report.output.data, tiny_hitlist(), 2, &pool);
+  const portscan::PortScanner scanner(tiny_world());
+  (void)scanner.scan(tiny_world().deployments().front());
+
+  const std::set<std::string> allowlist{
+      "census_blacklist_skips",
+      "census_vp_duration_hours",
+      "checkpoint_read_failures",
+      "checkpoint_reads_ok",
+      "checkpoint_salvages",
+      "checkpoint_write_bytes",
+      "checkpoint_writes",
+      "pool_helper_dispatches",
+      "pool_indices_by_caller",
+      "pool_indices_by_helpers",
+      "pool_lane_busy_ms",
+      "pool_parallel_ops",
+      "resume_files_salvaged",
+      "resume_vps_rerun",
+      "resume_vps_reused",
+  };
+  std::set<std::string> seen_timing;
+  for (const obs::MetricValue& value : obs::metrics().scrape()) {
+    if (value.cls == obs::MetricClass::kTiming) {
+      EXPECT_TRUE(allowlist.contains(value.name))
+          << "metric '" << value.name
+          << "' is kTiming but not on the declared allowlist";
+      seen_timing.insert(value.name);
+    } else {
+      EXPECT_FALSE(allowlist.contains(value.name))
+          << "metric '" << value.name
+          << "' is allowlisted as timing but registered kSemantic";
+    }
+  }
+  for (const std::string& name : allowlist) {
+    EXPECT_TRUE(seen_timing.contains(name))
+        << "allowlisted timing metric '" << name
+        << "' was never registered — renamed or dropped?";
   }
 }
 

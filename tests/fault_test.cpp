@@ -12,6 +12,7 @@
 #include "anycast/census/storage.hpp"
 #include "anycast/net/fault.hpp"
 #include "anycast/net/platform.hpp"
+#include "anycast/obs/metrics.hpp"
 
 namespace anycast::census {
 namespace {
@@ -319,6 +320,46 @@ TEST(CensusFaults, FaultsOnlyDegradeCounters) {
                                          blacklist_b, base_config(), &plan);
   EXPECT_LE(faulty.summary.echo_replies, healthy.summary.echo_replies);
   EXPECT_LE(faulty.summary.probes_sent, healthy.summary.probes_sent);
+}
+
+TEST(CensusFaults, MetricsAccountEveryProbeExactly) {
+  // The scraped funnel balances to the probe: every probe sent is either
+  // answered (echo), rejected (prohibited/admin-filtered), organically
+  // timed out, or timed out by an injected fault — no probe unaccounted,
+  // none double-counted. The outage plan guarantees the injected term is
+  // exercised, not trivially zero.
+  net::FaultSpec spec;
+  spec.outage_rate = 1.0;
+  const net::FaultPlan plan(spec);
+  const auto vps = net::make_planetlab({.node_count = 8, .seed = 91});
+
+  obs::metrics().reset();
+  Greylist blacklist;
+  const CensusOutput output = run_census(tiny_world(), vps, tiny_hitlist(),
+                                         blacklist, base_config(), &plan);
+
+  const auto values = obs::metrics().scrape();
+  const auto get = [&values](std::string_view name) -> std::uint64_t {
+    for (const obs::MetricValue& value : values) {
+      if (value.name == name) return value.value;
+    }
+    ADD_FAILURE() << "metric not registered: " << name;
+    return 0;
+  };
+  const std::uint64_t sent = get("census_probes_sent");
+  const std::uint64_t echo = get("census_replies_echo");
+  const std::uint64_t prohibited = get("census_replies_prohibited");
+  const std::uint64_t organic = get("census_timeouts_organic");
+  const std::uint64_t injected = get("census_timeouts_injected");
+  EXPECT_GT(sent, 0u);
+  EXPECT_GT(injected, 0u) << "outage plan should inject timeouts";
+  EXPECT_EQ(sent, echo + prohibited + organic + injected);
+  // The scrape and the census's own summary agree term by term.
+  EXPECT_EQ(sent, output.summary.probes_sent);
+  EXPECT_EQ(echo, output.summary.echo_replies);
+  EXPECT_EQ(prohibited, output.summary.errors);
+  EXPECT_EQ(organic + injected, output.summary.timeouts);
+  EXPECT_EQ(injected, output.summary.injected_timeouts);
 }
 
 // --- checkpoint / resume -----------------------------------------------------

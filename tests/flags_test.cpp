@@ -49,6 +49,21 @@ TEST(Flags, PositionalArguments) {
   EXPECT_EQ(flags.positional()[1], "extra");
 }
 
+TEST(Flags, MetricsOutAndVerboseParseBothSpellings) {
+  // The observability flags of anycastd: --metrics-out takes a path (in
+  // either --flag value or --flag=value form) and --verbose is boolean.
+  const Flags spaced =
+      parse({"census", "--metrics-out", "run/metrics.json", "--verbose"});
+  EXPECT_EQ(spaced.get("metrics-out"), "run/metrics.json");
+  EXPECT_TRUE(spaced.get_bool("verbose"));
+
+  const Flags equals = parse({"census", "--metrics-out=run/metrics.prom"});
+  EXPECT_EQ(equals.get("metrics-out"), "run/metrics.prom");
+  EXPECT_FALSE(equals.get_bool("verbose"));
+  ASSERT_EQ(equals.positional().size(), 1u);
+  EXPECT_EQ(equals.positional()[0], "census");
+}
+
 TEST(Flags, UnknownFlagsReportedOnlyIfNeverQueried) {
   const Flags flags = parse({"--seed", "1", "--typo", "x"});
   (void)flags.get("seed");

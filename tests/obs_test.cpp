@@ -1,0 +1,323 @@
+// Unit tests for the observability layer: the sharded metrics registry
+// (merge correctness, histogram bucket edges, scrape determinism,
+// concurrent increments — run under TSAN via tools/run_sanitizers.sh) and
+// the trace span tree (nesting, cross-thread adoption, orphan handling).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "anycast/obs/metrics.hpp"
+#include "anycast/obs/trace.hpp"
+
+namespace {
+
+using anycast::obs::Counter;
+using anycast::obs::Gauge;
+using anycast::obs::Histogram;
+using anycast::obs::MetricClass;
+using anycast::obs::MetricKind;
+using anycast::obs::MetricsRegistry;
+using anycast::obs::MetricValue;
+using anycast::obs::Span;
+using anycast::obs::SpanRecord;
+
+const MetricValue* find(const std::vector<MetricValue>& values,
+                        std::string_view name) {
+  for (const MetricValue& v : values) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+TEST(MetricsRegistry, CounterAccumulatesAndScrapes) {
+  MetricsRegistry registry;
+  const Counter c = registry.counter("test_counter", MetricClass::kSemantic,
+                                     "a counter");
+  c.inc();
+  c.add(41);
+  const auto values = registry.scrape();
+  const MetricValue* v = find(values, "test_counter");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->kind, MetricKind::kCounter);
+  EXPECT_EQ(v->cls, MetricClass::kSemantic);
+  EXPECT_EQ(v->value, 42u);
+  EXPECT_EQ(v->help, "a counter");
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotentByName) {
+  MetricsRegistry registry;
+  const Counter a = registry.counter("same", MetricClass::kSemantic);
+  const Counter b = registry.counter("same", MetricClass::kSemantic);
+  a.add(1);
+  b.add(2);
+  const auto values = registry.scrape();
+  EXPECT_EQ(find(values, "same")->value, 3u);
+}
+
+TEST(MetricsRegistry, ReRegisteringDifferentlyThrows) {
+  MetricsRegistry registry;
+  (void)registry.counter("clash", MetricClass::kSemantic);
+  EXPECT_THROW((void)registry.counter("clash", MetricClass::kTiming),
+               std::logic_error);
+  EXPECT_THROW((void)registry.gauge("clash", MetricClass::kSemantic),
+               std::logic_error);
+  (void)registry.histogram("h", MetricClass::kSemantic, {1.0, 2.0});
+  EXPECT_THROW(
+      (void)registry.histogram("h", MetricClass::kSemantic, {1.0, 3.0}),
+      std::logic_error);
+}
+
+TEST(MetricsRegistry, BadNamesAndBoundsThrow) {
+  MetricsRegistry registry;
+  EXPECT_THROW((void)registry.counter("", MetricClass::kSemantic),
+               std::logic_error);
+  EXPECT_THROW((void)registry.counter("has space", MetricClass::kSemantic),
+               std::logic_error);
+  EXPECT_THROW(
+      (void)registry.histogram("unsorted", MetricClass::kSemantic,
+                               {2.0, 1.0}),
+      std::logic_error);
+  EXPECT_THROW(
+      (void)registry.histogram("empty", MetricClass::kSemantic, {}),
+      std::logic_error);
+}
+
+TEST(MetricsRegistry, GaugeIsLastWriteWins) {
+  MetricsRegistry registry;
+  const Gauge g = registry.gauge("test_gauge", MetricClass::kTiming);
+  g.set(1.5);
+  g.set(-2.25);
+  const auto values = registry.scrape();
+  EXPECT_DOUBLE_EQ(find(values, "test_gauge")->gauge, -2.25);
+}
+
+TEST(MetricsRegistry, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  MetricsRegistry registry;
+  const Histogram h = registry.histogram(
+      "edges", MetricClass::kSemantic, {1.0, 2.0, 4.0});
+  // Prometheus `le` semantics: value <= bound lands in that bucket.
+  h.observe(0.5);   // bucket[0] (le 1)
+  h.observe(1.0);   // bucket[0] — edge is inclusive
+  h.observe(1.001); // bucket[1]
+  h.observe(2.0);   // bucket[1]
+  h.observe(4.0);   // bucket[2]
+  h.observe(4.001); // overflow
+  h.observe(100.0); // overflow
+  const auto values = registry.scrape();
+  const MetricValue* v = find(values, "edges");
+  ASSERT_NE(v, nullptr);
+  ASSERT_EQ(v->bucket_counts.size(), 4u);
+  EXPECT_EQ(v->bucket_counts[0], 2u);
+  EXPECT_EQ(v->bucket_counts[1], 2u);
+  EXPECT_EQ(v->bucket_counts[2], 1u);
+  EXPECT_EQ(v->bucket_counts[3], 2u);
+  EXPECT_EQ(v->count, 7u);
+  // Fixed-point milli sum: 0.5+1+1.001+2+4+4.001+100 = 112.502
+  EXPECT_EQ(v->sum_milli, 112502);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsMergeExactly) {
+  MetricsRegistry registry;
+  const Counter c = registry.counter("spam", MetricClass::kSemantic);
+  const Histogram h =
+      registry.histogram("spam_h", MetricClass::kSemantic, {10.0, 100.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.observe(static_cast<double>(t));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const auto values = registry.scrape();
+  EXPECT_EQ(find(values, "spam")->value,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(find(values, "spam_h")->count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Threads came and went: their shards were retired, not lost.
+  EXPECT_GE(registry.shard_count(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(MetricsRegistry, SemanticSnapshotExcludesTimingAndIsStableText) {
+  MetricsRegistry registry;
+  registry.counter("b_semantic", MetricClass::kSemantic).add(7);
+  registry.counter("a_timing", MetricClass::kTiming).add(9);
+  registry
+      .histogram("c_hist", MetricClass::kSemantic, {1.0, 2.0})
+      .observe(1.5);
+  const std::string snapshot = registry.semantic_snapshot();
+  EXPECT_NE(snapshot.find("b_semantic 7"), std::string::npos);
+  EXPECT_EQ(snapshot.find("a_timing"), std::string::npos);
+  EXPECT_NE(snapshot.find("c_hist{le=2} 1"), std::string::npos);
+  // Same state scraped twice is byte-identical.
+  EXPECT_EQ(snapshot, registry.semantic_snapshot());
+}
+
+TEST(MetricsRegistry, ScrapeIsSortedByName) {
+  MetricsRegistry registry;
+  (void)registry.counter("zzz", MetricClass::kSemantic);
+  (void)registry.counter("aaa", MetricClass::kSemantic);
+  const auto values = registry.scrape();
+  ASSERT_TRUE(std::is_sorted(values.begin(), values.end(),
+                             [](const MetricValue& a, const MetricValue& b) {
+                               return a.name < b.name;
+                             }));
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  const Counter c = registry.counter("resettable", MetricClass::kSemantic);
+  c.add(5);
+  registry.reset();
+  const auto after_reset = registry.scrape();
+  EXPECT_EQ(find(after_reset, "resettable")->value, 0u);
+  c.add(2);
+  const auto after_add = registry.scrape();
+  EXPECT_EQ(find(after_add, "resettable")->value, 2u);
+}
+
+TEST(MetricsRegistry, DisabledRegistryDropsWrites) {
+  MetricsRegistry registry;
+  const Counter c = registry.counter("muted", MetricClass::kSemantic);
+  registry.set_enabled(false);
+  c.add(100);
+  registry.set_enabled(true);
+  c.add(1);
+  const auto values = registry.scrape();
+  EXPECT_EQ(find(values, "muted")->value, 1u);
+}
+
+TEST(MetricsRegistry, JsonAndPrometheusCarryEveryMetric) {
+  MetricsRegistry registry;
+  registry.counter("c1", MetricClass::kSemantic).add(3);
+  registry.gauge("g1", MetricClass::kTiming).set(1.5);
+  registry.histogram("h1", MetricClass::kSemantic, {1.0}).observe(0.5);
+  const std::string json = registry.scrape_json();
+  EXPECT_NE(json.find("\"name\": \"c1\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"g1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"h1\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\": \"+Inf\""), std::string::npos);
+  const std::string prom = registry.scrape_prometheus();
+  EXPECT_NE(prom.find("# TYPE c1 counter"), std::string::npos);
+  EXPECT_NE(prom.find("c1_total 3"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE h1 histogram"), std::string::npos);
+  EXPECT_NE(prom.find("h1_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("h1_count 1"), std::string::npos);
+}
+
+// --- Trace spans ----------------------------------------------------------
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { anycast::obs::trace().reset(); }
+};
+
+const SpanRecord* find_span(const std::vector<SpanRecord>& records,
+                            std::string_view name) {
+  for (const SpanRecord& r : records) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+TEST_F(TraceTest, LexicalNestingParentsInnerToOuter) {
+  {
+    const Span outer("outer");
+    {
+      const Span inner("inner");
+      (void)inner;
+    }
+    (void)outer;
+  }
+  const auto records = anycast::obs::trace().finished();
+  const SpanRecord* outer = find_span(records, "outer");
+  const SpanRecord* inner = find_span(records, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->parent, 0u);
+  EXPECT_EQ(inner->parent, outer->id);
+  EXPECT_FALSE(inner->adopted);
+  EXPECT_GE(inner->duration_ns, 0);
+}
+
+TEST_F(TraceTest, WorkerSpansAreAdoptedByTheRootSpan) {
+  {
+    const Span root(Span::Root::kAdoptionPoint, "fanout");
+    std::thread worker([] {
+      const Span task("task", 7);
+      (void)task;
+    });
+    worker.join();
+  }
+  const auto records = anycast::obs::trace().finished();
+  const SpanRecord* root = find_span(records, "fanout");
+  const SpanRecord* task = find_span(records, "task");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(task, nullptr);
+  EXPECT_EQ(task->parent, root->id);
+  EXPECT_TRUE(task->adopted);
+  EXPECT_EQ(task->label, 7u);
+  EXPECT_EQ(anycast::obs::trace().orphans(), 0u);
+}
+
+TEST_F(TraceTest, SpansWithNoParentAnywhereAreCountedAsOrphans) {
+  std::thread worker([] {
+    const Span lonely("lonely");
+    (void)lonely;
+  });
+  worker.join();
+  const auto records = anycast::obs::trace().finished();
+  const SpanRecord* lonely = find_span(records, "lonely");
+  ASSERT_NE(lonely, nullptr);
+  EXPECT_EQ(lonely->parent, 0u);
+  EXPECT_EQ(anycast::obs::trace().orphans(), 1u);
+}
+
+TEST_F(TraceTest, CapacityCapDropsAndCounts) {
+  anycast::obs::trace().set_capacity(2);
+  for (int i = 0; i < 5; ++i) {
+    const Span s("burst", static_cast<std::uint64_t>(i));
+    (void)s;
+  }
+  EXPECT_EQ(anycast::obs::trace().finished().size(), 2u);
+  EXPECT_EQ(anycast::obs::trace().dropped(), 3u);
+  anycast::obs::trace().set_capacity(16384);  // restore the default
+}
+
+TEST_F(TraceTest, RenderTreeIndentsChildren) {
+  {
+    const Span outer("phase");
+    const Span inner("step", 3);
+    (void)outer;
+    (void)inner;
+  }
+  const std::string tree = anycast::obs::trace().render_tree();
+  EXPECT_NE(tree.find("phase"), std::string::npos);
+  EXPECT_NE(tree.find("  step[3]"), std::string::npos);
+}
+
+TEST_F(TraceTest, SpansJsonListsEverySpan) {
+  {
+    const Span a("alpha");
+    (void)a;
+  }
+  {
+    const Span b("beta", 2);
+    (void)b;
+  }
+  const std::string json = anycast::obs::trace().spans_json();
+  EXPECT_NE(json.find("\"name\": \"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"beta\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\": 2"), std::string::npos);
+}
+
+}  // namespace

@@ -39,6 +39,8 @@
 #include "anycast/geo/city_index.hpp"
 #include "anycast/net/fault.hpp"
 #include "anycast/net/platform.hpp"
+#include "anycast/obs/metrics.hpp"
+#include "anycast/obs/trace.hpp"
 #include "anycast/portscan/scanner.hpp"
 #include "flags.hpp"
 
@@ -55,6 +57,10 @@ constexpr tools::FlagHelp kCommonFlags[] = {
     {"threads", "N",
      "worker threads for census/analyze/diff (default: all cores; "
      "1 = serial; output is identical for any value)"},
+    {"metrics-out", "FILE",
+     "write the pipeline metrics scrape on exit (JSON, or Prometheus "
+     "text when FILE ends in .prom); FILE must be writable up front"},
+    {"verbose", "", "print a metrics summary table and span tree on exit"},
 };
 
 constexpr tools::FlagHelp kCensusFlags[] = {
@@ -386,6 +392,69 @@ int cmd_diff(const Flags& flags) {
   return 0;
 }
 
+/// Proves --metrics-out is writable before any probing starts: a census
+/// that runs for hours and then cannot save its scrape is the worst
+/// failure mode. Truncates/creates the file; the real scrape overwrites
+/// it on exit.
+int validate_metrics_out(const std::string& path) {
+  std::FILE* probe = std::fopen(path.c_str(), "wb");
+  if (probe == nullptr) {
+    std::fprintf(stderr,
+                 "anycastd: cannot open --metrics-out path for writing: "
+                 "%s\n",
+                 path.c_str());
+    return 2;
+  }
+  std::fclose(probe);
+  return 0;
+}
+
+int write_metrics_out(const std::string& path) {
+  const std::string body =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0
+          ? obs::metrics().scrape_prometheus()
+          : obs::metrics().scrape_json();
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr ||
+      std::fwrite(body.data(), 1, body.size(), out) != body.size()) {
+    if (out != nullptr) std::fclose(out);
+    std::fprintf(stderr, "anycastd: failed writing metrics to %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::fclose(out);
+  return 0;
+}
+
+void print_verbose_summary() {
+  std::printf("\n-- metrics %s\n", std::string(48, '-').c_str());
+  for (const obs::MetricValue& v : obs::metrics().scrape()) {
+    switch (v.kind) {
+      case obs::MetricKind::kCounter:
+        std::printf("%-34s %20llu\n", v.name.c_str(),
+                    static_cast<unsigned long long>(v.value));
+        break;
+      case obs::MetricKind::kGauge:
+        std::printf("%-34s %20.3f\n", v.name.c_str(), v.gauge);
+        break;
+      case obs::MetricKind::kHistogram:
+        std::printf("%-34s %12llu obs, sum %.1f\n", v.name.c_str(),
+                    static_cast<unsigned long long>(v.count),
+                    static_cast<double>(v.sum_milli) / 1000.0);
+        break;
+    }
+  }
+  const std::string tree = obs::trace().render_tree();
+  if (!tree.empty()) {
+    std::printf("-- trace spans %s\n%s", std::string(44, '-').c_str(),
+                tree.c_str());
+    if (obs::trace().dropped() > 0) {
+      std::printf("(%zu spans dropped at capacity)\n",
+                  obs::trace().dropped());
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -393,11 +462,28 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const auto flags = Flags::parse(argc, argv, 2);
   if (!flags.has_value()) return usage();
-  if (command == "world") return cmd_world(*flags);
-  if (command == "census") return cmd_census(*flags, /*resume=*/false);
-  if (command == "resume") return cmd_census(*flags, /*resume=*/true);
-  if (command == "analyze") return cmd_analyze(*flags);
-  if (command == "portscan") return cmd_portscan(*flags);
-  if (command == "diff") return cmd_diff(*flags);
-  return usage();
+
+  // Observability flags apply to every subcommand. The output path is
+  // validated before any work starts.
+  const auto metrics_out = flags->get("metrics-out");
+  const bool verbose = flags->get_bool("verbose");
+  if (metrics_out.has_value()) {
+    if (const int rc = validate_metrics_out(*metrics_out)) return rc;
+  }
+
+  int rc = 0;
+  if (command == "world") rc = cmd_world(*flags);
+  else if (command == "census") rc = cmd_census(*flags, /*resume=*/false);
+  else if (command == "resume") rc = cmd_census(*flags, /*resume=*/true);
+  else if (command == "analyze") rc = cmd_analyze(*flags);
+  else if (command == "portscan") rc = cmd_portscan(*flags);
+  else if (command == "diff") rc = cmd_diff(*flags);
+  else return usage();
+
+  if (metrics_out.has_value()) {
+    const int write_rc = write_metrics_out(*metrics_out);
+    if (rc == 0) rc = write_rc;
+  }
+  if (verbose) print_verbose_summary();
+  return rc;
 }

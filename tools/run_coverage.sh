@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Line-coverage gate: builds the tree with -DANYCAST_COVERAGE=ON (gcov
+# instrumentation), runs the full ctest suite, and prints per-target line
+# coverage for every library under src/. The build tree lives in
+# <repo>/build-coverage (gitignored).
+#
+#   tools/run_coverage.sh              # full suite
+#   tools/run_coverage.sh -R Metrics   # extra args go to ctest
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build-coverage"
+
+cmake -S "$repo" -B "$build" -DANYCAST_COVERAGE=ON \
+  -DCMAKE_BUILD_TYPE=Debug
+cmake --build "$build" -j "$(nproc)"
+
+# Stale counters from a previous run would inflate the numbers.
+find "$build" -name '*.gcda' -delete
+
+ctest --test-dir "$build" --output-on-failure "$@"
+
+echo
+echo "per-target line coverage (src/ libraries):"
+printf '  %-22s %10s %10s %8s\n' "target" "lines" "covered" "pct"
+
+total_lines=0
+total_covered=0
+for target_dir in "$build"/src/*/CMakeFiles/*.dir; do
+  [ -d "$target_dir" ] || continue
+  target="$(basename "$target_dir" .dir)"
+  lines=0
+  covered=0
+  # gcov prints "Lines executed:P% of N" per source file; sum the
+  # per-file tallies so headers shared between targets are not skipped.
+  while IFS= read -r gcda; do
+    summary="$(gcov -n -o "$(dirname "$gcda")" "$gcda" 2>/dev/null |
+               grep '^Lines executed:' | head -1)" || continue
+    [ -n "$summary" ] || continue
+    pct="$(printf '%s' "$summary" | sed 's/Lines executed:\([0-9.]*\)% of.*/\1/')"
+    n="$(printf '%s' "$summary" | sed 's/.* of //')"
+    c="$(awk -v p="$pct" -v n="$n" 'BEGIN { printf "%d", p * n / 100 + 0.5 }')"
+    lines=$((lines + n))
+    covered=$((covered + c))
+  done < <(find "$target_dir" -name '*.gcda')
+  [ "$lines" -gt 0 ] || continue
+  printf '  %-22s %10d %10d %7.1f%%\n' "$target" "$lines" "$covered" \
+    "$(awk -v c="$covered" -v l="$lines" 'BEGIN { print 100 * c / l }')"
+  total_lines=$((total_lines + lines))
+  total_covered=$((total_covered + covered))
+done
+
+if [ "$total_lines" -gt 0 ]; then
+  printf '  %-22s %10d %10d %7.1f%%\n' "TOTAL" "$total_lines" \
+    "$total_covered" \
+    "$(awk -v c="$total_covered" -v l="$total_lines" 'BEGIN { print 100 * c / l }')"
+else
+  echo "no .gcda files found — did the instrumented tests run?" >&2
+  exit 1
+fi
