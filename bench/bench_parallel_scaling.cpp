@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <new>
 #include <string>
 #include <vector>
@@ -26,7 +27,10 @@
 #endif
 
 #include "anycast/census/legacy_census.hpp"
+#include "anycast/obs/journal.hpp"
 #include "anycast/obs/metrics.hpp"
+#include "anycast/obs/progress.hpp"
+#include "anycast/obs/trace_export.hpp"
 #include "common.hpp"
 
 // ---- Heap-allocation accounting ---------------------------------------------
@@ -66,6 +70,34 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Process CPU time in seconds. Overhead comparisons on shared or
+/// single-core machines need this: wall-clock of an oversubscribed run
+/// swings ±10% with scheduler and frequency drift, far above a 3%
+/// budget, while added *work* shows up directly in CPU time.
+double cpu_seconds() {
+#if defined(__linux__) || defined(__APPLE__)
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return std::chrono::duration<double>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Median of a sample set (destructive on the copy). Used for paired
+/// overhead estimates where a single throttled round would dominate a
+/// mean or a best-of.
+double median_of(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return 0.5 * (values[mid - 1] + values[mid]);
 }
 
 // ---- RSS accounting ---------------------------------------------------------
@@ -456,6 +488,107 @@ int main() {
     std::printf("  WARNING: disabling metrics changed census output\n");
   }
 
+  // ---- Flight recorder overhead --------------------------------------------
+  //
+  // Full flight recorder riding along: journal recording on, a 50 ms
+  // progress heartbeat ticking (journal + counter sampling, no sink),
+  // versus the recorder fully off. Budget: journaling + heartbeat cost
+  // at most 3% of census CPU time at 8 threads, and the semantic
+  // journal text must be byte-identical round over round (the
+  // determinism contract under load). The estimate is the *median of
+  // per-round paired differences* on process CPU time: each round runs
+  // off-then-on back to back so slow machine drift hits both sides, and
+  // the median discards rounds where the container was throttled
+  // mid-pair.
+  bench::print_subtitle("flight recorder overhead (census, 8 threads)");
+  std::vector<double> recorded_cpu;
+  std::vector<double> unrecorded_cpu;
+  bool journal_same_output = true;
+  bool journal_deterministic = true;
+  std::uint64_t journal_drops = 0;
+  {
+    concurrency::ThreadPool pool(8);
+    Fingerprint baseline;
+    std::string journal_reference;
+    for (int round = 0; round < kOverheadRounds; ++round) {
+      for (const bool recording : {false, true}) {
+        obs::journal().reset();
+        obs::journal().set_recording(recording);
+        obs::counter_sampler().reset();
+        if (recording) {
+          obs::ProgressConfig progress_config;
+          progress_config.journal = &obs::journal();
+          progress_config.sampler = &obs::counter_sampler();
+          auto tracker =
+              std::make_shared<obs::ProgressTracker>(progress_config);
+          pool.start_heartbeat(
+              std::chrono::milliseconds(50),
+              [tracker](std::size_t done, std::size_t total) {
+                (void)tracker->tick(done, total);
+              });
+        }
+        census::Greylist blacklist;
+        census::FastPingConfig fastping;
+        fastping.seed = config.seed;
+        fastping.probe_rate_pps = config.probe_rate_pps;
+        fastping.vp_availability = config.vp_availability;
+        const double cpu_start = cpu_seconds();
+        const census::CensusOutput output = run_census(
+            internet, vps, hitlist, blacklist, fastping,
+            /*faults=*/nullptr, &pool);
+        const double cpu = cpu_seconds() - cpu_start;
+        pool.stop_heartbeat();
+        (recording ? recorded_cpu : unrecorded_cpu).push_back(cpu);
+        Fingerprint print;
+        print.probes = output.summary.probes_sent;
+        print.replies = output.summary.echo_replies;
+        print.responsive = output.data.responsive_targets(2);
+        print.greylisted = blacklist.size();
+        if (round == 0 && !recording) {
+          baseline = print;
+        } else if (!(print == baseline)) {
+          journal_same_output = false;
+        }
+        if (recording) {
+          journal_drops += obs::journal().events_dropped();
+          const std::string text = obs::journal().semantic_text();
+          if (journal_reference.empty()) {
+            journal_reference = text;
+          } else if (text != journal_reference) {
+            journal_deterministic = false;
+          }
+        }
+      }
+    }
+    obs::journal().set_recording(false);
+    obs::journal().reset();
+    obs::counter_sampler().reset();
+    obs::metrics().reset();
+  }
+  std::vector<double> journal_pairs;
+  for (std::size_t i = 0;
+       i < recorded_cpu.size() && i < unrecorded_cpu.size(); ++i) {
+    if (unrecorded_cpu[i] > 0.0) {
+      journal_pairs.push_back(recorded_cpu[i] / unrecorded_cpu[i] - 1.0);
+    }
+  }
+  const double journal_pct = median_of(journal_pairs) * 100.0;
+  const bool journal_ok = journal_pct <= 3.0 && journal_same_output &&
+                          journal_deterministic && journal_drops == 0;
+  std::printf("  %-24s %14.3f\n", "recorded med cpu s",
+              median_of(recorded_cpu));
+  std::printf("  %-24s %14.3f\n", "unrecorded med cpu s",
+              median_of(unrecorded_cpu));
+  std::printf("  %-24s %+13.2f%%  (budget 3%%: %s)\n", "overhead",
+              journal_pct, journal_ok ? "ok" : "OVER — OBS REGRESSION");
+  std::printf("  %-24s %14s\n", "semantic text stable",
+              journal_deterministic ? "yes" : "NO — DETERMINISM BUG");
+  std::printf("  %-24s %14llu\n", "events dropped",
+              static_cast<unsigned long long>(journal_drops));
+  if (!journal_same_output) {
+    std::printf("  WARNING: enabling the journal changed census output\n");
+  }
+
   std::FILE* json = std::fopen("BENCH_parallel.json", "w");
   if (json != nullptr) {
     std::fprintf(json,
@@ -464,11 +597,18 @@ int main() {
                  "  \"hardware_threads\": %zu,\n"
                  "  \"outputs_identical\": %s,\n"
                  "  \"obs_overhead_pct\": %.2f,\n"
-                 "  \"obs_overhead_within_budget\": %s,\n  \"results\": [\n",
+                 "  \"obs_overhead_within_budget\": %s,\n"
+                 "  \"journal_overhead_pct\": %.2f,\n"
+                 "  \"journal_overhead_within_budget\": %s,\n"
+                 "  \"journal_semantic_text_stable\": %s,\n"
+                 "  \"journal_events_dropped\": %llu,\n  \"results\": [\n",
                  hitlist.size(), vps.size(),
                  concurrency::default_thread_count(),
                  identical ? "true" : "false", overhead_pct,
-                 overhead_ok ? "true" : "false");
+                 overhead_ok ? "true" : "false", journal_pct,
+                 journal_ok ? "true" : "false",
+                 journal_deterministic ? "true" : "false",
+                 static_cast<unsigned long long>(journal_drops));
     for (std::size_t i = 0; i < samples.size(); ++i) {
       const Sample& sample = samples[i];
       std::fprintf(json,
@@ -527,5 +667,8 @@ int main() {
     std::fclose(json);
     std::printf("  wrote BENCH_columnar.json\n");
   }
-  return identical && same_result && fewer_allocs && overhead_ok ? 0 : 1;
+  return identical && same_result && fewer_allocs && overhead_ok &&
+                 journal_ok
+             ? 0
+             : 1;
 }

@@ -4,6 +4,7 @@
 
 #include "anycast/concurrency/thread_pool.hpp"
 #include "anycast/geodesy/disk.hpp"
+#include "anycast/obs/journal.hpp"
 #include "anycast/obs/metrics.hpp"
 #include "anycast/obs/trace.hpp"
 
@@ -126,26 +127,35 @@ std::vector<TargetOutcome> CensusAnalyzer::analyze(
   // Adoption point: range spans on worker threads attach here.
   const obs::Span sweep_span(obs::Span::Root::kAdoptionPoint, "analysis",
                              targets);
-  if (pool == nullptr || pool->thread_count() <= 1) {
-    return analyze_range(0, targets);
-  }
-
-  // Shard into contiguous row ranges balanced by stored-measurement
-  // weight via the CSR offset array (several per lane, so a dense range
-  // cannot straggle the whole sweep) and concatenate the per-shard
-  // outcomes in index order: element-identical to the serial sweep.
-  const auto ranges = concurrency::shard_ranges_weighted(
-      data.row_offsets().subspan(0, targets + 1), pool->thread_count() * 8);
-  auto shards = pool->parallel_map(ranges.size(), [&](std::size_t s) {
-    return analyze_range(ranges[s].first, ranges[s].second);
-  });
   std::vector<TargetOutcome> out;
-  std::size_t total = 0;
-  for (const auto& shard : shards) total += shard.size();
-  out.reserve(total);
-  for (auto& shard : shards) {
-    for (auto& outcome : shard) out.push_back(std::move(outcome));
+  if (pool == nullptr || pool->thread_count() <= 1) {
+    out = analyze_range(0, targets);
+  } else {
+    // Shard into contiguous row ranges balanced by stored-measurement
+    // weight via the CSR offset array (several per lane, so a dense range
+    // cannot straggle the whole sweep) and concatenate the per-shard
+    // outcomes in index order: element-identical to the serial sweep.
+    const auto ranges = concurrency::shard_ranges_weighted(
+        data.row_offsets().subspan(0, targets + 1),
+        pool->thread_count() * 8);
+    auto shards = pool->parallel_map(ranges.size(), [&](std::size_t s) {
+      return analyze_range(ranges[s].first, ranges[s].second);
+    });
+    std::size_t total = 0;
+    for (const auto& shard : shards) total += shard.size();
+    out.reserve(total);
+    for (auto& shard : shards) {
+      for (auto& outcome : shard) out.push_back(std::move(outcome));
+    }
   }
+  obs::Journal& j = obs::journal();
+  j.emit(obs::MetricClass::kSemantic, obs::Severity::kInfo,
+         "analysis.summary", j.next_order(),
+         {{"targets", targets},
+          {"min_vps", min_vps},
+          {"anycast", out.size()}});
+  j.commit();  // the sweep's end is a deterministic boundary, like a
+               // census reduction's
   return out;
 }
 

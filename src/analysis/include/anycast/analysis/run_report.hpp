@@ -1,0 +1,81 @@
+// Run reports: joining the flight recorder with the characterisation.
+//
+// `anycastd report` renders one document out of three sources — the
+// journal (what happened), the metrics registry (how much), and the
+// re-analyzed checkpoint directory (what it means, via
+// analysis/report.hpp) — plus a drift-diff mode that compares the
+// semantic event streams of two runs line by line. Because semantic
+// journal lines are byte-identical for identical pipeline inputs
+// (src/obs/journal.hpp), the first diverging line *is* the first place
+// two runs disagreed, which turns "these two censuses differ" from a
+// forensic project into one diff.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "anycast/analysis/report.hpp"
+#include "anycast/obs/metrics.hpp"
+
+namespace anycast::analysis {
+
+/// Aggregate view of one journal file (JSONL, as written by
+/// obs::Journal). Lines that do not parse as journal events are counted
+/// as malformed and otherwise ignored — a salvaged journal may end in
+/// noise the consistent-prefix trim already removed.
+struct JournalSummary {
+  std::size_t total_events = 0;
+  std::size_t semantic_events = 0;
+  std::size_t timing_events = 0;
+  std::size_t malformed_lines = 0;
+  std::map<std::string, std::size_t> by_key;
+  std::map<std::string, std::size_t> by_severity;
+  /// The last `census.summary` event line: the run's final funnel.
+  std::string last_census_summary;
+};
+
+JournalSummary summarize_journal(std::string_view journal_text);
+
+/// The journal's semantic lines, in file order — the comparable stream.
+std::vector<std::string> semantic_journal_lines(std::string_view text);
+
+/// First point where two semantic streams disagree.
+struct Divergence {
+  bool diverged = false;
+  std::size_t index = 0;      // 0-based line index of first divergence
+  std::string left;           // diverging line from A ("" = A ended)
+  std::string right;          // diverging line from B ("" = B ended)
+  std::size_t left_count = 0;   // semantic lines in A
+  std::size_t right_count = 0;  // semantic lines in B
+};
+
+/// Compares the semantic event streams of two journals (raw file text;
+/// timing lines are filtered out here). `diverged == false` means zero
+/// drift: every semantic line byte-identical.
+Divergence journal_drift(std::string_view journal_a,
+                         std::string_view journal_b);
+
+/// Extracts one field's raw token from a journal event line (the
+/// serialised field order is stable, but this searches by name). Returns
+/// "" when absent. Exposed for tests and report rendering.
+std::string journal_field(std::string_view line, std::string_view name);
+
+/// Inputs for a rendered run report; optional parts render as absent.
+struct RunReportInputs {
+  const CensusReport* census = nullptr;
+  const JournalSummary* journal = nullptr;
+  const obs::MetricsRegistry* registry = nullptr;  // semantic snapshot
+  std::size_t top_ases = 10;
+};
+
+/// Markdown run report: characterisation, flight-recorder digest, and
+/// semantic metrics snapshot.
+std::string render_run_report_markdown(const RunReportInputs& inputs);
+
+/// Same content as a JSON object.
+std::string render_run_report_json(const RunReportInputs& inputs);
+
+}  // namespace anycast::analysis

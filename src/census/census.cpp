@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "anycast/concurrency/thread_pool.hpp"
+#include "anycast/obs/journal.hpp"
 #include "anycast/obs/metrics.hpp"
 #include "anycast/obs/trace.hpp"
 #include "anycast/rng/distributions.hpp"
@@ -90,6 +91,28 @@ void flush_census_summary_metrics(const CensusSummary& summary) {
   in.vps_cut_off.add(summary.outcome_count(VpOutcome::kCutOff));
   in.vps_quarantined.add(summary.outcome_count(VpOutcome::kQuarantined));
   in.greylist_new.add(summary.greylist_new);
+
+  obs::Journal& j = obs::journal();
+  j.emit(obs::MetricClass::kSemantic, obs::Severity::kInfo, "census.summary",
+         j.next_order(),
+         {{"active_vps", summary.active_vps},
+          {"skipped", summary.outcome_count(VpOutcome::kSkipped)},
+          {"completed", summary.outcome_count(VpOutcome::kCompleted)},
+          {"crashed", summary.outcome_count(VpOutcome::kCrashed)},
+          {"cut_off", summary.outcome_count(VpOutcome::kCutOff)},
+          {"quarantined", summary.outcome_count(VpOutcome::kQuarantined)},
+          {"probes", summary.probes_sent},
+          {"echo", summary.echo_replies},
+          {"prohibited", summary.errors},
+          {"timeouts", summary.timeouts},
+          {"timeouts_injected", summary.injected_timeouts},
+          {"retry_probes", summary.retry_probes},
+          {"retry_recovered", summary.retry_recovered},
+          {"greylist_new", summary.greylist_new}});
+  // This is the deterministic boundary both run_census and resume_census
+  // end their reduction on: cut the semantic batch here and fsync, so the
+  // journal becomes durable alongside this census's checkpoints.
+  j.commit();
 }
 
 std::size_t CensusMatrix::responsive_targets(std::size_t min_vps) const {
@@ -382,7 +405,7 @@ CensusOutput run_census(const net::SimulatedInternet& internet,
     const obs::Span walk_span("vp_walk", vps[i].id);
     work.result = run_fastping(internet, vps[i], hitlist, blacklist,
                                work.greylist, config, faults);
-    flush_walk_metrics(work.result);
+    flush_walk_metrics(work.result, vps[i].id);
     work.fragment = vp_row_fragment(work.result, hitlist.size());
     // The reduction reads only the counters, the outcome, and the
     // fragment; drop the raw stream so the retained state per VP is the

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "anycast/net/fault.hpp"
+#include "anycast/obs/journal.hpp"
 #include "anycast/obs/metrics.hpp"
 #include "anycast/rng/distributions.hpp"
 #include "anycast/rng/lfsr.hpp"
@@ -73,7 +74,7 @@ double vp_drop_threshold(const net::VantagePoint& vp,
          u * (config.max_drop_threshold_pps - config.min_drop_threshold_pps);
 }
 
-void flush_walk_metrics(const FastPingResult& result) {
+void flush_walk_metrics(const FastPingResult& result, std::uint64_t vp_id) {
   const WalkInstruments& in = walk_instruments();
   in.walks.inc();
   in.probes_sent.add(result.probes_sent);
@@ -89,6 +90,24 @@ void flush_walk_metrics(const FastPingResult& result) {
     }
   }
   in.vp_duration_hours.observe(result.duration_hours);
+  // The walk's semantic journal event mirrors exactly the values flushed
+  // above (duration is wall-clock and stays out), so the event is as
+  // deterministic as the metrics: byte-identical across thread counts,
+  // and live == replayed through this same chokepoint.
+  obs::journal().emit(
+      obs::MetricClass::kSemantic,
+      result.outcome == VpOutcome::kCompleted ? obs::Severity::kInfo
+                                              : obs::Severity::kWarn,
+      "census.walk", vp_id,
+      {{"vp", vp_id},
+       {"probes", result.probes_sent},
+       {"echo", result.echo_replies},
+       {"prohibited", result.errors},
+       {"timeouts_organic", result.timeouts - result.injected_timeouts},
+       {"timeouts_injected", result.injected_timeouts},
+       {"retry_probes", result.retry_probes},
+       {"retry_recovered", result.retry_recovered},
+       {"outcome", to_string(result.outcome)}});
 }
 
 std::string_view to_string(VpOutcome outcome) {

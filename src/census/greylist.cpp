@@ -1,5 +1,7 @@
 #include "anycast/census/greylist.hpp"
 
+#include "anycast/obs/journal.hpp"
+
 namespace anycast::census {
 
 void Greylist::count(net::ReplyKind kind) {
@@ -18,8 +20,18 @@ bool Greylist::add(std::uint32_t slash24_index, net::ReplyKind kind) {
 }
 
 void Greylist::merge(const Greylist& other) {
+  const std::size_t before = members_.size();
   for (const auto& [member, kind] : other.members_) {
     if (members_.emplace(member, kind).second) count(kind);
+  }
+  // In the pipeline every merge happens on the reduction thread in VP
+  // order, so the reduction-sequence order key is deterministic.
+  if (obs::journal().recording()) {
+    obs::journal().emit(obs::MetricClass::kSemantic, obs::Severity::kInfo,
+                        "greylist.merge", obs::journal().next_order(),
+                        {{"added", members_.size() - before},
+                         {"from", other.members_.size()},
+                         {"size", members_.size()}});
   }
 }
 

@@ -110,12 +110,15 @@ FastPingResult run_fastping(const net::SimulatedInternet& internet,
 /// registry (obs::metrics()): probe/reply/timeout/retry counters plus the
 /// echo-RTT histogram, observed through the checkpoint codec's
 /// quantisation so a live walk and its replayed checkpoint report the
-/// same values. One call per walk — the probe loop itself touches only
+/// same values. Also emits the `census.walk` semantic journal event
+/// (ordered by `vp_id`, mirroring exactly the values flushed here — the
+/// flight recorder inherits this chokepoint's live == replayed
+/// guarantee). One call per walk — the probe loop itself touches only
 /// its walk-local `FastPingResult` tally, never a shared counter. Called
 /// by the census runner and the resume path (which also replays reused
 /// checkpoints through it); call it yourself only when driving
 /// `run_fastping` directly and wanting it metered.
-void flush_walk_metrics(const FastPingResult& result);
+void flush_walk_metrics(const FastPingResult& result, std::uint64_t vp_id);
 
 /// The reply-aggregation drop probability a VP with the given tolerance
 /// threshold suffers at a probing rate (exposed for tests and the probing

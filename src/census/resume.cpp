@@ -5,6 +5,7 @@
 
 #include "anycast/census/fastping.hpp"
 #include "anycast/concurrency/thread_pool.hpp"
+#include "anycast/obs/journal.hpp"
 #include "anycast/obs/metrics.hpp"
 #include "anycast/obs/trace.hpp"
 
@@ -145,10 +146,20 @@ ResumeReport resume_census(const net::SimulatedInternet& internet,
       write_census_file(path, header, work.result.observations);
       work.result.observations = quantised(work.result.observations);
     }
+    // The reuse-or-rerun decision is run-history dependent, so it is a
+    // kTiming event — real operational data, outside the semantic
+    // contract, exactly like the resume_* metrics below.
+    obs::journal().emit(obs::MetricClass::kTiming,
+                        work.salvaged ? obs::Severity::kWarn
+                                      : obs::Severity::kInfo,
+                        "resume.vp", vp.id,
+                        {{"vp", vp.id},
+                         {"reused", work.reused},
+                         {"salvaged", work.salvaged}});
     // Reused and rerun walks alike flush through the same chokepoint as a
     // live census (RTTs quantised either way), so the semantic snapshot
     // of a resumed census matches its uninterrupted twin byte for byte.
-    flush_walk_metrics(work.result);
+    flush_walk_metrics(work.result, vp.id);
     work.fragment = vp_row_fragment(work.result, hitlist.size());
     // The reduction reads only the counters, the outcome, and the
     // fragment; drop the raw stream so the retained state per VP is the

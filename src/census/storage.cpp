@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "anycast/obs/journal.hpp"
 #include "anycast/obs/metrics.hpp"
 
 namespace anycast::census {
@@ -164,6 +165,13 @@ void write_census_file(const std::filesystem::path& path,
   std::filesystem::rename(tmp, path);
   storage_instruments().writes.inc();
   storage_instruments().write_bytes.add(buffer.size());
+  // kTiming: which checkpoints get (re)written depends on run history.
+  obs::journal().emit(obs::MetricClass::kTiming, obs::Severity::kInfo,
+                      "checkpoint.write", header.vp_id,
+                      {{"vp", header.vp_id},
+                       {"census", header.census_id},
+                       {"bytes", buffer.size()},
+                       {"complete", (header.flags & kCensusFileComplete) != 0}});
 }
 
 std::optional<CensusFile> read_census_file(
@@ -218,6 +226,11 @@ std::optional<CensusFile> salvage_census_file(
   // A salvaged checkpoint is by definition not a complete walk.
   out.header.flags &= ~kCensusFileComplete;
   storage_instruments().salvages.inc();
+  obs::journal().emit(obs::MetricClass::kTiming, obs::Severity::kWarn,
+                      "checkpoint.salvage", out.header.vp_id,
+                      {{"vp", out.header.vp_id},
+                       {"census", out.header.census_id},
+                       {"records", out.observations.size()}});
   return out;
 }
 

@@ -15,6 +15,8 @@
 // tests/concurrency_test.cpp).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -76,6 +78,27 @@ class ThreadPool {
     return out;
   }
 
+  /// Work units (loop indices) completed and submitted so far, summed
+  /// over every `parallel_for` this pool has run — including the serial
+  /// inline path, so progress reporting is identical at any lane count.
+  /// Cheap enough to poll: two relaxed loads.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> progress() const {
+    return {op_done_.load(std::memory_order_relaxed),
+            op_total_.load(std::memory_order_relaxed)};
+  }
+
+  /// Starts a dedicated ticker thread invoking `on_tick(done, total)`
+  /// every `interval` until `stop_heartbeat()` (or destruction). The
+  /// ticker never runs pipeline work and only observes the progress
+  /// counters, so it cannot perturb what the lanes compute — the
+  /// determinism contract is untouched. One heartbeat at a time; calling
+  /// again replaces the previous one.
+  void start_heartbeat(std::chrono::milliseconds interval,
+                       std::function<void(std::size_t, std::size_t)> on_tick);
+
+  /// Stops and joins the ticker, if one is running. Idempotent.
+  void stop_heartbeat();
+
  private:
   void worker_loop();
   void post(std::function<void()> task);
@@ -85,6 +108,13 @@ class ThreadPool {
   std::condition_variable queue_cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
+
+  std::atomic<std::size_t> op_done_{0};
+  std::atomic<std::size_t> op_total_{0};
+  std::thread heartbeat_;
+  std::mutex heartbeat_mutex_;
+  std::condition_variable heartbeat_cv_;
+  bool heartbeat_stop_ = false;  // guarded by heartbeat_mutex_
 };
 
 /// Contiguous [begin, end) shards covering [0, n), at most `max_shards`

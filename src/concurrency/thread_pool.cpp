@@ -50,12 +50,47 @@ ThreadPool::ThreadPool(std::size_t thread_count) {
 }
 
 ThreadPool::~ThreadPool() {
+  stop_heartbeat();
   {
     const std::lock_guard lock(queue_mutex_);
     stop_ = true;
   }
   queue_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::start_heartbeat(
+    std::chrono::milliseconds interval,
+    std::function<void(std::size_t, std::size_t)> on_tick) {
+  stop_heartbeat();
+  {
+    const std::lock_guard lock(heartbeat_mutex_);
+    heartbeat_stop_ = false;
+  }
+  heartbeat_ = std::thread([this, interval, tick = std::move(on_tick)] {
+    std::unique_lock lock(heartbeat_mutex_);
+    while (true) {
+      if (heartbeat_cv_.wait_for(lock, interval,
+                                 [this] { return heartbeat_stop_; })) {
+        return;
+      }
+      // Tick outside the lock: a slow sink delays the next tick, never
+      // the stop/join handshake.
+      lock.unlock();
+      tick(op_done_.load(std::memory_order_relaxed),
+           op_total_.load(std::memory_order_relaxed));
+      lock.lock();
+    }
+  });
+}
+
+void ThreadPool::stop_heartbeat() {
+  {
+    const std::lock_guard lock(heartbeat_mutex_);
+    heartbeat_stop_ = true;
+  }
+  heartbeat_cv_.notify_all();
+  if (heartbeat_.joinable()) heartbeat_.join();
 }
 
 void ThreadPool::worker_loop() {
@@ -83,8 +118,12 @@ void ThreadPool::post(std::function<void()> task) {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  op_total_.fetch_add(n, std::memory_order_relaxed);
   if (workers_.empty() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i);
+      op_done_.fetch_add(1, std::memory_order_relaxed);
+    }
     return;
   }
 
@@ -101,8 +140,10 @@ void ThreadPool::parallel_for(std::size_t n,
   join.limit = n;
 
   // Returns the indices this lane claimed; the lane flushes its own tally
-  // once, so per-index work never touches a shared counter.
-  const auto claim_loop = [&fn, &join] {
+  // once, so per-index work never touches a shared metrics counter. (The
+  // progress counter is bumped per index — it feeds the live heartbeat,
+  // and at per-VP/per-shard granularity one relaxed add is noise.)
+  const auto claim_loop = [this, &fn, &join] {
     std::uint64_t claimed = 0;
     while (true) {
       const std::size_t i = join.next.fetch_add(1);
@@ -110,6 +151,7 @@ void ThreadPool::parallel_for(std::size_t n,
       ++claimed;
       try {
         fn(i);
+        op_done_.fetch_add(1, std::memory_order_relaxed);
       } catch (...) {
         {
           const std::lock_guard lock(join.error_mutex);

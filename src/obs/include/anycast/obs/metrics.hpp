@@ -176,4 +176,10 @@ class MetricsRegistry {
 /// threads retiring their shards at thread exit can never outlive it.
 MetricsRegistry& metrics();
 
+/// Prometheus exposition escaping, per the text-format spec: HELP text
+/// escapes `\` and newline; label values additionally escape `"`.
+/// Exposed so exposition tests can exercise them directly.
+[[nodiscard]] std::string prometheus_escape_help(std::string_view text);
+[[nodiscard]] std::string prometheus_escape_label(std::string_view text);
+
 }  // namespace anycast::obs

@@ -1,0 +1,61 @@
+// Observability: live progress heartbeat for long pipeline phases.
+//
+// A census over millions of targets runs for minutes to hours; the
+// heartbeat turns the metrics registry into periodic one-line snapshots
+// (VPs done, probes sent, reply/timeout rates, greylist feed, ETA)
+// without touching the probe hot path: each tick is one registry scrape
+// on a dedicated ticker thread. Ticks also feed the flight recorder —
+// a kTiming journal event per snapshot plus a counter-track sample for
+// the Perfetto export — and drain the journal's thread arenas, so a
+// long run streams its timing events instead of buffering them.
+//
+// Determinism: everything a tick does is read-only against the pipeline
+// (scrape + drain). Tick timing is wall-clock and therefore
+// nondeterministic, which is exactly why ticks flush but never commit
+// the journal — commit points stay at deterministic boundaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "anycast/obs/journal.hpp"
+#include "anycast/obs/metrics.hpp"
+#include "anycast/obs/trace_export.hpp"
+
+namespace anycast::obs {
+
+struct ProgressConfig {
+  const MetricsRegistry* registry = nullptr;  // nullptr = global metrics()
+  Journal* journal = nullptr;                 // optional: journal + drain
+  CounterSampler* sampler = nullptr;          // optional: Perfetto counters
+  std::FILE* sink = nullptr;                  // optional: line sink (stderr)
+  std::string phase = "census";
+};
+
+/// Formats and fans out heartbeat snapshots. Construction records the
+/// phase start; each `tick` reports against it. Safe to call from a
+/// single ticker thread while workers run.
+class ProgressTracker {
+ public:
+  explicit ProgressTracker(ProgressConfig config);
+
+  /// One heartbeat: builds the snapshot line for `done`/`total` work
+  /// units, writes it to the sink, journals a `progress.heartbeat`
+  /// kTiming event, samples counter tracks, and drains the journal.
+  /// Returns the line (tests assert on it directly).
+  std::string tick(std::size_t done, std::size_t total);
+
+  /// Same, with the elapsed clock injected — the deterministic entry
+  /// point `tick` delegates to.
+  std::string tick(std::size_t done, std::size_t total,
+                   double elapsed_seconds);
+
+  [[nodiscard]] std::size_t ticks() const { return ticks_; }
+
+ private:
+  ProgressConfig config_;
+  std::int64_t start_ns_ = 0;
+  std::size_t ticks_ = 0;
+};
+
+}  // namespace anycast::obs

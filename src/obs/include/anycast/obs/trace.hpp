@@ -54,8 +54,16 @@ class TraceCollector {
   /// JSON export: an array of span objects sorted by id.
   [[nodiscard]] std::string spans_json() const;
 
-  /// Indented text rendering of the span tree (for --verbose).
-  [[nodiscard]] std::string render_tree() const;
+  /// Indented text rendering of the span tree (for --verbose). Shows at
+  /// most `max_spans` spans (0 = the collector's capacity limit) and ends
+  /// with a summary footer whenever spans were omitted, dropped, or
+  /// orphaned — never a silent mid-tree cut.
+  [[nodiscard]] std::string render_tree(std::size_t max_spans = 0) const;
+
+  /// The steady-clock instant all SpanRecord::start_ns values are
+  /// relative to (collector construction or last reset). Exporters use it
+  /// to place samples from other sources on the same timeline.
+  [[nodiscard]] std::int64_t epoch_ns() const;
 
   /// Max finished spans retained before drops begin. Default 16384.
   void set_capacity(std::size_t capacity);

@@ -451,36 +451,74 @@ std::string MetricsRegistry::scrape_json() const {
   return out;
 }
 
+std::string prometheus_escape_help(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_escape_label(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 namespace {
 
 void prometheus_lines(std::string& out, const MetricValue& v) {
+  // Counters expose samples named `<family>_total`, and promtool requires
+  // the HELP/TYPE family name to match the sample family — so the family
+  // is `name_total`, not `name`.
+  const std::string family =
+      v.kind == MetricKind::kCounter ? v.name + "_total" : v.name;
   if (!v.help.empty()) {
-    out += "# HELP " + v.name + " " + v.help + "\n";
+    out += "# HELP " + family + " " + prometheus_escape_help(v.help) + "\n";
   }
   switch (v.kind) {
     case MetricKind::kCounter:
-      out += "# TYPE " + v.name + " counter\n";
-      out += v.name + "_total " + std::to_string(v.value) + "\n";
+      out += "# TYPE " + family + " counter\n";
+      out += family + " " + std::to_string(v.value) + "\n";
       break;
     case MetricKind::kGauge:
-      out += "# TYPE " + v.name + " gauge\n";
-      out += v.name + " " + format_double(v.gauge) + "\n";
+      out += "# TYPE " + family + " gauge\n";
+      out += family + " " + format_double(v.gauge) + "\n";
       break;
     case MetricKind::kHistogram: {
-      out += "# TYPE " + v.name + " histogram\n";
+      out += "# TYPE " + family + " histogram\n";
       std::uint64_t cumulative = 0;
       for (std::size_t b = 0; b < v.bucket_counts.size(); ++b) {
         cumulative += v.bucket_counts[b];
-        out += v.name + "_bucket{le=\"";
-        out += b < v.bucket_bounds.size() ? format_double(v.bucket_bounds[b])
-                                          : std::string("+Inf");
+        out += family + "_bucket{le=\"";
+        out += prometheus_escape_label(
+            b < v.bucket_bounds.size() ? format_double(v.bucket_bounds[b])
+                                       : std::string("+Inf"));
         out += "\"} " + std::to_string(cumulative) + "\n";
       }
       char sum[64];
       std::snprintf(sum, sizeof sum, "%.3f",
                     static_cast<double>(v.sum_milli) / 1000.0);
-      out += v.name + "_sum " + sum + "\n";
-      out += v.name + "_count " + std::to_string(v.count) + "\n";
+      out += family + "_sum " + sum + "\n";
+      out += family + "_count " + std::to_string(v.count) + "\n";
       break;
     }
   }

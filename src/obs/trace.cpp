@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstring>
 #include <mutex>
+#include <unordered_map>
 
 namespace anycast::obs {
 namespace {
@@ -51,6 +52,11 @@ std::size_t TraceCollector::orphans() const {
   return impl_->orphans;
 }
 
+std::int64_t TraceCollector::epoch_ns() const {
+  const std::lock_guard lock(impl_->mutex);
+  return impl_->epoch_ns;
+}
+
 void TraceCollector::set_capacity(std::size_t capacity) {
   const std::lock_guard lock(impl_->mutex);
   impl_->capacity = capacity;
@@ -93,8 +99,17 @@ std::string TraceCollector::spans_json() const {
   return out;
 }
 
-std::string TraceCollector::render_tree() const {
-  std::vector<SpanRecord> records = finished();
+std::string TraceCollector::render_tree(std::size_t max_spans) const {
+  std::size_t dropped = 0;
+  std::size_t orphans = 0;
+  std::vector<SpanRecord> records;
+  {
+    const std::lock_guard lock(impl_->mutex);
+    records = impl_->records;
+    dropped = impl_->dropped;
+    orphans = impl_->orphans;
+    if (max_spans == 0) max_spans = impl_->capacity;
+  }
   std::sort(records.begin(), records.end(),
             [](const SpanRecord& a, const SpanRecord& b) {
               return a.id < b.id;
@@ -102,21 +117,22 @@ std::string TraceCollector::render_tree() const {
   // Children lists by record position + 1; roots (and spans whose parent
   // record was dropped) render at depth 0.
   std::vector<std::vector<std::size_t>> children(records.size() + 1);
+  std::unordered_map<std::uint32_t, std::size_t> index_by_id;
+  index_by_id.reserve(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    index_by_id.emplace(records[i].id, i);
+  }
   std::string out;
   std::vector<std::size_t> roots;
   for (std::size_t i = 0; i < records.size(); ++i) {
     const std::uint32_t parent = records[i].parent;
-    bool attached = false;
-    if (parent != 0) {
-      for (std::size_t j = 0; j < records.size(); ++j) {
-        if (records[j].id == parent) {
-          children[j + 1].push_back(i);
-          attached = true;
-          break;
-        }
-      }
+    const auto it = parent != 0 ? index_by_id.find(parent)
+                                : index_by_id.end();
+    if (it != index_by_id.end()) {
+      children[it->second + 1].push_back(i);
+    } else {
+      roots.push_back(i);
     }
-    if (!attached) roots.push_back(i);
   }
   struct Frame {
     std::size_t index;
@@ -126,10 +142,12 @@ std::string TraceCollector::render_tree() const {
   for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
     stack.push_back(Frame{*it, 0});
   }
-  while (!stack.empty()) {
+  std::size_t shown = 0;
+  while (!stack.empty() && shown < max_spans) {
     const Frame frame = stack.back();
     stack.pop_back();
     const SpanRecord& r = records[frame.index];
+    ++shown;
     char line[256];
     std::snprintf(line, sizeof line, "%*s%s", frame.depth * 2, "",
                   r.name.c_str());
@@ -147,6 +165,15 @@ std::string TraceCollector::render_tree() const {
     for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
       stack.push_back(Frame{*it, frame.depth + 1});
     }
+  }
+  const std::size_t omitted = records.size() - shown;
+  if (omitted > 0 || dropped > 0 || orphans > 0) {
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "... %zu spans shown, %zu omitted, %zu dropped at "
+                  "capacity, %zu orphaned\n",
+                  shown, omitted, dropped, orphans);
+    out += line;
   }
   return out;
 }

@@ -79,10 +79,11 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "portscan failed (${rc})")
 endif()
 
-# A .prom suffix selects the Prometheus exposition format.
+# A .prom suffix selects the Prometheus exposition format. Counter TYPE
+# lines must declare the *_total family promtool expects.
 file(READ ${WORK_DIR}/portscan.prom prom)
-if(NOT prom MATCHES "# TYPE portscan_deployments counter")
-  message(FATAL_ERROR "Prometheus scrape missing portscan counters")
+if(NOT prom MATCHES "# TYPE portscan_deployments_total counter")
+  message(FATAL_ERROR "Prometheus scrape missing portscan counter family")
 endif()
 if(NOT prom MATCHES "portscan_deployments_total [0-9]+")
   message(FATAL_ERROR "Prometheus scrape missing counter sample")
@@ -166,4 +167,111 @@ if(NOT rc EQUAL 0)
 endif()
 if(NOT out MATCHES "anycast: [0-9]+ /24 in [0-9]+ ASes")
   message(FATAL_ERROR "chaos analyze output missing summary: ${out}")
+endif()
+
+# Flight recorder leg: a census with the journal, trace export, and live
+# progress on. The progress heartbeat goes to stderr; the journal is
+# JSONL with walk events; the trace is a Trace Event Format JSON object.
+execute_process(
+  COMMAND ${ANYCASTD} census --out ${WORK_DIR}/d1 --vps 12 --unicast 400
+          --threads 2 --journal-out ${WORK_DIR}/d1.jsonl
+          --trace-out ${WORK_DIR}/d1.trace.json --progress
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "flight recorder census failed (${rc}): ${out}${err}")
+endif()
+if(NOT err MATCHES "\\[census\\] [0-9]+/12 VPs")
+  message(FATAL_ERROR "--progress printed no heartbeat line: ${err}")
+endif()
+file(READ ${WORK_DIR}/d1.jsonl journal1)
+if(NOT journal1 MATCHES "\"key\":\"census.walk\"")
+  message(FATAL_ERROR "journal missing census.walk events")
+endif()
+if(NOT journal1 MATCHES "\"key\":\"census.summary\"")
+  message(FATAL_ERROR "journal missing the census.summary event")
+endif()
+file(READ ${WORK_DIR}/d1.trace.json trace1)
+if(NOT trace1 MATCHES "\"traceEvents\":")
+  message(FATAL_ERROR "trace export is not Trace Event Format JSON")
+endif()
+if(NOT trace1 MATCHES "resume_census")
+  message(FATAL_ERROR "trace export missing the census root span")
+endif()
+if(NOT trace1 MATCHES "\"otherData\":")
+  message(FATAL_ERROR "trace export missing the drop-accounting footer")
+endif()
+
+# Unwritable journal/trace paths must fail fast, before any probing.
+foreach(flag journal-out trace-out)
+  execute_process(
+    COMMAND ${ANYCASTD} census --out ${WORK_DIR}/d_reject --vps 2
+            --unicast 50 --${flag} ${WORK_DIR}/no_such_dir/out.file
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "unwritable --${flag} path was not rejected")
+  endif()
+  if(NOT err MATCHES "cannot open --${flag} path")
+    message(FATAL_ERROR "unwritable --${flag} error message missing: ${err}")
+  endif()
+  if(EXISTS ${WORK_DIR}/d_reject)
+    message(FATAL_ERROR "census ran despite an unwritable --${flag} path")
+  endif()
+endforeach()
+
+# Drift diff: the same census at a different thread count must journal a
+# byte-identical semantic stream — `report --diff` proves it (rc 0).
+execute_process(
+  COMMAND ${ANYCASTD} census --out ${WORK_DIR}/d2 --vps 12 --unicast 400
+          --threads 8 --journal-out ${WORK_DIR}/d2.jsonl
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "second flight recorder census failed (${rc})")
+endif()
+execute_process(
+  COMMAND ${ANYCASTD} report --diff ${WORK_DIR}/d1.jsonl
+          --against ${WORK_DIR}/d2.jsonl
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "identical runs reported drift (${rc}): ${out}${err}")
+endif()
+if(NOT out MATCHES "zero drift: [0-9]+ semantic events identical")
+  message(FATAL_ERROR "drift diff output malformed: ${out}")
+endif()
+
+# A chaos run's journal diverges from the clean run's — rc 3 and the
+# first diverging event printed from both sides.
+execute_process(
+  COMMAND ${ANYCASTD} census --out ${WORK_DIR}/d3 --vps 12 --unicast 400
+          --chaos --outage-rate 0.9 --journal-out ${WORK_DIR}/d3.jsonl
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "chaos journal census failed (${rc})")
+endif()
+execute_process(
+  COMMAND ${ANYCASTD} report --diff ${WORK_DIR}/d1.jsonl
+          --against ${WORK_DIR}/d3.jsonl
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "chaos drift not detected (rc ${rc}): ${out}")
+endif()
+if(NOT out MATCHES "DRIFT at semantic event [0-9]+")
+  message(FATAL_ERROR "drift report missing divergence point: ${out}")
+endif()
+
+# Run report: checkpoints + journal render as one Markdown document.
+execute_process(
+  COMMAND ${ANYCASTD} report --in ${WORK_DIR}/d1 --vps 12 --unicast 400
+          --journal ${WORK_DIR}/d1.jsonl
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "run report failed (${rc}): ${out}${err}")
+endif()
+foreach(section "# anycastd run report" "## Census characterisation"
+        "## Flight recorder" "## Semantic metrics snapshot")
+  if(NOT out MATCHES "${section}")
+    message(FATAL_ERROR "run report missing section '${section}': ${out}")
+  endif()
+endforeach()
+if(NOT out MATCHES "census.walk")
+  message(FATAL_ERROR "run report missing journal event table: ${out}")
 endif()

@@ -207,11 +207,174 @@ TEST(MetricsRegistry, JsonAndPrometheusCarryEveryMetric) {
   EXPECT_NE(json.find("\"name\": \"h1\""), std::string::npos);
   EXPECT_NE(json.find("\"le\": \"+Inf\""), std::string::npos);
   const std::string prom = registry.scrape_prometheus();
-  EXPECT_NE(prom.find("# TYPE c1 counter"), std::string::npos);
+  // Counter TYPE lines must name the *_total family, not the bare name:
+  // promtool rejects samples that do not belong to the declared family.
+  EXPECT_NE(prom.find("# TYPE c1_total counter"), std::string::npos);
+  EXPECT_EQ(prom.find("# TYPE c1 counter"), std::string::npos);
   EXPECT_NE(prom.find("c1_total 3"), std::string::npos);
   EXPECT_NE(prom.find("# TYPE h1 histogram"), std::string::npos);
   EXPECT_NE(prom.find("h1_bucket{le=\"+Inf\"} 1"), std::string::npos);
   EXPECT_NE(prom.find("h1_count 1"), std::string::npos);
+}
+
+// --- Prometheus exposition lint -------------------------------------------
+//
+// A promtool-shaped validator: every sample must belong to a family
+// declared by a preceding # TYPE line, counters must end in _total,
+// histograms must close with +Inf/_sum/_count and have monotonically
+// non-decreasing cumulative buckets. Runs against the real scrape so any
+// future exposition regression fails here, without needing promtool in
+// the test image.
+struct PromLint {
+  std::vector<std::string> errors;
+};
+
+std::vector<std::string_view> lint_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t at = 0;
+  while (at < text.size()) {
+    std::size_t end = text.find('\n', at);
+    if (end == std::string_view::npos) end = text.size();
+    lines.push_back(text.substr(at, end - at));
+    at = end + 1;
+  }
+  return lines;
+}
+
+PromLint prometheus_lint(std::string_view exposition) {
+  PromLint lint;
+  std::string family;
+  std::string type;
+  bool saw_inf = false;
+  bool saw_sum = false;
+  bool saw_count = false;
+  double last_bucket = -1.0;
+  const auto close_family = [&] {
+    if (type == "histogram" && !family.empty()) {
+      if (!saw_inf) lint.errors.push_back(family + ": no +Inf bucket");
+      if (!saw_sum) lint.errors.push_back(family + ": no _sum");
+      if (!saw_count) lint.errors.push_back(family + ": no _count");
+    }
+  };
+  for (const std::string_view line : lint_lines(exposition)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      close_family();
+      const std::string_view rest = line.substr(7);
+      const std::size_t space = rest.find(' ');
+      family = std::string(rest.substr(0, space));
+      type = std::string(rest.substr(space + 1));
+      saw_inf = saw_sum = saw_count = false;
+      last_bucket = -1.0;
+      if (type == "counter" &&
+          family.size() < 6 /* "_total" */) {
+        lint.errors.push_back(family + ": counter family missing _total");
+      }
+      if (type == "counter" &&
+          family.rfind("_total") != family.size() - 6) {
+        lint.errors.push_back(family + ": counter family missing _total");
+      }
+      continue;
+    }
+    if (line.front() == '#') continue;
+    // Sample line: name[{labels}] value
+    std::size_t name_end = line.find_first_of("{ ");
+    const std::string name(line.substr(0, name_end));
+    if (family.empty()) {
+      lint.errors.push_back(name + ": sample before any # TYPE");
+      continue;
+    }
+    bool in_family = false;
+    if (type == "histogram") {
+      const std::string base =
+          family;  // histogram samples are base_bucket/_sum/_count
+      if (name == base + "_sum") {
+        saw_sum = true;
+        in_family = true;
+      } else if (name == base + "_count") {
+        saw_count = true;
+        in_family = true;
+      } else if (name == base + "_bucket") {
+        in_family = true;
+        const std::size_t le = line.find("le=\"");
+        if (le == std::string_view::npos) {
+          lint.errors.push_back(name + ": bucket without le label");
+        } else {
+          const std::size_t vstart = le + 4;
+          const std::size_t vend = line.find('"', vstart);
+          const std::string le_text(line.substr(vstart, vend - vstart));
+          if (le_text == "+Inf") {
+            saw_inf = true;
+          } else {
+            const double bound = std::stod(le_text);
+            if (bound < last_bucket) {
+              lint.errors.push_back(name + ": le bounds not sorted");
+            }
+            last_bucket = bound;
+          }
+        }
+        // Cumulative monotonicity is asserted separately below by
+        // comparing the parsed values; here we just track bounds.
+      }
+    } else {
+      in_family = name == family;
+    }
+    if (!in_family) {
+      lint.errors.push_back(name + ": not in family " + family + " (" +
+                            type + ")");
+    }
+  }
+  close_family();
+  return lint;
+}
+
+TEST(MetricsRegistry, PrometheusExpositionPassesLint) {
+  MetricsRegistry registry;
+  registry.counter("probes", MetricClass::kSemantic, "probes sent").add(7);
+  registry.gauge("depth", MetricClass::kTiming, "queue depth").set(2.5);
+  const Histogram h = registry.histogram("rtt_ms", MetricClass::kSemantic,
+                                         {1.0, 10.0, 100.0}, "rtt");
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(5000.0);
+  const std::string prom = registry.scrape_prometheus();
+  const PromLint lint = prometheus_lint(prom);
+  for (const std::string& error : lint.errors) ADD_FAILURE() << error;
+
+  // Cumulative buckets are non-decreasing and the +Inf bucket equals
+  // rtt_ms_count (promtool's histogram invariant).
+  std::uint64_t last = 0;
+  std::uint64_t inf_value = 0;
+  for (const std::string_view line : lint_lines(prom)) {
+    if (line.rfind("rtt_ms_bucket", 0) != 0) continue;
+    const std::size_t space = line.rfind(' ');
+    const std::uint64_t value =
+        std::stoull(std::string(line.substr(space + 1)));
+    EXPECT_GE(value, last) << line;
+    last = value;
+    if (line.find("+Inf") != std::string_view::npos) inf_value = value;
+  }
+  EXPECT_EQ(inf_value, 3u);
+  EXPECT_NE(prom.find("rtt_ms_count 3"), std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusEscapingOfHelpAndLabels) {
+  using anycast::obs::prometheus_escape_help;
+  using anycast::obs::prometheus_escape_label;
+  EXPECT_EQ(prometheus_escape_help("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_help("a\\b\nc"), "a\\\\b\\nc");
+  // Label values additionally escape double quotes.
+  EXPECT_EQ(prometheus_escape_label("he said \"hi\"\n"),
+            "he said \\\"hi\\\"\\n");
+  EXPECT_EQ(prometheus_escape_label("back\\slash"), "back\\\\slash");
+
+  // And the registry applies help escaping in the exposition itself.
+  MetricsRegistry registry;
+  (void)registry.counter("esc", MetricClass::kSemantic, "line\nbreak");
+  const std::string prom = registry.scrape_prometheus();
+  EXPECT_NE(prom.find("# HELP esc_total line\\nbreak"), std::string::npos);
+  EXPECT_EQ(prom.find("line\nbreak"), std::string::npos);
 }
 
 // --- Trace spans ----------------------------------------------------------
@@ -303,6 +466,26 @@ TEST_F(TraceTest, RenderTreeIndentsChildren) {
   const std::string tree = anycast::obs::trace().render_tree();
   EXPECT_NE(tree.find("phase"), std::string::npos);
   EXPECT_NE(tree.find("  step[3]"), std::string::npos);
+}
+
+TEST_F(TraceTest, RenderTreeCapsOutputAndReportsDrops) {
+  anycast::obs::trace().set_capacity(3);
+  for (int i = 0; i < 6; ++i) {
+    const Span s("burst", static_cast<std::uint64_t>(i));
+    (void)s;
+  }
+  // Explicit cap below the stored count: the footer must account for
+  // both the omitted-by-cap spans and the dropped-at-capacity ones
+  // instead of truncating silently.
+  const std::string capped = anycast::obs::trace().render_tree(2);
+  EXPECT_NE(capped.find("2 spans shown"), std::string::npos);
+  EXPECT_NE(capped.find("1 omitted"), std::string::npos);
+  EXPECT_NE(capped.find("3 dropped at capacity"), std::string::npos);
+  // Default render (cap = stored capacity) shows everything stored but
+  // still reports the drops.
+  const std::string full = anycast::obs::trace().render_tree();
+  EXPECT_NE(full.find("3 dropped at capacity"), std::string::npos);
+  anycast::obs::trace().set_capacity(16384);  // restore the default
 }
 
 TEST_F(TraceTest, SpansJsonListsEverySpan) {

@@ -19,19 +19,28 @@
 //       TCP portscan of the top anycast ASes (Sec. 4.3)
 //   anycastd diff     --out DIR
 //       run two censuses and print the landscape changes (Sec. 5)
+//   anycastd report   --in DIR [--journal FILE] [--format md|json]
+//       render a Markdown/JSON run report joining the journal, the
+//       metrics, and the re-analyzed checkpoints; with
+//       --diff A --against B, compare two journals' semantic event
+//       streams instead and print the first divergence (exit 3 on drift)
 //
 // All commands are deterministic in --seed (and --chaos-seed).
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "anycast/analysis/analyzer.hpp"
 #include "anycast/analysis/diff.hpp"
 #include "anycast/analysis/geojson.hpp"
 #include "anycast/analysis/report.hpp"
+#include "anycast/analysis/run_report.hpp"
 #include "anycast/census/census.hpp"
 #include "anycast/census/resume.hpp"
 #include "anycast/census/storage.hpp"
@@ -39,8 +48,11 @@
 #include "anycast/geo/city_index.hpp"
 #include "anycast/net/fault.hpp"
 #include "anycast/net/platform.hpp"
+#include "anycast/obs/journal.hpp"
 #include "anycast/obs/metrics.hpp"
+#include "anycast/obs/progress.hpp"
 #include "anycast/obs/trace.hpp"
+#include "anycast/obs/trace_export.hpp"
 #include "anycast/portscan/scanner.hpp"
 #include "flags.hpp"
 
@@ -60,6 +72,14 @@ constexpr tools::FlagHelp kCommonFlags[] = {
     {"metrics-out", "FILE",
      "write the pipeline metrics scrape on exit (JSON, or Prometheus "
      "text when FILE ends in .prom); FILE must be writable up front"},
+    {"journal-out", "FILE",
+     "record the flight-recorder event journal (JSONL; semantic events "
+     "deterministic, fsynced at census boundaries); writable up front"},
+    {"trace-out", "FILE",
+     "write a Chrome-trace/Perfetto JSON of spans + counter tracks on "
+     "exit (load in ui.perfetto.dev); FILE must be writable up front"},
+    {"progress", "",
+     "print live heartbeat lines (VPs done, rates, ETA) to stderr"},
     {"verbose", "", "print a metrics summary table and span tree on exit"},
 };
 
@@ -88,10 +108,10 @@ constexpr tools::FlagHelp kChaosFlags[] = {
 };
 
 int usage() {
-  std::fprintf(
-      stderr,
-      "usage: anycastd <world|census|resume|analyze|portscan|diff> [flags]\n"
-      "  common flags:\n");
+  std::fprintf(stderr,
+               "usage: anycastd "
+               "<world|census|resume|analyze|portscan|diff|report> [flags]\n"
+               "  common flags:\n");
   tools::print_flag_help(stderr, kCommonFlags);
   std::fprintf(stderr, "  census / resume:\n");
   tools::print_flag_help(stderr, kCensusFlags);
@@ -99,7 +119,11 @@ int usage() {
   std::fprintf(stderr,
                "  analyze:  --in DIR [--geojson FILE] [--top N]\n"
                "  portscan: [--top N]\n"
-               "  diff:     [--epochs N] [--availability F]\n");
+               "  diff:     [--epochs N] [--availability F]\n"
+               "  report:   --in DIR [--journal FILE] [--format md|json] "
+               "[--top N]\n"
+               "            --diff JOURNAL_A --against JOURNAL_B "
+               "(exit 3 on drift)\n");
   return 2;
 }
 
@@ -127,6 +151,36 @@ concurrency::ThreadPool pool_from(const Flags& flags) {
   return concurrency::ThreadPool(
       static_cast<std::size_t>(std::max<std::int64_t>(
           0, flags.get_int("threads", 0))));
+}
+
+/// Attaches the --progress heartbeat to a pool for one phase and, on
+/// destruction, stops it and emits one final tick — so even a run shorter
+/// than the heartbeat interval prints at least one snapshot line.
+struct ProgressGuard {
+  concurrency::ThreadPool* pool = nullptr;
+  std::shared_ptr<obs::ProgressTracker> tracker;
+  ~ProgressGuard() {
+    if (pool == nullptr || tracker == nullptr) return;
+    pool->stop_heartbeat();
+    const auto [done, total] = pool->progress();
+    tracker->tick(done, total);
+  }
+};
+
+ProgressGuard maybe_start_progress(concurrency::ThreadPool& pool,
+                                   const Flags& flags, const char* phase) {
+  if (!flags.get_bool("progress")) return {};
+  obs::ProgressConfig config;
+  config.journal = obs::journal().recording() ? &obs::journal() : nullptr;
+  config.sampler = &obs::counter_sampler();
+  config.sink = stderr;
+  config.phase = phase;
+  auto tracker = std::make_shared<obs::ProgressTracker>(std::move(config));
+  pool.start_heartbeat(std::chrono::milliseconds(100),
+                       [tracker](std::size_t done, std::size_t total) {
+                         tracker->tick(done, total);
+                       });
+  return ProgressGuard{&pool, std::move(tracker)};
 }
 
 int reject_unknown(const Flags& flags) {
@@ -225,9 +279,15 @@ int cmd_census(const Flags& flags, bool resume) {
     }
   }
   census::Greylist blacklist;
-  const census::ResumeReport report = census::resume_census(
-      internet, vps, hitlist, blacklist, fastping, *out_dir, census_id,
-      plan.has_value() ? &*plan : nullptr, &pool);
+  census::ResumeReport report;
+  {
+    const ProgressGuard progress =
+        maybe_start_progress(pool, flags, "census");
+    report = census::resume_census(internet, vps, hitlist, blacklist,
+                                   fastping, *out_dir, census_id,
+                                   plan.has_value() ? &*plan : nullptr,
+                                   &pool);
+  }
   const census::CensusSummary& summary = report.output.summary;
 
   std::printf(
@@ -294,8 +354,13 @@ int cmd_analyze(const Flags& flags) {
 
   concurrency::ThreadPool pool = pool_from(flags);
   const analysis::CensusAnalyzer analyzer(vps, geo::world_index());
-  analysis::CensusReport report(
-      internet, analyzer.analyze(data, hitlist, /*min_vps=*/2, &pool));
+  std::vector<analysis::TargetOutcome> outcomes;
+  {
+    const ProgressGuard progress =
+        maybe_start_progress(pool, flags, "analyze");
+    outcomes = analyzer.analyze(data, hitlist, /*min_vps=*/2, &pool);
+  }
+  analysis::CensusReport report(internet, std::move(outcomes));
   const analysis::GlanceRow all = report.glance_all();
   std::printf(
       "anycast: %zu /24 in %zu ASes, %llu replicas, %zu cities, %zu "
@@ -364,6 +429,7 @@ int cmd_diff(const Flags& flags) {
   const double availability = flags.get_double("availability", 0.85);
   concurrency::ThreadPool pool = pool_from(flags);
   if (const int rc = reject_unknown(flags)) return rc;
+  const ProgressGuard progress = maybe_start_progress(pool, flags, "diff");
 
   analysis::CensusSnapshot previous;
   for (int epoch = 1; epoch <= epochs; ++epoch) {
@@ -392,17 +458,121 @@ int cmd_diff(const Flags& flags) {
   return 0;
 }
 
-/// Proves --metrics-out is writable before any probing starts: a census
-/// that runs for hours and then cannot save its scrape is the worst
-/// failure mode. Truncates/creates the file; the real scrape overwrites
-/// it on exit.
-int validate_metrics_out(const std::string& path) {
+std::optional<std::string> slurp_text(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+int cmd_report(const Flags& flags) {
+  // Drift-diff mode: compare two journals' semantic event streams.
+  if (const auto diff_a = flags.get("diff")) {
+    const auto diff_b = flags.get("against");
+    if (!diff_b.has_value()) {
+      std::fprintf(stderr,
+                   "report: --diff JOURNAL_A needs --against JOURNAL_B\n");
+      return 2;
+    }
+    const auto text_a = slurp_text(*diff_a);
+    const auto text_b = slurp_text(*diff_b);
+    if (!text_a.has_value() || !text_b.has_value()) {
+      std::fprintf(stderr, "report: cannot read %s\n",
+                   (!text_a.has_value() ? *diff_a : *diff_b).c_str());
+      return 2;
+    }
+    if (const int rc = reject_unknown(flags)) return rc;
+    // Trim to complete lines first: a crash-interrupted journal is
+    // guaranteed consistent only up to its last newline.
+    const analysis::Divergence drift = analysis::journal_drift(
+        obs::journal_consistent_prefix(*text_a),
+        obs::journal_consistent_prefix(*text_b));
+    if (!drift.diverged) {
+      std::printf("zero drift: %zu semantic events identical\n",
+                  drift.left_count);
+      return 0;
+    }
+    std::printf("DRIFT at semantic event %zu (A has %zu, B has %zu):\n",
+                drift.index, drift.left_count, drift.right_count);
+    std::printf("  A: %s\n",
+                drift.left.empty() ? "<stream ended>" : drift.left.c_str());
+    std::printf("  B: %s\n",
+                drift.right.empty() ? "<stream ended>" : drift.right.c_str());
+    return 3;
+  }
+
+  const auto in_dir = flags.get("in");
+  if (!in_dir.has_value()) {
+    std::fprintf(stderr,
+                 "report: --in DIR is required (or --diff A --against B)\n");
+    return 2;
+  }
+  const std::string format(flags.get_or("format", "md"));
+  if (format != "md" && format != "json") {
+    std::fprintf(stderr, "report: --format must be md or json\n");
+    return 2;
+  }
+
+  // Re-analyze the checkpoint directory, as `analyze` would.
+  const net::SimulatedInternet internet(world_config_from(flags));
+  const auto vps = platform_from(flags);
+  const census::Hitlist hitlist =
+      census::Hitlist::from_world(internet).without_dead();
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(*in_dir)) {
+    if (entry.path().extension() == ".anc") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "report: no .anc files in %s\n", in_dir->c_str());
+    return 1;
+  }
+  const census::CensusMatrix data = census::collate_census_files(
+      files, hitlist.size(), static_cast<census::CollateStats*>(nullptr));
+  concurrency::ThreadPool pool = pool_from(flags);
+  const analysis::CensusAnalyzer analyzer(vps, geo::world_index());
+  const analysis::CensusReport census_report(
+      internet, analyzer.analyze(data, hitlist, /*min_vps=*/2, &pool));
+
+  analysis::JournalSummary journal_summary;
+  bool have_journal = false;
+  if (const auto journal_path = flags.get("journal")) {
+    const auto text = slurp_text(*journal_path);
+    if (!text.has_value()) {
+      std::fprintf(stderr, "report: cannot read journal %s\n",
+                   journal_path->c_str());
+      return 2;
+    }
+    journal_summary =
+        analysis::summarize_journal(obs::journal_consistent_prefix(*text));
+    have_journal = true;
+  }
+  const auto top = static_cast<std::size_t>(flags.get_int("top", 10));
+  if (const int rc = reject_unknown(flags)) return rc;
+
+  analysis::RunReportInputs inputs;
+  inputs.census = &census_report;
+  inputs.journal = have_journal ? &journal_summary : nullptr;
+  inputs.registry = &obs::metrics();
+  inputs.top_ases = top;
+  const std::string body = format == "json"
+                               ? analysis::render_run_report_json(inputs)
+                               : analysis::render_run_report_markdown(inputs);
+  std::fwrite(body.data(), 1, body.size(), stdout);
+  return 0;
+}
+
+/// Proves an output path is writable before any probing starts: a census
+/// that runs for hours and then cannot save its scrape/journal/trace is
+/// the worst failure mode. Truncates/creates the file; the real payload
+/// overwrites it on exit.
+int validate_out_path(const char* flag_name, const std::string& path) {
   std::FILE* probe = std::fopen(path.c_str(), "wb");
   if (probe == nullptr) {
     std::fprintf(stderr,
-                 "anycastd: cannot open --metrics-out path for writing: "
-                 "%s\n",
-                 path.c_str());
+                 "anycastd: cannot open %s path for writing: %s\n",
+                 flag_name, path.c_str());
     return 2;
   }
   std::fclose(probe);
@@ -444,14 +614,12 @@ void print_verbose_summary() {
         break;
     }
   }
+  // render_tree's footer reports drops/orphans itself, so nothing is
+  // silently missing even when the span buffer filled up.
   const std::string tree = obs::trace().render_tree();
   if (!tree.empty()) {
     std::printf("-- trace spans %s\n%s", std::string(44, '-').c_str(),
                 tree.c_str());
-    if (obs::trace().dropped() > 0) {
-      std::printf("(%zu spans dropped at capacity)\n",
-                  obs::trace().dropped());
-    }
   }
 }
 
@@ -463,12 +631,34 @@ int main(int argc, char** argv) {
   const auto flags = Flags::parse(argc, argv, 2);
   if (!flags.has_value()) return usage();
 
-  // Observability flags apply to every subcommand. The output path is
-  // validated before any work starts.
+  // Observability flags apply to every subcommand. Output paths are
+  // validated before any work starts: a census that runs for hours and
+  // then cannot save its journal or trace is the worst failure mode.
   const auto metrics_out = flags->get("metrics-out");
+  const auto journal_out = flags->get("journal-out");
+  const auto trace_out = flags->get("trace-out");
   const bool verbose = flags->get_bool("verbose");
+  (void)flags->get_bool("progress");  // consumed per-phase after dispatch
   if (metrics_out.has_value()) {
-    if (const int rc = validate_metrics_out(*metrics_out)) return rc;
+    if (const int rc = validate_out_path("--metrics-out", *metrics_out)) {
+      return rc;
+    }
+  }
+  if (trace_out.has_value()) {
+    if (const int rc = validate_out_path("--trace-out", *trace_out)) {
+      return rc;
+    }
+  }
+  if (journal_out.has_value()) {
+    // open() is the validation: it holds the file handle for the run so
+    // events stream out as they commit rather than all at exit.
+    if (!obs::journal().open(*journal_out)) {
+      std::fprintf(stderr,
+                   "anycastd: cannot open --journal-out path for writing: "
+                   "%s\n",
+                   journal_out->c_str());
+      return 2;
+    }
   }
 
   int rc = 0;
@@ -478,12 +668,24 @@ int main(int argc, char** argv) {
   else if (command == "analyze") rc = cmd_analyze(*flags);
   else if (command == "portscan") rc = cmd_portscan(*flags);
   else if (command == "diff") rc = cmd_diff(*flags);
+  else if (command == "report") rc = cmd_report(*flags);
   else return usage();
 
   if (metrics_out.has_value()) {
     const int write_rc = write_metrics_out(*metrics_out);
     if (rc == 0) rc = write_rc;
   }
+  if (trace_out.has_value()) {
+    if (!obs::write_chrome_trace(*trace_out)) {
+      std::fprintf(stderr, "anycastd: failed writing trace to %s\n",
+                   trace_out->c_str());
+      if (rc == 0) rc = 1;
+    } else if (verbose) {
+      std::fprintf(stderr, "wrote Perfetto trace to %s\n",
+                   trace_out->c_str());
+    }
+  }
+  obs::journal().close();  // flush + commit any tail, fsync, release
   if (verbose) print_verbose_summary();
   return rc;
 }

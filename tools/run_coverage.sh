@@ -6,6 +6,7 @@
 #
 #   tools/run_coverage.sh              # full suite
 #   tools/run_coverage.sh -R Metrics   # extra args go to ctest
+#   tools/run_coverage.sh -R 'Journal|Progress|Trace'  # flight recorder only
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
