@@ -23,23 +23,45 @@ void HijackMonitor::set_reference(const census::CensusMatrix& reference,
   }
 }
 
+std::optional<HijackAlarm> HijackMonitor::scan_one(
+    const census::CensusMatrix& data, const census::Hitlist& hitlist,
+    std::uint32_t target_index, std::size_t min_vps) const {
+  const std::uint32_t slash24 =
+      hitlist[target_index].representative.slash24_index();
+  if (!unicast_reference_.contains(slash24)) return std::nullopt;
+  const auto row = data.measurements(target_index);
+  if (row.size() < min_vps) return std::nullopt;
+  if (!analyzer_.detect(row)) return std::nullopt;
+  HijackAlarm alarm;
+  alarm.slash24_index = slash24;
+  alarm.target_index = target_index;
+  alarm.result = analyzer_.analyze_row(row);
+  return alarm;
+}
+
 std::vector<HijackAlarm> HijackMonitor::scan(
     const census::CensusMatrix& data, const census::Hitlist& hitlist,
     std::size_t min_vps) const {
   std::vector<HijackAlarm> alarms;
   const std::size_t targets = std::min(data.target_count(), hitlist.size());
   for (std::uint32_t t = 0; t < targets; ++t) {
-    const std::uint32_t slash24 =
-        hitlist[t].representative.slash24_index();
-    if (!unicast_reference_.contains(slash24)) continue;
-    const auto row = data.measurements(t);
-    if (row.size() < min_vps) continue;
-    if (!analyzer_.detect(row)) continue;
-    HijackAlarm alarm;
-    alarm.slash24_index = slash24;
-    alarm.target_index = t;
-    alarm.result = analyzer_.analyze_row(row);
-    alarms.push_back(std::move(alarm));
+    if (auto alarm = scan_one(data, hitlist, t, min_vps)) {
+      alarms.push_back(std::move(*alarm));
+    }
+  }
+  return alarms;
+}
+
+std::vector<HijackAlarm> HijackMonitor::scan_targets(
+    const census::CensusMatrix& data, const census::Hitlist& hitlist,
+    std::span<const std::uint32_t> targets, std::size_t min_vps) const {
+  std::vector<HijackAlarm> alarms;
+  const std::size_t limit = std::min(data.target_count(), hitlist.size());
+  for (const std::uint32_t t : targets) {
+    if (t >= limit) continue;
+    if (auto alarm = scan_one(data, hitlist, t, min_vps)) {
+      alarms.push_back(std::move(*alarm));
+    }
   }
   return alarms;
 }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_set>
 #include <vector>
 
@@ -44,11 +45,25 @@ class HijackMonitor {
       const census::CensusMatrix& data, const census::Hitlist& hitlist,
       std::size_t min_vps = 2) const;
 
+  /// Like `scan`, restricted to the given target indices (sorted
+  /// ascending). The watch daemon passes the round's dirty rows: the
+  /// reference is fixed and detection is row-pure, so a row that did not
+  /// change cannot change its verdict — scanning only dirty rows raises
+  /// exactly the alarms a full scan would raise minus those already
+  /// standing in the previous round (edge-triggered reporting).
+  [[nodiscard]] std::vector<HijackAlarm> scan_targets(
+      const census::CensusMatrix& data, const census::Hitlist& hitlist,
+      std::span<const std::uint32_t> targets, std::size_t min_vps = 2) const;
+
   [[nodiscard]] std::size_t monitored_prefixes() const {
     return unicast_reference_.size();
   }
 
  private:
+  [[nodiscard]] std::optional<HijackAlarm> scan_one(
+      const census::CensusMatrix& data, const census::Hitlist& hitlist,
+      std::uint32_t target_index, std::size_t min_vps) const;
+
   CensusAnalyzer analyzer_;
   std::unordered_set<std::uint32_t> unicast_reference_;  // /24 indices
 };

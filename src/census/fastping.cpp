@@ -171,6 +171,18 @@ FastPingResult run_fastping(const net::SimulatedInternet& internet,
           vp, entry.representative, net::Protocol::kIcmpEcho, gen,
           std::min(0.999,
                    result.drop_probability + injector.extra_drop_at(step)));
+      if (injector.hijacked(target_index)) {
+        // Staged hijack: the attacker's AS answers in place of the victim.
+        // The probe above still runs — consuming the exact RNG draws the
+        // legitimate path would — so every non-hijacked row stays
+        // bit-identical and the hijack dirties only its own targets.
+        reply = net::ProbeReply{net::ReplyKind::kEchoReply,
+                                injector.hijack_rtt_ms(target_index)};
+      } else if (reply.kind == net::ReplyKind::kEchoReply) {
+        // Route flap in progress: replies detour through the re-converging
+        // path. Applied after the probe so the RNG sequence is unchanged.
+        reply.rtt_ms += injector.flap_extra_ms_at(step);
+      }
     }
     Observation obs;
     obs.target_index = target_index;

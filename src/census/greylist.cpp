@@ -1,5 +1,7 @@
 #include "anycast/census/greylist.hpp"
 
+#include <algorithm>
+
 #include "anycast/obs/journal.hpp"
 
 namespace anycast::census {
@@ -33,6 +35,15 @@ void Greylist::merge(const Greylist& other) {
                          {"from", other.members_.size()},
                          {"size", members_.size()}});
   }
+}
+
+std::vector<std::pair<std::uint32_t, net::ReplyKind>> Greylist::entries()
+    const {
+  std::vector<std::pair<std::uint32_t, net::ReplyKind>> out(members_.begin(),
+                                                            members_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 }  // namespace anycast::census

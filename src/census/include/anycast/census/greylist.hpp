@@ -9,6 +9,8 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "anycast/net/types.hpp"
 
@@ -42,6 +44,12 @@ class Greylist {
   [[nodiscard]] std::uint64_t net_prohibited_count() const {
     return net_prohibited_;
   }
+
+  /// All members with the ICMP code each was first greylisted with, sorted
+  /// by /24 index — the deterministic order the watch daemon persists the
+  /// blacklist in across restarts.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, net::ReplyKind>>
+  entries() const;
 
  private:
   void count(net::ReplyKind kind);

@@ -1,0 +1,61 @@
+#include "anycast/daemon/supervisor.hpp"
+
+#include <algorithm>
+
+namespace anycast::daemon {
+
+std::string_view to_string(RoundHealth health) {
+  switch (health) {
+    case RoundHealth::kHealthy: return "healthy";
+    case RoundHealth::kDegraded: return "degraded";
+  }
+  return "unknown";
+}
+
+census::FastPingConfig Supervisor::tuned(
+    const census::FastPingConfig& base) const {
+  census::FastPingConfig cfg = base;
+  if (escalation_ == 0) return cfg;
+  cfg.retry_max_attempts =
+      base.retry_max_attempts + escalation_ * config_.retry_step;
+  if (base.retry_probe_budget > 0) {
+    cfg.retry_probe_budget =
+        base.retry_probe_budget * static_cast<std::uint64_t>(escalation_ + 1);
+  }
+  if (base.vp_deadline_hours > 0.0) {
+    // Give stragglers more rope when the platform is struggling: cutting
+    // them off is exactly what drives coverage further down.
+    cfg.vp_deadline_hours =
+        base.vp_deadline_hours * (1.0 + 0.25 * escalation_);
+  }
+  return cfg;
+}
+
+RoundVerdict Supervisor::assess(int round,
+                                const census::CensusSummary& summary) const {
+  RoundVerdict verdict;
+  verdict.round = round;
+  verdict.completed = summary.outcome_count(census::VpOutcome::kCompleted);
+  verdict.active = summary.active_vps;
+  verdict.configured = summary.vp_outcomes.size();
+  verdict.escalation = escalation_;
+  verdict.coverage =
+      verdict.active == 0
+          ? 0.0
+          : static_cast<double>(verdict.completed) /
+                static_cast<double>(verdict.active);
+  verdict.health = verdict.coverage + 1e-12 >= config_.coverage_floor
+                       ? RoundHealth::kHealthy
+                       : RoundHealth::kDegraded;
+  return verdict;
+}
+
+void Supervisor::observe(const RoundVerdict& verdict) {
+  if (verdict.health == RoundHealth::kDegraded) {
+    escalation_ = std::min(config_.max_escalation, escalation_ + 1);
+  } else {
+    escalation_ = std::max(0, escalation_ - 1);
+  }
+}
+
+}  // namespace anycast::daemon

@@ -1,0 +1,502 @@
+#include "anycast/daemon/watch.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "anycast/analysis/incremental.hpp"
+#include "anycast/census/resume.hpp"
+#include "anycast/census/storage.hpp"
+#include "anycast/obs/journal.hpp"
+#include "anycast/rng/distributions.hpp"
+
+namespace anycast::daemon {
+namespace {
+
+constexpr std::string_view kStateMagic = "anycastd-watch v1";
+constexpr std::uint64_t kRoundSeedTag = 0xFA;
+
+std::filesystem::path state_path(const std::filesystem::path& dir) {
+  return dir / "watch.state";
+}
+
+int coverage_permille(double coverage) {
+  return static_cast<int>(coverage * 1000.0 + 0.5);
+}
+
+}  // namespace
+
+struct WatchDaemon::PersistedState {
+  int rounds_completed = 0;
+  std::vector<RoundVerdict> verdicts;
+  std::vector<std::vector<std::uint32_t>> quarantined;  // [round - 1]
+  std::vector<std::pair<std::uint32_t, int>> blacklist;
+};
+
+WatchDaemon::WatchDaemon(net::SimulatedInternet& internet,
+                         std::span<const net::VantagePoint> vps,
+                         const geo::CityIndex& cities,
+                         const census::Hitlist& hitlist, WatchConfig config)
+    : internet_(internet),
+      vps_(vps),
+      cities_(cities),
+      hitlist_(hitlist),
+      config_(std::move(config)),
+      analyzer_(vps, cities),
+      monitor_(vps, cities),
+      supervisor_(config_.supervisor) {}
+
+std::optional<net::FaultPlan> WatchDaemon::plan_for_round(int round) const {
+  if (!config_.chaos_enabled) return std::nullopt;
+  net::FaultSpec spec = config_.chaos;
+  // Re-seed per round so the weather moves while staying replayable: a
+  // restarted daemon derives the identical plan for the round it resumes.
+  spec.seed = rng::hash_key(config_.chaos.seed,
+                            static_cast<std::uint64_t>(round), kRoundSeedTag);
+  if (round < config_.hijack_from_round) {
+    // Staged: the attack starts later, so earlier healthy rounds can
+    // establish the unicast reference the monitor alarms against.
+    spec.hijack_targets.clear();
+    spec.hijack_vp_fraction = 0.0;
+  }
+  return net::FaultPlan(spec);
+}
+
+void WatchDaemon::apply_churn(int round) {
+  if (!config_.churn) return;
+  // Apply every round's toggle exactly once, in round order. The toggles
+  // are pure functions of (churn_seed, round), so a restarted daemon
+  // replays rounds 2..k and lands on the same world the killed process
+  // probed.
+  for (; churn_applied_ < round; ++churn_applied_) {
+    const int r = churn_applied_ + 1;
+    const auto draw = [&](std::uint64_t tag) {
+      return rng::hash_uniform01(rng::hash_key(
+          config_.churn_seed, static_cast<std::uint64_t>(r), tag));
+    };
+    const auto deployments = internet_.deployments();
+    if (deployments.empty()) return;
+    // Pick a deployment with at least two sites (so a toggle moves a
+    // replica instead of flattening a singleton), scanning forward from a
+    // seeded start.
+    const std::size_t start =
+        static_cast<std::size_t>(draw(1) * static_cast<double>(
+                                               deployments.size()));
+    std::size_t dep = deployments.size();
+    for (std::size_t i = 0; i < deployments.size(); ++i) {
+      const std::size_t candidate = (start + i) % deployments.size();
+      if (deployments[candidate].sites.size() >= 2 &&
+          !deployments[candidate].prefix_site_masks.empty()) {
+        dep = candidate;
+        break;
+      }
+    }
+    if (dep == deployments.size()) return;
+    const std::size_t prefixes = deployments[dep].prefix_site_masks.size();
+    const std::size_t prefix =
+        static_cast<std::size_t>(draw(2) * static_cast<double>(prefixes));
+    const std::size_t sites = deployments[dep].sites.size();
+    const std::size_t site =
+        static_cast<std::size_t>(draw(3) * static_cast<double>(sites));
+    const std::uint64_t before =
+        deployments[dep].prefix_site_masks[prefix];
+    const std::uint64_t after = before ^ (std::uint64_t{1} << site);
+    internet_.set_prefix_site_mask(dep, prefix, after);
+    obs::Journal& j = obs::journal();
+    if (j.recording()) {
+      j.emit(obs::MetricClass::kSemantic, obs::Severity::kInfo,
+             "watch.world", j.next_order(),
+             {{"round", r},
+              {"deployment", dep},
+              {"prefix", prefix},
+              {"site", site},
+              {"mask_before", before},
+              {"mask_after", after}});
+    }
+  }
+}
+
+census::CensusMatrix WatchDaemon::collate_round(
+    int round, std::span<const std::uint32_t> quarantined) const {
+  // A committed round's matrix is exactly the collation of its checkpoint
+  // files minus the quarantined VPs' — the same reduction resume_census
+  // performed when the round ran, so no re-probing (and no fault-plan or
+  // blacklist-history replay) is needed to reconstruct it.
+  std::vector<std::filesystem::path> paths;
+  paths.reserve(vps_.size());
+  for (const net::VantagePoint& vp : vps_) {
+    if (std::find(quarantined.begin(), quarantined.end(), vp.id) !=
+        quarantined.end()) {
+      continue;
+    }
+    auto path = census::census_checkpoint_path(
+        config_.out_dir, static_cast<std::uint32_t>(round), vp.id);
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec)) paths.push_back(std::move(path));
+  }
+  census::CollateStats stats;
+  return census::collate_census_files(paths, hitlist_.size(), &stats, true);
+}
+
+bool WatchDaemon::save_state(std::string* error) const {
+  const auto path = state_path(config_.out_dir);
+  const auto tmp = path.string() + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    *error = "cannot write " + tmp;
+    return false;
+  }
+  std::fprintf(f, "%s\n", std::string(kStateMagic).c_str());
+  std::fprintf(f, "rounds_completed %zu\n", verdicts_.size());
+  for (const RoundVerdict& v : verdicts_) {
+    std::fprintf(f, "verdict %d %s %d %zu %zu %zu %d\n", v.round,
+                 std::string(to_string(v.health)).c_str(),
+                 coverage_permille(v.coverage), v.completed, v.active,
+                 v.configured, v.escalation);
+  }
+  for (std::size_t i = 0; i < quarantined_.size(); ++i) {
+    for (const std::uint32_t vp : quarantined_[i]) {
+      std::fprintf(f, "quarantined %zu %" PRIu32 "\n", i + 1, vp);
+    }
+  }
+  for (const auto& [slash24, kind] : blacklist_.entries()) {
+    std::fprintf(f, "blacklist %" PRIu32 " %d\n", slash24,
+                 static_cast<int>(kind));
+  }
+  std::fprintf(f, "end\n");
+  const bool ok = std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    *error = "cannot flush " + tmp;
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    *error = "cannot rename " + tmp + ": " + ec.message();
+    return false;
+  }
+  return true;
+}
+
+bool WatchDaemon::load_state(PersistedState* state,
+                             std::string* error) const {
+  const auto path = state_path(config_.out_dir);
+  std::FILE* f = std::fopen(path.string().c_str(), "rb");
+  if (f == nullptr) return true;  // fresh campaign
+  char line[256];
+  bool saw_magic = false, saw_end = false;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    const std::size_t len = std::strlen(line);
+    if (len > 0 && line[len - 1] == '\n') line[len - 1] = '\0';
+    if (!saw_magic) {
+      if (kStateMagic != line) {
+        *error = path.string() + ": not a watch state file";
+        std::fclose(f);
+        return false;
+      }
+      saw_magic = true;
+      continue;
+    }
+    int round = 0, permille = 0, escalation = 0, kind = 0;
+    std::size_t completed = 0, active = 0, configured = 0, qround = 0;
+    std::uint32_t vp = 0, slash24 = 0;
+    char health[16] = {};
+    if (std::sscanf(line, "rounds_completed %d", &round) == 1) {
+      state->rounds_completed = round;
+    } else if (std::sscanf(line, "verdict %d %15s %d %zu %zu %zu %d", &round,
+                           health, &permille, &completed, &active,
+                           &configured, &escalation) == 7) {
+      RoundVerdict v;
+      v.round = round;
+      v.health = std::string_view(health) == "degraded"
+                     ? RoundHealth::kDegraded
+                     : RoundHealth::kHealthy;
+      v.coverage = static_cast<double>(permille) / 1000.0;
+      v.completed = completed;
+      v.active = active;
+      v.configured = configured;
+      v.escalation = escalation;
+      state->verdicts.push_back(v);
+      state->quarantined.resize(state->verdicts.size());
+    } else if (std::sscanf(line, "quarantined %zu %" SCNu32, &qround, &vp) ==
+               2) {
+      if (qround == 0 || qround > state->quarantined.size()) {
+        *error = path.string() + ": quarantine entry for unknown round";
+        std::fclose(f);
+        return false;
+      }
+      state->quarantined[qround - 1].push_back(vp);
+    } else if (std::sscanf(line, "blacklist %" SCNu32 " %d", &slash24,
+                           &kind) == 2) {
+      state->blacklist.emplace_back(slash24, kind);
+    } else if (std::string_view(line) == "end") {
+      saw_end = true;
+      break;
+    } else {
+      *error = path.string() + ": unrecognised line: " + line;
+      std::fclose(f);
+      return false;
+    }
+  }
+  std::fclose(f);
+  if (!saw_end) {
+    *error = path.string() + ": truncated (missing end marker)";
+    return false;
+  }
+  if (state->rounds_completed !=
+      static_cast<int>(state->verdicts.size())) {
+    *error = path.string() + ": verdict count disagrees with rounds_completed";
+    return false;
+  }
+  return true;
+}
+
+void WatchDaemon::prune_checkpoints() const {
+  // Keep only the rounds the daemon can still need: the incremental-
+  // analysis predecessor, the drift baseline, and the hijack reference.
+  // Everything older is dead weight a continuous daemon must not hoard.
+  for (int round = 1; round < prev_round_; ++round) {
+    if (round == baseline_round_ || round == reference_round_) continue;
+    for (const net::VantagePoint& vp : vps_) {
+      std::error_code ec;
+      std::filesystem::remove(
+          census::census_checkpoint_path(
+              config_.out_dir, static_cast<std::uint32_t>(round), vp.id),
+          ec);
+    }
+  }
+}
+
+WatchResult WatchDaemon::run(concurrency::ThreadPool* pool) {
+  WatchResult result;
+  std::error_code ec;
+  std::filesystem::create_directories(config_.out_dir, ec);
+
+  PersistedState state;
+  if (!load_state(&state, &result.error)) {
+    result.exit_code = 1;
+    return result;
+  }
+
+  // Adopt the persisted campaign: blacklist, escalation ladder (verdict
+  // replay), and the longitudinal anchors (previous round, drift
+  // baseline, hijack reference) re-collated from kept checkpoints.
+  verdicts_ = state.verdicts;
+  quarantined_ = state.quarantined;
+  for (const auto& [slash24, kind] : state.blacklist) {
+    blacklist_.add(slash24, static_cast<net::ReplyKind>(kind));
+  }
+  for (const RoundVerdict& v : verdicts_) {
+    supervisor_.observe(v);
+    if (v.health == RoundHealth::kHealthy) {
+      if (reference_round_ == 0) reference_round_ = v.round;
+      baseline_round_ = v.round;
+    }
+  }
+  prev_round_ = state.rounds_completed;
+  if (prev_round_ > 0) {
+    prev_matrix_ = collate_round(prev_round_, quarantined_[prev_round_ - 1]);
+    prev_outcomes_ =
+        analyzer_.analyze(prev_matrix_, hitlist_, config_.min_vps, pool);
+  }
+  if (baseline_round_ > 0) {
+    if (baseline_round_ == prev_round_) {
+      baseline_matrix_ = prev_matrix_;
+      baseline_snapshot_ = analysis::CensusSnapshot(prev_outcomes_);
+    } else {
+      baseline_matrix_ =
+          collate_round(baseline_round_, quarantined_[baseline_round_ - 1]);
+      const auto outcomes =
+          analyzer_.analyze(baseline_matrix_, hitlist_, config_.min_vps, pool);
+      baseline_snapshot_ = analysis::CensusSnapshot(outcomes);
+    }
+  }
+  if (reference_round_ > 0) {
+    if (reference_round_ == prev_round_) {
+      monitor_.set_reference(prev_matrix_, hitlist_, config_.min_vps);
+    } else if (reference_round_ == baseline_round_) {
+      monitor_.set_reference(baseline_matrix_, hitlist_, config_.min_vps);
+    } else {
+      const auto reference = collate_round(
+          reference_round_, quarantined_[reference_round_ - 1]);
+      monitor_.set_reference(reference, hitlist_, config_.min_vps);
+    }
+  }
+  result.rounds_completed = state.rounds_completed;
+
+  obs::Journal& j = obs::journal();
+  for (int round = state.rounds_completed + 1; round <= config_.rounds;
+       ++round) {
+    const census::FastPingConfig cfg = supervisor_.tuned(config_.fastping);
+    const auto plan = plan_for_round(round);
+    const net::FaultPlan* faults = plan ? &*plan : nullptr;
+    apply_churn(round);
+
+    if (round == config_.die_at_round) {
+      // Watchdog abort drill: probe and checkpoint half the platform
+      // exactly as the round would have, then die without committing —
+      // the deterministic stand-in for kill -9 mid-round. The restart's
+      // resume_census inherits these checkpoints verbatim.
+      std::size_t checkpointed = 0;
+      for (std::size_t i = 0; i < vps_.size() / 2; ++i) {
+        const net::VantagePoint& vp = vps_[i];
+        if (!census::vp_available(vp, cfg)) continue;
+        census::Greylist scratch;
+        const auto walk = census::run_fastping(internet_, vp, hitlist_,
+                                               blacklist_, scratch, cfg,
+                                               faults);
+        census::CensusFileHeader header{
+            vp.id, static_cast<std::uint32_t>(round), 0};
+        if (walk.outcome == census::VpOutcome::kCompleted) {
+          header.flags |= census::kCensusFileComplete;
+        }
+        census::write_census_file(
+            census::census_checkpoint_path(
+                config_.out_dir, static_cast<std::uint32_t>(round), vp.id),
+            header, walk.observations);
+        ++checkpointed;
+      }
+      if (j.recording()) {
+        j.emit(obs::MetricClass::kSemantic, obs::Severity::kWarn,
+               "watch.abort", j.next_order(),
+               {{"round", round}, {"vps_checkpointed", checkpointed}});
+        j.commit();
+      }
+      result.exit_code = kAbortedExitCode;
+      return result;
+    }
+
+    auto report = census::resume_census(
+        internet_, vps_, hitlist_, blacklist_, cfg, config_.out_dir,
+        static_cast<std::uint32_t>(round), faults, pool);
+    const RoundVerdict verdict =
+        supervisor_.assess(round, report.output.summary);
+
+    RoundRecord record;
+    record.verdict = verdict;
+    record.vps_reused = report.vps_reused;
+    record.vps_rerun = report.vps_rerun;
+    record.resumed = report.vps_reused > 0;
+
+    std::vector<analysis::TargetOutcome> outcomes;
+    std::vector<std::uint32_t> dirty;
+    const bool full = prev_round_ == 0;
+    if (full) {
+      outcomes = analyzer_.analyze(report.output.data, hitlist_,
+                                   config_.min_vps, pool);
+    } else {
+      auto incremental = analysis::incremental_analyze(
+          analyzer_, prev_outcomes_, prev_matrix_, report.output.data,
+          hitlist_, config_.min_vps, pool);
+      outcomes = std::move(incremental.outcomes);
+      dirty = std::move(incremental.dirty);
+    }
+    record.dirty = dirty.size();
+    record.anycast = outcomes.size();
+
+    // Longitudinal events come only from healthy rounds: a half-dark
+    // platform "loses" replicas that are artifacts of the darkness, and
+    // feeding those into churn events or hijack alarms would be exactly
+    // the baseline poisoning the supervisor exists to prevent.
+    std::vector<analysis::PrefixChange> changes;
+    std::vector<analysis::HijackAlarm> alarms;
+    if (verdict.health == RoundHealth::kHealthy) {
+      if (baseline_round_ > 0) {
+        const analysis::CensusSnapshot now(outcomes);
+        changes = analysis::diff_censuses(baseline_snapshot_, now,
+                                          config_.min_replica_delta)
+                      .changes;
+      }
+      if (reference_round_ > 0) {
+        if (baseline_round_ == prev_round_ && !full) {
+          // Common case: the previous round is the baseline, so the
+          // incremental dirty set already is the changed-vs-baseline set.
+          alarms = monitor_.scan_targets(report.output.data, hitlist_, dirty,
+                                         config_.min_vps);
+        } else if (baseline_round_ > 0) {
+          // Degraded rounds sat between this round and the baseline: diff
+          // against the baseline matrix so transitions that happened
+          // while degraded are not missed.
+          const auto changed =
+              analysis::dirty_rows(baseline_matrix_, report.output.data, pool);
+          alarms = monitor_.scan_targets(report.output.data, hitlist_,
+                                         changed, config_.min_vps);
+        }
+      }
+    }
+    record.churn_events = changes.size();
+    record.hijack_alarms = alarms.size();
+
+    if (j.recording()) {
+      j.emit(obs::MetricClass::kSemantic,
+             verdict.health == RoundHealth::kDegraded ? obs::Severity::kWarn
+                                                      : obs::Severity::kInfo,
+             "watch.round", j.next_order(),
+             {{"round", round},
+              {"health", to_string(verdict.health)},
+              {"coverage_permille", coverage_permille(verdict.coverage)},
+              {"completed", verdict.completed},
+              {"active", verdict.active},
+              {"configured", verdict.configured},
+              {"escalation", verdict.escalation},
+              {"reused", record.vps_reused},
+              {"rerun", record.vps_rerun},
+              {"full", full},
+              {"dirty", record.dirty},
+              {"anycast", record.anycast}});
+      for (const analysis::PrefixChange& change : changes) {
+        j.emit(obs::MetricClass::kSemantic, obs::Severity::kInfo,
+               "watch.churn", j.next_order(),
+               {{"slash24", change.slash24_index},
+                {"kind", to_string(change.kind)},
+                {"before", change.replicas_before},
+                {"after", change.replicas_after}});
+      }
+      for (const analysis::HijackAlarm& alarm : alarms) {
+        j.emit(obs::MetricClass::kSemantic, obs::Severity::kWarn,
+               "watch.hijack", j.next_order(),
+               {{"slash24", alarm.slash24_index},
+                {"target", alarm.target_index},
+                {"origins", alarm.result.replicas.size()}});
+      }
+      j.commit();  // one deterministic batch per round
+    }
+
+    supervisor_.observe(verdict);
+    verdicts_.push_back(verdict);
+    std::vector<std::uint32_t> quarantined;
+    for (const census::VpStatus& status : report.output.summary.vp_outcomes) {
+      if (status.outcome == census::VpOutcome::kQuarantined) {
+        quarantined.push_back(status.vp_id);
+      }
+    }
+    quarantined_.push_back(std::move(quarantined));
+
+    prev_round_ = round;
+    prev_matrix_ = std::move(report.output.data);
+    prev_outcomes_ = std::move(outcomes);
+    if (verdict.health == RoundHealth::kHealthy) {
+      baseline_round_ = round;
+      baseline_matrix_ = prev_matrix_;
+      baseline_snapshot_ = analysis::CensusSnapshot(prev_outcomes_);
+      if (reference_round_ == 0) {
+        reference_round_ = round;
+        monitor_.set_reference(prev_matrix_, hitlist_, config_.min_vps);
+      }
+    }
+
+    if (!save_state(&result.error)) {
+      result.exit_code = 1;
+      return result;
+    }
+    prune_checkpoints();
+    result.rounds.push_back(record);
+    result.rounds_completed = round;
+  }
+  return result;
+}
+
+}  // namespace anycast::daemon

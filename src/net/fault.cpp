@@ -19,7 +19,20 @@ enum Stream : std::uint64_t {
   kStormWhere = 6,
   kStallCoin = 7,
   kStallWhere = 8,
+  // Longitudinal scenarios. Tags never overlap the classic four, so a plan
+  // with scenarios disabled draws exactly what it always drew.
+  kFlapCoin = 9,
+  kRegionMember = 11,
+  kHijackCoin = 12,
+  kHijackJitter = 13,
+  kRegionCoin = 14,   // census-wide draws: vp slot holds kCensusWide
+  kRegionWhere = 15,  // census-wide
+  kFlapWhereBase = 32,  // flap window f draws tag kFlapWhereBase + f
 };
+
+/// Stand-in for the vp_id slot in census-wide draws, so every VP agrees on
+/// whether (and where) a regional outage happens.
+constexpr std::uint32_t kCensusWide = 0xA17Cu;
 
 double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
 
@@ -53,6 +66,35 @@ VpFaultSchedule FaultPlan::schedule_for(std::uint32_t vp_id) const {
     window(kStallWhere, spec_.stall_span, s.stall_begin, s.stall_end);
     s.stall_factor = std::max(1.0, spec_.stall_factor);
   }
+  if (draw(kFlapCoin) < spec_.flap_rate) {
+    s.flap_count = std::clamp(spec_.flap_count, 0, VpFaultSchedule::kMaxFlaps);
+    for (int f = 0; f < s.flap_count; ++f) {
+      window(kFlapWhereBase + static_cast<std::uint64_t>(f), spec_.flap_span,
+             s.flap_begin[f], s.flap_end[f]);
+    }
+    s.flap_extra_ms = std::max(0.0, spec_.flap_extra_ms);
+  }
+  if (spec_.regional_rate > 0.0) {
+    // Census-wide coin and window: every VP evaluates the same draws, then
+    // decides membership with its own kRegionMember stream — giving one
+    // correlated dark window over a seeded cohort.
+    const auto census_draw = [&](std::uint64_t tag) {
+      return rng::hash_uniform01(rng::hash_key(spec_.seed, kCensusWide, tag));
+    };
+    if (census_draw(kRegionCoin) < spec_.regional_rate &&
+        draw(kRegionMember) < spec_.regional_fraction) {
+      const double width = clamp01(spec_.regional_span);
+      s.regional_begin = census_draw(kRegionWhere) * (1.0 - width);
+      s.regional_end = s.regional_begin + width;
+    }
+  }
+  if (!spec_.hijack_targets.empty() &&
+      draw(kHijackCoin) < spec_.hijack_vp_fraction) {
+    s.hijack_captured = true;
+    s.hijack_rtt_ms = std::max(0.0, spec_.hijack_rtt_ms);
+    s.hijack_salt = rng::hash_key(spec_.seed, vp_id, kHijackJitter);
+    s.hijack_targets = &spec_.hijack_targets;
+  }
   return s;
 }
 
@@ -75,6 +117,25 @@ FaultInjector::FaultInjector(const VpFaultSchedule& schedule,
   stall_begin_ = index_of(schedule.stall_begin);
   stall_end_ = index_of(schedule.stall_end);
   stall_factor_ = std::max(1.0, schedule.stall_factor);
+  flap_count_ = schedule.flap_count;
+  for (int f = 0; f < flap_count_; ++f) {
+    flap_begin_[f] = index_of(schedule.flap_begin[f]);
+    flap_end_[f] = index_of(schedule.flap_end[f]);
+  }
+  flap_extra_ms_ = schedule.flap_extra_ms;
+  regional_begin_ = index_of(schedule.regional_begin);
+  regional_end_ = index_of(schedule.regional_end);
+  if (schedule.hijack_captured) {
+    hijack_base_rtt_ms_ = schedule.hijack_rtt_ms;
+    hijack_salt_ = schedule.hijack_salt;
+    hijack_targets_ = schedule.hijack_targets;
+  }
+}
+
+double FaultInjector::hijack_rtt_ms(std::uint32_t target_index) const {
+  const double jitter = rng::hash_uniform01(
+      rng::hash_key(hijack_salt_, target_index, std::uint64_t{kHijackJitter}));
+  return hijack_base_rtt_ms_ + 4.0 * jitter;
 }
 
 }  // namespace anycast::net

@@ -14,8 +14,10 @@
 // build, so existing call sites are untouched.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 namespace anycast::net {
 
@@ -44,11 +46,47 @@ struct FaultSpec {
   double stall_span = 0.25;
 
   std::uint64_t seed = 42;
+
+  // --- Longitudinal scenarios (watch-mode chaos). Every field below
+  // draws from sub-stream tags disjoint from the four classic faults, so
+  // enabling a scenario never perturbs an existing plan's draws — an old
+  // chaos census replays byte-identically under a new binary. ---
+
+  /// P(VP sees BGP route flaps): up to `flap_count` short windows during
+  /// which routes re-converge through a longer detour, adding
+  /// `flap_extra_ms` to every echo RTT (applied after the probe, so the
+  /// simulator's RNG draw sequence is untouched).
+  double flap_rate = 0.0;
+  int flap_count = 3;
+  double flap_span = 0.04;      // per-flap window fraction of the walk
+  double flap_extra_ms = 40.0;  // detour inflation while re-converging
+
+  /// Regional outage: with probability `regional_rate` — a census-wide
+  /// coin, not a per-VP one — a seeded cohort of roughly
+  /// `regional_fraction` of all VPs goes dark together for one shared
+  /// window of `regional_span` of the walk. The correlated loss is the
+  /// point: it is what pushes a round below the supervisor's coverage
+  /// floor, where independent per-VP outages rarely do.
+  double regional_rate = 0.0;
+  double regional_fraction = 0.25;
+  double regional_span = 0.5;
+
+  /// Staged hijack: the listed hitlist target indices (sorted ascending)
+  /// are captured for roughly `hijack_vp_fraction` of VPs (drawn per VP).
+  /// A captured VP's probes to a victim are answered by the attacker at
+  /// `hijack_rtt_ms` (plus a small deterministic per-(VP, target) jitter)
+  /// instead of the legitimate path — distant captured VPs then violate
+  /// the speed of light, which is exactly what HijackMonitor alarms on.
+  std::vector<std::uint32_t> hijack_targets;
+  double hijack_vp_fraction = 0.0;
+  double hijack_rtt_ms = 8.0;
 };
 
 /// The faults one VP draws from a plan. Window positions are fractions of
 /// the walk in [0, 1); an empty window (begin == end) means "none".
 struct VpFaultSchedule {
+  static constexpr int kMaxFlaps = 4;
+
   double crash_fraction = 2.0;  // >= 1: never crashes
   double outage_begin = 0.0, outage_end = 0.0;
   double storm_begin = 0.0, storm_end = 0.0;
@@ -56,9 +94,28 @@ struct VpFaultSchedule {
   double stall_begin = 0.0, stall_end = 0.0;
   double stall_factor = 1.0;
 
+  // Route flaps: short detour windows that inflate echo RTTs.
+  int flap_count = 0;
+  double flap_begin[kMaxFlaps] = {}, flap_end[kMaxFlaps] = {};
+  double flap_extra_ms = 0.0;
+
+  // Regional outage: a second dark window, shared by the whole cohort.
+  double regional_begin = 0.0, regional_end = 0.0;
+
+  // Staged hijack: when captured, probes to any index in `hijack_targets`
+  // (sorted, owned by the plan's spec — the plan must outlive injectors
+  // built from this schedule) are answered by the attacker.
+  bool hijack_captured = false;
+  double hijack_rtt_ms = 0.0;
+  std::uint64_t hijack_salt = 0;
+  const std::vector<std::uint32_t>* hijack_targets = nullptr;
+
   [[nodiscard]] bool any() const {
     return crash_fraction < 1.0 || outage_end > outage_begin ||
-           storm_end > storm_begin || stall_end > stall_begin;
+           storm_end > storm_begin || stall_end > stall_begin ||
+           flap_count > 0 || regional_end > regional_begin ||
+           (hijack_captured && hijack_targets != nullptr &&
+            !hijack_targets->empty());
   }
 };
 
@@ -92,9 +149,11 @@ class FaultInjector {
   [[nodiscard]] bool crashed_before(std::uint64_t index) const {
     return index >= crash_at_;
   }
-  /// True when probe `index` falls in the connectivity outage.
+  /// True when probe `index` falls in a connectivity outage — the VP's own
+  /// transient one or the shared regional window.
   [[nodiscard]] bool outage_at(std::uint64_t index) const {
-    return index >= outage_begin_ && index < outage_end_;
+    return (index >= outage_begin_ && index < outage_end_) ||
+           (index >= regional_begin_ && index < regional_end_);
   }
   /// Extra reply-drop probability in effect at probe `index`.
   [[nodiscard]] double extra_drop_at(std::uint64_t index) const {
@@ -105,6 +164,28 @@ class FaultInjector {
     return (index >= stall_begin_ && index < stall_end_) ? stall_factor_
                                                          : 1.0;
   }
+  /// Detour inflation (ms) a route flap adds to an echo at probe `index`;
+  /// 0 outside every flap window. Applied to the simulator's reply after
+  /// the fact so the probe's RNG draw sequence is untouched.
+  [[nodiscard]] double flap_extra_ms_at(std::uint64_t index) const {
+    for (int f = 0; f < flap_count_; ++f) {
+      if (index >= flap_begin_[f] && index < flap_end_[f]) {
+        return flap_extra_ms_;
+      }
+    }
+    return 0.0;
+  }
+  /// True when the attacker intercepts this VP's probes to hitlist index
+  /// `target_index` (staged hijack; valid for the whole walk).
+  [[nodiscard]] bool hijacked(std::uint32_t target_index) const {
+    return hijack_targets_ != nullptr &&
+           std::binary_search(hijack_targets_->begin(),
+                              hijack_targets_->end(), target_index);
+  }
+  /// The attacker's reply RTT for a hijacked target: the configured base
+  /// plus a deterministic per-(VP, target) jitter so captured rows are not
+  /// suspiciously uniform.
+  [[nodiscard]] double hijack_rtt_ms(std::uint32_t target_index) const;
 
  private:
   bool active_ = false;
@@ -114,6 +195,14 @@ class FaultInjector {
   double storm_drop_ = 0.0;
   std::uint64_t stall_begin_ = 0, stall_end_ = 0;
   double stall_factor_ = 1.0;
+  int flap_count_ = 0;
+  std::uint64_t flap_begin_[VpFaultSchedule::kMaxFlaps] = {};
+  std::uint64_t flap_end_[VpFaultSchedule::kMaxFlaps] = {};
+  double flap_extra_ms_ = 0.0;
+  std::uint64_t regional_begin_ = 0, regional_end_ = 0;
+  double hijack_base_rtt_ms_ = 0.0;
+  std::uint64_t hijack_salt_ = 0;
+  const std::vector<std::uint32_t>* hijack_targets_ = nullptr;
 };
 
 }  // namespace anycast::net

@@ -159,6 +159,16 @@ class SimulatedInternet {
       std::span<const VantagePoint> vps, std::size_t deployment_index,
       std::size_t prefix_index) const;
 
+  /// Rewrites which sites announce a deployment prefix (bit i => site i)
+  /// and returns the previous mask. Bits beyond the deployment's site
+  /// count are ignored; a zero mask withdraws the prefix entirely (probes
+  /// to it time out). `catchment` and `probe` read the mask live, so this
+  /// is how watch-mode worlds grow, shrink, and move replicas between
+  /// rounds. Unsynchronised — mutate only between censuses.
+  std::uint64_t set_prefix_site_mask(std::size_t deployment_index,
+                                     std::size_t prefix_index,
+                                     std::uint64_t mask);
+
  private:
   double path_inflation(const VantagePoint& vp,
                         std::uint32_t slash24_index) const;

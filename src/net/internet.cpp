@@ -447,6 +447,19 @@ std::vector<const ReplicaSite*> SimulatedInternet::reachable_sites(
   return out;
 }
 
+std::uint64_t SimulatedInternet::set_prefix_site_mask(
+    std::size_t deployment_index, std::size_t prefix_index,
+    std::uint64_t mask) {
+  Deployment& deployment = deployments_.at(deployment_index);
+  std::uint64_t& slot = deployment.prefix_site_masks.at(prefix_index);
+  const std::uint64_t previous = slot;
+  const std::size_t sites = deployment.sites.size();
+  const std::uint64_t valid =
+      sites >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << sites) - 1;
+  slot = mask & valid;
+  return previous;
+}
+
 ProbeReply SimulatedInternet::probe(const VantagePoint& vp,
                                     ipaddr::IPv4Address dst,
                                     Protocol protocol, rng::Xoshiro256& gen,

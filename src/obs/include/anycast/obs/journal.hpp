@@ -149,7 +149,14 @@ class Journal {
   /// tokens capacity, refilled at `per_second` (0 = no refill). The
   /// limiter is wall-clock driven, which is exactly why semantic events
   /// are exempt — suppressing them by time would break replay identity.
+  /// The bucket map holds at most kMaxLimiterKeys entries; inserting a
+  /// fresh key beyond that evicts the least-recently-touched bucket, so a
+  /// long watch run with per-round key churn stays bounded (the evicted
+  /// key just re-enters with a full burst if it comes back).
   void set_rate_limit(double per_second, double burst);
+  static constexpr std::size_t kMaxLimiterKeys = 64;
+  /// Live token-bucket count (test hook for the eviction bound).
+  [[nodiscard]] std::size_t rate_limiter_key_count() const;
 
   /// Per-thread arena bytes for arenas created after the call (default
   /// 1 MiB). Test knob for exercising the bounded-drop path.

@@ -179,7 +179,21 @@ struct Journal::Impl {
     if (!limiter_on.load(std::memory_order_relaxed)) return false;
     const std::lock_guard lock(limiter_mutex);
     if (limit_per_s < 0.0 || limit_burst <= 0.0) return false;
-    Bucket& bucket = buckets.try_emplace(std::string(key)).first->second;
+    auto it = buckets.find(std::string(key));
+    if (it == buckets.end()) {
+      // Bound the map for long-running daemons: evict the bucket touched
+      // longest ago. A re-appearing key restarts with a full burst, which
+      // only ever under-limits — never drops an event it should not.
+      if (buckets.size() >= Journal::kMaxLimiterKeys) {
+        auto oldest = buckets.begin();
+        for (auto probe = buckets.begin(); probe != buckets.end(); ++probe) {
+          if (probe->second.last_ns < oldest->second.last_ns) oldest = probe;
+        }
+        buckets.erase(oldest);
+      }
+      it = buckets.try_emplace(std::string(key)).first;
+    }
+    Bucket& bucket = it->second;
     const std::int64_t now = steady_ns();
     if (bucket.last_ns == 0) bucket.tokens = limit_burst;
     bucket.tokens = std::min(
@@ -396,6 +410,11 @@ void Journal::set_rate_limit(double per_second, double burst) {
   impl_->buckets.clear();
   impl_->limiter_on.store(per_second >= 0.0 && burst > 0.0,
                           std::memory_order_relaxed);
+}
+
+std::size_t Journal::rate_limiter_key_count() const {
+  const std::lock_guard lock(impl_->limiter_mutex);
+  return impl_->buckets.size();
 }
 
 void Journal::set_arena_capacity(std::size_t bytes) {

@@ -275,3 +275,72 @@ endforeach()
 if(NOT out MATCHES "census.walk")
   message(FATAL_ERROR "run report missing journal event table: ${out}")
 endif()
+
+# Resume with no checkpoints on disk must refuse with a clear one-line
+# error and a nonzero exit, instead of silently running a fresh census.
+execute_process(
+  COMMAND ${ANYCASTD} resume --out ${WORK_DIR}/never_ran --vps 4
+          --unicast 100
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "resume with nothing to resume did not fail")
+endif()
+if(NOT err MATCHES "resume: no checkpoint for census [0-9]+ in")
+  message(FATAL_ERROR "resume-nothing error message missing: ${err}")
+endif()
+
+# Watch leg: a churning multi-round campaign must journal a byte-identical
+# semantic stream at any thread count — the tentpole determinism contract.
+foreach(threads 2 8)
+  execute_process(
+    COMMAND ${ANYCASTD} watch --out ${WORK_DIR}/w${threads} --rounds 3
+            --vps 12 --unicast 400 --churn --threads ${threads}
+            --journal-out ${WORK_DIR}/w${threads}.jsonl
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "watch (${threads} threads) failed (${rc}): "
+            "${out}${err}")
+  endif()
+  if(NOT out MATCHES "watch: campaign at 3/3 rounds")
+    message(FATAL_ERROR "watch output missing campaign summary: ${out}")
+  endif()
+endforeach()
+execute_process(
+  COMMAND ${ANYCASTD} report --diff ${WORK_DIR}/w2.jsonl
+          --against ${WORK_DIR}/w8.jsonl
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "watch journals drifted across thread counts "
+          "(${rc}): ${out}${err}")
+endif()
+if(NOT out MATCHES "zero drift: [0-9]+ semantic events identical")
+  message(FATAL_ERROR "watch drift diff output malformed: ${out}")
+endif()
+
+# Watchdog drill: the daemon aborts round 2 mid-walk with the dedicated
+# exit code, and a plain restart over the same directory resumes the
+# half-done round and finishes the campaign.
+execute_process(
+  COMMAND ${ANYCASTD} watch --out ${WORK_DIR}/w_drill --rounds 3 --vps 12
+          --unicast 400 --churn --die-at-round 2
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 70)
+  message(FATAL_ERROR "watchdog drill exited ${rc}, want 70: ${out}${err}")
+endif()
+if(NOT out MATCHES "watchdog abort drill fired")
+  message(FATAL_ERROR "drill output missing abort notice: ${out}")
+endif()
+execute_process(
+  COMMAND ${ANYCASTD} watch --out ${WORK_DIR}/w_drill --rounds 3 --vps 12
+          --unicast 400 --churn
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "watch restart after drill failed (${rc}): "
+          "${out}${err}")
+endif()
+if(NOT out MATCHES "round 2: healthy[^\n]*\\[resumed\\]")
+  message(FATAL_ERROR "restart did not resume the aborted round: ${out}")
+endif()
+if(NOT out MATCHES "watch: campaign at 3/3 rounds")
+  message(FATAL_ERROR "restarted campaign did not finish: ${out}")
+endif()

@@ -130,13 +130,164 @@ TEST(FaultInjector, WindowsMapToProbeIndices) {
   EXPECT_EQ(injector.dilation_at(300), 1.0);
 }
 
-// --- run_fastping under faults ---------------------------------------------
-
 FastPingConfig base_config() {
   FastPingConfig config;
   config.seed = 90;
   return config;
 }
+
+// --- Longitudinal scenarios (watch-mode chaos) ------------------------------
+
+TEST(FaultPlan, LongitudinalSchedulesAreDeterministic) {
+  net::FaultSpec spec;
+  spec.flap_rate = 1.0;
+  spec.regional_rate = 1.0;
+  spec.regional_fraction = 0.5;
+  spec.hijack_targets = {5, 17, 40};
+  spec.hijack_vp_fraction = 0.5;
+  const net::FaultPlan plan(spec);
+  const net::FaultPlan replay(spec);
+  for (std::uint32_t vp = 0; vp < 64; ++vp) {
+    const auto a = plan.schedule_for(vp);
+    const auto b = replay.schedule_for(vp);
+    ASSERT_EQ(a.flap_count, b.flap_count);
+    for (int f = 0; f < a.flap_count; ++f) {
+      EXPECT_EQ(a.flap_begin[f], b.flap_begin[f]);
+      EXPECT_EQ(a.flap_end[f], b.flap_end[f]);
+    }
+    EXPECT_EQ(a.regional_begin, b.regional_begin);
+    EXPECT_EQ(a.regional_end, b.regional_end);
+    EXPECT_EQ(a.hijack_captured, b.hijack_captured);
+    EXPECT_EQ(a.hijack_salt, b.hijack_salt);
+  }
+}
+
+TEST(FaultPlan, ScenarioTagsDoNotPerturbClassicDraws) {
+  // The longitudinal fields draw from disjoint sub-stream tags: enabling
+  // them must leave every classic fault draw untouched, so an old chaos
+  // census replays byte-identically under the extended spec.
+  net::FaultSpec classic;
+  classic.crash_rate = 0.5;
+  classic.outage_rate = 0.5;
+  classic.storm_rate = 0.5;
+  classic.straggler_rate = 0.5;
+  net::FaultSpec extended = classic;
+  extended.flap_rate = 1.0;
+  extended.regional_rate = 1.0;
+  extended.hijack_targets = {1, 2, 3};
+  extended.hijack_vp_fraction = 1.0;
+  const net::FaultPlan plain(classic);
+  const net::FaultPlan loaded(extended);
+  for (std::uint32_t vp = 0; vp < 64; ++vp) {
+    const auto a = plain.schedule_for(vp);
+    const auto b = loaded.schedule_for(vp);
+    EXPECT_EQ(a.crash_fraction, b.crash_fraction);
+    EXPECT_EQ(a.outage_begin, b.outage_begin);
+    EXPECT_EQ(a.outage_end, b.outage_end);
+    EXPECT_EQ(a.storm_begin, b.storm_begin);
+    EXPECT_EQ(a.storm_end, b.storm_end);
+    EXPECT_EQ(a.stall_begin, b.stall_begin);
+    EXPECT_EQ(a.stall_end, b.stall_end);
+  }
+}
+
+TEST(FaultPlan, RegionalOutageIsACorrelatedCohort) {
+  net::FaultSpec spec;
+  spec.regional_rate = 1.0;
+  spec.regional_fraction = 0.5;
+  const net::FaultPlan plan(spec);
+  std::size_t members = 0;
+  double begin = -1.0, end = -1.0;
+  for (std::uint32_t vp = 0; vp < 64; ++vp) {
+    const auto schedule = plan.schedule_for(vp);
+    if (schedule.regional_end > schedule.regional_begin) {
+      ++members;
+      if (begin < 0.0) {
+        begin = schedule.regional_begin;
+        end = schedule.regional_end;
+      }
+      // One shared window: the cohort goes dark together.
+      EXPECT_EQ(schedule.regional_begin, begin);
+      EXPECT_EQ(schedule.regional_end, end);
+    }
+  }
+  EXPECT_GT(members, 16u);
+  EXPECT_LT(members, 48u) << "roughly half the platform, not all of it";
+}
+
+TEST(FastPingFaults, FlapInflatesEchoesInsideWindowsOnly) {
+  net::FaultSpec spec;
+  spec.flap_rate = 1.0;
+  spec.flap_extra_ms = 40.0;
+  const net::FaultPlan plan(spec);
+  const auto vps = net::make_planetlab({.node_count = 1, .seed = 91});
+  Greylist blacklist;
+  Greylist grey_a, grey_b;
+  const FastPingResult bare = run_fastping(
+      tiny_world(), vps[0], tiny_hitlist(), blacklist, grey_a, base_config());
+  const FastPingResult flapped =
+      run_fastping(tiny_world(), vps[0], tiny_hitlist(), blacklist, grey_b,
+                   base_config(), &plan);
+  // The detour only inflates RTTs — reply kinds, probe counts, and the
+  // underlying draw sequence are untouched.
+  EXPECT_EQ(flapped.probes_sent, bare.probes_sent);
+  EXPECT_EQ(flapped.echo_replies, bare.echo_replies);
+  EXPECT_EQ(flapped.timeouts, bare.timeouts);
+  ASSERT_EQ(flapped.observations.size(), bare.observations.size());
+  std::size_t inflated = 0;
+  for (std::size_t i = 0; i < bare.observations.size(); ++i) {
+    EXPECT_EQ(flapped.observations[i].target_index,
+              bare.observations[i].target_index);
+    EXPECT_EQ(flapped.observations[i].kind, bare.observations[i].kind);
+    const float delta =
+        flapped.observations[i].rtt_ms - bare.observations[i].rtt_ms;
+    if (delta != 0.0F) {
+      EXPECT_EQ(bare.observations[i].kind, net::ReplyKind::kEchoReply);
+      EXPECT_FLOAT_EQ(delta, 40.0F);
+      ++inflated;
+    }
+  }
+  EXPECT_GT(inflated, 0u) << "a certain flap plan must inflate something";
+  EXPECT_LT(inflated, bare.observations.size())
+      << "flap windows cover a small fraction of the walk";
+}
+
+TEST(FastPingFaults, HijackLeavesEveryOtherRowByteIdentical) {
+  net::FaultSpec spec;
+  spec.hijack_vp_fraction = 1.0;
+  spec.hijack_targets = {3, 30, 90};
+  spec.hijack_rtt_ms = 8.0;
+  const net::FaultPlan plan(spec);
+  const auto vps = net::make_planetlab({.node_count = 1, .seed = 91});
+  Greylist blacklist;
+  Greylist grey_a, grey_b;
+  const FastPingResult bare = run_fastping(
+      tiny_world(), vps[0], tiny_hitlist(), blacklist, grey_a, base_config());
+  const FastPingResult hijacked =
+      run_fastping(tiny_world(), vps[0], tiny_hitlist(), blacklist, grey_b,
+                   base_config(), &plan);
+  // The attacker answers in place of the victim, but the probe still
+  // consumes the legitimate path's RNG draws — so every non-victim
+  // observation is byte-identical, the invariant that keeps watch-mode
+  // dirty sets equal to the exact victim set.
+  ASSERT_EQ(hijacked.observations.size(), bare.observations.size());
+  for (std::size_t i = 0; i < bare.observations.size(); ++i) {
+    const auto& h = hijacked.observations[i];
+    const auto& b = bare.observations[i];
+    ASSERT_EQ(h.target_index, b.target_index);
+    if (std::find(spec.hijack_targets.begin(), spec.hijack_targets.end(),
+                  h.target_index) != spec.hijack_targets.end()) {
+      EXPECT_EQ(h.kind, net::ReplyKind::kEchoReply);
+      EXPECT_GE(h.rtt_ms, 8.0F);
+      EXPECT_LT(h.rtt_ms, 12.0F);  // base + up to 4ms deterministic jitter
+    } else {
+      EXPECT_EQ(h.kind, b.kind);
+      EXPECT_EQ(h.rtt_ms, b.rtt_ms);
+    }
+  }
+}
+
+// --- run_fastping under faults ---------------------------------------------
 
 TEST(FastPingFaults, ZeroRatePlanIsByteIdenticalToNoPlan) {
   const auto vps = net::make_planetlab({.node_count = 3, .seed = 91});

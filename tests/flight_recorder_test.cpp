@@ -180,6 +180,27 @@ TEST(Journal, RateLimiterCapsTimingEventsPerKey) {
   EXPECT_EQ(j.events_recorded(), 16u);      // 3 + 3 timing, 10 semantic
 }
 
+TEST(Journal, RateLimiterKeyMapIsBounded) {
+  // A long-lived daemon emits timing events under an unbounded set of
+  // names; the limiter map must stay bounded (oldest bucket evicted)
+  // instead of growing for the life of the process.
+  Journal j;
+  j.set_recording(true);
+  j.set_rate_limit(/*per_second=*/0.0, /*burst=*/2.0);
+  for (int k = 0; k < 500; ++k) {
+    const std::string name = "key_" + std::to_string(k);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      j.emit(MetricClass::kTiming, Severity::kInfo, name, i, {{"i", i}});
+    }
+  }
+  EXPECT_LE(j.rate_limiter_key_count(), Journal::kMaxLimiterKeys);
+  // Eviction only ever under-limits (an evicted key re-enters with a full
+  // burst); the keys still resident keep limiting normally.
+  j.commit();
+  EXPECT_GT(j.events_rate_limited(), 0u);
+  EXPECT_GE(j.events_recorded(), 2u * 500u);
+}
+
 TEST(Journal, FullArenaDropsAndCountsInsteadOfBlocking) {
   Journal j;
   j.set_arena_capacity(256);  // a handful of events per thread

@@ -45,6 +45,7 @@
 #include "anycast/census/resume.hpp"
 #include "anycast/census/storage.hpp"
 #include "anycast/concurrency/thread_pool.hpp"
+#include "anycast/daemon/watch.hpp"
 #include "anycast/geo/city_index.hpp"
 #include "anycast/net/fault.hpp"
 #include "anycast/net/platform.hpp"
@@ -96,6 +97,21 @@ constexpr tools::FlagHelp kCensusFlags[] = {
     {"resume", "", "reuse complete checkpoints; re-run the rest"},
 };
 
+constexpr tools::FlagHelp kWatchFlags[] = {
+    {"rounds", "N", "census rounds the campaign should reach (default 3)"},
+    {"chaos", "SCENARIO",
+     "flaps|regional|hijack|outages|storm|churn|mixed, or bare --chaos "
+     "for the classic per-VP faults"},
+    {"coverage-floor", "F",
+     "completed/active VP floor below which a round is degraded (0.8)"},
+    {"hijack-round", "N", "round a staged hijack starts (default 3)"},
+    {"churn", "", "grow/shrink/move one replica set between rounds"},
+    {"churn-seed", "N", "world-churn seed (default 77)"},
+    {"die-at-round", "N",
+     "watchdog drill: abort round N mid-way (half the platform "
+     "checkpointed, no state commit) and exit 70; restart resumes"},
+};
+
 constexpr tools::FlagHelp kChaosFlags[] = {
     {"chaos", "", "inject deterministic faults into the census"},
     {"chaos-seed", "N", "fault-plan seed (default 42)"},
@@ -110,12 +126,15 @@ constexpr tools::FlagHelp kChaosFlags[] = {
 int usage() {
   std::fprintf(stderr,
                "usage: anycastd "
-               "<world|census|resume|analyze|portscan|diff|report> [flags]\n"
+               "<world|census|resume|watch|analyze|portscan|diff|report> "
+               "[flags]\n"
                "  common flags:\n");
   tools::print_flag_help(stderr, kCommonFlags);
   std::fprintf(stderr, "  census / resume:\n");
   tools::print_flag_help(stderr, kCensusFlags);
   tools::print_flag_help(stderr, kChaosFlags);
+  std::fprintf(stderr, "  watch (supervised multi-round daemon):\n");
+  tools::print_flag_help(stderr, kWatchFlags);
   std::fprintf(stderr,
                "  analyze:  --in DIR [--geojson FILE] [--top N]\n"
                "  portscan: [--top N]\n"
@@ -237,9 +256,8 @@ census::FastPingConfig fastping_config_from(const Flags& flags) {
   return fastping;
 }
 
-/// Fault plan from the kChaosFlags knobs; nullopt without --chaos.
-std::optional<net::FaultPlan> fault_plan_from(const Flags& flags) {
-  const bool chaos = flags.get_bool("chaos");
+/// The classic four-fault spec from the kChaosFlags knobs.
+net::FaultSpec chaos_spec_from(const Flags& flags) {
   net::FaultSpec spec;
   spec.seed = static_cast<std::uint64_t>(flags.get_int("chaos-seed", 42));
   spec.crash_rate = flags.get_double("crash-rate", 0.15);
@@ -248,7 +266,13 @@ std::optional<net::FaultPlan> fault_plan_from(const Flags& flags) {
   spec.storm_drop = flags.get_double("storm-drop", 0.5);
   spec.straggler_rate = flags.get_double("straggler-rate", 0.15);
   spec.stall_factor = flags.get_double("stall-factor", 8.0);
-  if (!chaos) return std::nullopt;
+  return spec;
+}
+
+/// Fault plan from the kChaosFlags knobs; nullopt without --chaos.
+std::optional<net::FaultPlan> fault_plan_from(const Flags& flags) {
+  const net::FaultSpec spec = chaos_spec_from(flags);
+  if (!flags.get_bool("chaos")) return std::nullopt;
   return net::FaultPlan(spec);
 }
 
@@ -271,6 +295,23 @@ int cmd_census(const Flags& flags, bool resume) {
   concurrency::ThreadPool pool = pool_from(flags);
   if (const int rc = reject_unknown(flags)) return rc;
 
+  if (resume) {
+    // A resume with nothing to resume is a mis-typed directory or census
+    // id, not a request for a fresh census — silently starting one would
+    // hide the mistake behind hours of probing.
+    const bool any_checkpoint = std::any_of(
+        vps.begin(), vps.end(), [&](const net::VantagePoint& vp) {
+          return fs::exists(
+              census::census_checkpoint_path(*out_dir, census_id, vp.id));
+        });
+    if (!any_checkpoint) {
+      std::fprintf(stderr,
+                   "resume: no checkpoint for census %u in %s — nothing to "
+                   "resume (run `anycastd census` first)\n",
+                   census_id, out_dir->c_str());
+      return 1;
+    }
+  }
   if (!resume) {
     // A fresh census owns its checkpoints: drop leftovers so stale
     // complete files from an earlier run cannot masquerade as this one's.
@@ -319,6 +360,105 @@ int cmd_census(const Flags& flags, bool resume) {
   std::printf("wrote %zu files to %s\n",
               report.vps_reused + report.vps_rerun, out_dir->c_str());
   return 0;
+}
+
+int cmd_watch(const Flags& flags) {
+  const auto out_dir = flags.get("out");
+  if (!out_dir.has_value()) {
+    std::fprintf(stderr, "watch: --out DIR is required\n");
+    return 2;
+  }
+  // Non-const: watch-mode worlds churn replicas between rounds.
+  net::SimulatedInternet internet(world_config_from(flags));
+  const auto vps = platform_from(flags);
+  const census::Hitlist hitlist =
+      census::Hitlist::from_world(internet).without_dead();
+
+  daemon::WatchConfig config;
+  config.rounds = static_cast<int>(flags.get_int("rounds", 3));
+  config.out_dir = *out_dir;
+  config.fastping = fastping_config_from(flags);
+  config.supervisor.coverage_floor = flags.get_double("coverage-floor", 0.8);
+  config.hijack_from_round =
+      static_cast<int>(flags.get_int("hijack-round", 3));
+  config.die_at_round = static_cast<int>(flags.get_int("die-at-round", 0));
+  config.churn = flags.get_bool("churn");
+  config.churn_seed =
+      static_cast<std::uint64_t>(flags.get_int("churn-seed", 77));
+
+  if (const auto chaos = flags.get("chaos")) {
+    net::FaultSpec spec;
+    spec.seed = static_cast<std::uint64_t>(flags.get_int("chaos-seed", 42));
+    config.chaos_enabled = true;
+    if (*chaos == "true") {  // bare --chaos: the classic per-VP faults
+      spec = chaos_spec_from(flags);
+    } else if (*chaos == "flaps") {
+      spec.flap_rate = 0.5;
+    } else if (*chaos == "regional") {
+      spec.regional_rate = 0.9;
+      spec.regional_fraction = 0.35;
+      spec.regional_span = 0.5;
+    } else if (*chaos == "hijack") {
+      spec.hijack_vp_fraction = 0.6;
+      // Eight victims spread across the hitlist; the monitor only alarms
+      // on the ones its reference round classified as unicast.
+      for (std::size_t i = 1; i <= 8 && hitlist.size() > 9; ++i) {
+        spec.hijack_targets.push_back(
+            static_cast<std::uint32_t>(i * hitlist.size() / 9));
+      }
+    } else if (*chaos == "outages") {
+      spec.outage_rate = 0.30;
+      spec.crash_rate = 0.05;
+    } else if (*chaos == "storm") {
+      spec.storm_rate = 0.40;
+    } else if (*chaos == "churn") {
+      config.chaos_enabled = false;  // pure world churn, no probe faults
+      config.churn = true;
+    } else if (*chaos == "mixed") {
+      spec.flap_rate = 0.25;
+      spec.outage_rate = 0.15;
+      spec.storm_rate = 0.15;
+      config.churn = true;
+    } else {
+      std::fprintf(stderr, "watch: unknown --chaos scenario: %s\n",
+                   chaos->c_str());
+      return 2;
+    }
+    config.chaos = spec;
+  }
+  concurrency::ThreadPool pool = pool_from(flags);
+  if (const int rc = reject_unknown(flags)) return rc;
+
+  daemon::WatchDaemon watcher(internet, vps, geo::world_index(), hitlist,
+                              config);
+  daemon::WatchResult result;
+  {
+    const ProgressGuard progress = maybe_start_progress(pool, flags, "watch");
+    result = watcher.run(&pool);
+  }
+  if (!result.error.empty()) {
+    std::fprintf(stderr, "watch: %s\n", result.error.c_str());
+    return result.exit_code == 0 ? 1 : result.exit_code;
+  }
+  for (const daemon::RoundRecord& record : result.rounds) {
+    const daemon::RoundVerdict& v = record.verdict;
+    std::printf(
+        "round %d: %s, coverage %.1f%% (%zu/%zu VPs, escalation %d)%s — "
+        "%zu dirty rows, %zu anycast /24, %zu churn events, %zu hijack "
+        "alarms\n",
+        v.round, std::string(daemon::to_string(v.health)).c_str(),
+        100.0 * v.coverage, v.completed, v.active, v.escalation,
+        record.resumed ? " [resumed]" : "", record.dirty, record.anycast,
+        record.churn_events, record.hijack_alarms);
+  }
+  if (result.exit_code == daemon::kAbortedExitCode) {
+    std::printf("watch: watchdog abort drill fired — restart with the same "
+                "--out to resume\n");
+  } else {
+    std::printf("watch: campaign at %d/%d rounds in %s\n",
+                result.rounds_completed, config.rounds, out_dir->c_str());
+  }
+  return result.exit_code;
 }
 
 int cmd_analyze(const Flags& flags) {
@@ -665,6 +805,7 @@ int main(int argc, char** argv) {
   if (command == "world") rc = cmd_world(*flags);
   else if (command == "census") rc = cmd_census(*flags, /*resume=*/false);
   else if (command == "resume") rc = cmd_census(*flags, /*resume=*/true);
+  else if (command == "watch") rc = cmd_watch(*flags);
   else if (command == "analyze") rc = cmd_analyze(*flags);
   else if (command == "portscan") rc = cmd_portscan(*flags);
   else if (command == "diff") rc = cmd_diff(*flags);
