@@ -1,6 +1,7 @@
 #include "anycast/analysis/analyzer.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "anycast/concurrency/thread_pool.hpp"
 #include "anycast/geodesy/disk.hpp"
@@ -51,7 +52,7 @@ CensusAnalyzer::CensusAnalyzer(std::span<const net::VantagePoint> vps,
   }
 }
 
-bool CensusAnalyzer::detect(std::span<const census::VpRtt> row) const {
+bool CensusAnalyzer::detect_scan(std::span<const census::VpRtt> row) const {
   // Radii from the per-VP minimum RTTs; a pair of VPs whose mutual
   // distance exceeds the radius sum cannot both contain the target.
   // Row entries are vp-sorted and unique; all arithmetic is precomputed
@@ -71,6 +72,91 @@ bool CensusAnalyzer::detect(std::span<const census::VpRtt> row) const {
     const double* distance_row = &vp_distance_km_[vi * vps_.size()];
     for (std::size_t j = i + 1; j < n; ++j) {
       if (radii[j] < 0.0) continue;
+      if (distance_row[row[j].vp] > radii[i] + radii[j]) return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Slack for the witness-point bound, far above the floating-point error
+/// of any chain of precomputed haversine distances (<~1e-6 km even near
+/// the antipode), so the prefilter never skips a pair the exact strict
+/// `>` comparison would call disjoint.
+constexpr double kWitnessSlackKm = 1e-3;
+
+}  // namespace
+
+bool CensusAnalyzer::detect(std::span<const census::VpRtt> row) const {
+  if (options_.reference_kernel) return detect_scan(row);
+  // Witness-point prefilter in front of the exact test. Pick the witness
+  // P = centre of the smallest valid disk and define each disk's excess
+  //     e_i = d(vp_i, P) - r_i.
+  // If disks i and j are disjoint, d(i,j) > r_i + r_j, and the triangle
+  // inequality d(i,j) <= d(i,P) + d(j,P) forces e_i + e_j > 0. The
+  // contrapositive prunes: a pair with e_i + e_j <= -slack provably
+  // intersects and needs no distance lookup. Scanning pairs in descending
+  // excess order makes the prune monotone — once the sum dips below the
+  // slack for the best remaining partner, every later pair is bounded
+  // too. A unicast target's disks all roughly contain its one location,
+  // so nearly all excesses are <= 0 and the typical row costs one sort
+  // and no pair tests, instead of the full O(n^2) sweep. Only provably
+  // intersecting pairs are skipped and the surviving pairs run the exact
+  // comparison, so the verdict is identical to detect_scan for every row.
+  thread_local std::vector<double> radii;
+  thread_local std::vector<double> excess;
+  thread_local std::vector<std::uint32_t> order;
+  const std::size_t n = row.size();
+  radii.clear();
+  radii.reserve(n);
+  order.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double rtt = row[i].rtt_ms;
+    radii.push_back(rtt <= options_.max_rtt_ms
+                        ? geodesy::rtt_to_radius_km(rtt)
+                        : -1.0);
+    if (radii[i] >= 0.0) order.push_back(static_cast<std::uint32_t>(i));
+  }
+  if (order.size() < 2) return false;
+
+  std::uint32_t witness = order[0];
+  for (const std::uint32_t i : order) {
+    if (radii[i] < radii[witness]) witness = i;
+  }
+  const double* witness_row = &vp_distance_km_[row[witness].vp * vps_.size()];
+  excess.assign(n, 0.0);
+  for (const std::uint32_t i : order) {
+    excess[i] = witness_row[row[i].vp] - radii[i];
+  }
+  // Top-2 shortcut: every pair sum is bounded by the two largest excesses,
+  // so the typical unicast row exits here in O(n) without sorting.
+  double top1 = -std::numeric_limits<double>::infinity();
+  double top2 = top1;
+  for (const std::uint32_t i : order) {
+    if (excess[i] > top1) {
+      top2 = top1;
+      top1 = excess[i];
+    } else if (excess[i] > top2) {
+      top2 = excess[i];
+    }
+  }
+  if (top1 + top2 <= -kWitnessSlackKm) return false;
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (excess[a] != excess[b]) return excess[a] > excess[b];
+              return a < b;
+            });
+
+  for (std::size_t a = 0; a + 1 < order.size(); ++a) {
+    const std::uint32_t i = order[a];
+    const double* distance_row = &vp_distance_km_[row[i].vp * vps_.size()];
+    for (std::size_t b = a + 1; b < order.size(); ++b) {
+      const std::uint32_t j = order[b];
+      if (excess[i] + excess[j] <= -kWitnessSlackKm) {
+        if (b == a + 1) return false;  // all later pairs are bounded too
+        break;
+      }
       if (distance_row[row[j].vp] > radii[i] + radii[j]) return true;
     }
   }

@@ -49,8 +49,15 @@ class CensusAnalyzer {
       const census::CensusMatrix& data, const census::Hitlist& hitlist,
       std::size_t min_vps = 2, concurrency::ThreadPool* pool = nullptr) const;
 
-  /// The cheap detection predicate on one target row.
+  /// The cheap detection predicate on one target row. Runs a witness-point
+  /// prefilter (O(n log n) for the typical unicast row) in front of the
+  /// exact pairwise test; the verdict is identical to the full O(n^2)
+  /// sweep, which `detect_scan` retains as the oracle.
   [[nodiscard]] bool detect(std::span<const census::VpRtt> row) const;
+
+  /// Pre-kernel full pairwise detection sweep (oracle for property tests
+  /// and the scalar side of the bench_analysis_kernel duel).
+  [[nodiscard]] bool detect_scan(std::span<const census::VpRtt> row) const;
 
   /// Full iGreedy on one target row (used for detected targets and for
   /// focused studies like the Fig. 5 platform comparison).

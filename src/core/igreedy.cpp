@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <limits>
 #include <unordered_map>
+#include <utility>
 
+#include "anycast/geodesy/chord.hpp"
 #include "anycast/obs/metrics.hpp"
 
 namespace anycast::core {
@@ -33,17 +35,85 @@ const IGreedyInstruments& igreedy_instruments() {
   return instruments;
 }
 
-}  // namespace
+/// VP ids at or above this are too sparse for the dense arrays; the
+/// collapse falls back to a hash map. Census VPs number in the hundreds,
+/// so in practice the dense path always runs.
+constexpr std::uint32_t kDenseVpLimit = 1u << 20;
 
-std::vector<geodesy::Disk> IGreedy::make_disks(
-    std::span<const Measurement> measurements,
-    std::vector<std::uint32_t>* vp_ids) const {
-  // Collapse to one disk per VP at its minimum RTT: queueing jitter only
-  // ever inflates RTT, so the minimum is the best propagation estimate.
+/// Thread-local collapse arena: dense per-VP min-RTT slots validated by an
+/// epoch stamp, so reuse across targets is O(touched) — no clearing, no
+/// hashing, no per-target allocation once warm.
+struct CollapseScratch {
+  std::vector<std::uint32_t> stamp;      // slot valid iff stamp[vp] == epoch
+  std::vector<double> min_rtt;
+  std::vector<geodesy::GeoPoint> location;
+  std::vector<std::uint32_t> touched;    // VPs seen this epoch
+  std::vector<geodesy::Disk> disks;      // detect() reuse
+  std::uint32_t epoch = 0;
+
+  void begin() {
+    touched.clear();
+    if (++epoch == 0) {  // wrapped: stale stamps could alias, reset them
+      std::fill(stamp.begin(), stamp.end(), 0);
+      epoch = 1;
+    }
+  }
+};
+
+CollapseScratch& collapse_scratch() {
+  thread_local CollapseScratch scratch;
+  return scratch;
+}
+
+/// Collapses measurements to one (min RTT, location) per VP into `s`, with
+/// `s.touched` sorted ascending afterwards. Tie RTTs keep the FIRST
+/// measurement seen — the same winner the hash-map original's strict `<`
+/// replacement kept. Returns false (scratch unspecified) when a VP id
+/// exceeds the dense limit; the caller falls back to the map path.
+bool collapse_dense(std::span<const Measurement> measurements,
+                    double max_rtt_ms, CollapseScratch& s) {
+  std::uint32_t max_vp = 0;
+  bool any = false;
+  for (const Measurement& m : measurements) {
+    if (m.rtt_ms <= 0.0 || m.rtt_ms > max_rtt_ms) continue;
+    if (m.vp_id >= kDenseVpLimit) return false;
+    max_vp = std::max(max_vp, m.vp_id);
+    any = true;
+  }
+  s.begin();
+  if (!any) return true;
+  if (s.stamp.size() <= max_vp) {
+    const std::size_t need =
+        std::max<std::size_t>(max_vp + 1, s.stamp.size() * 2);
+    s.stamp.resize(need, 0);  // zero-filled: never equal to epoch (>= 1)
+    s.min_rtt.resize(need);
+    s.location.resize(need);
+  }
+  for (const Measurement& m : measurements) {
+    if (m.rtt_ms <= 0.0 || m.rtt_ms > max_rtt_ms) continue;
+    if (s.stamp[m.vp_id] != s.epoch) {
+      s.stamp[m.vp_id] = s.epoch;
+      s.min_rtt[m.vp_id] = m.rtt_ms;
+      s.location[m.vp_id] = m.vp_location;
+      s.touched.push_back(m.vp_id);
+    } else if (m.rtt_ms < s.min_rtt[m.vp_id]) {
+      s.min_rtt[m.vp_id] = m.rtt_ms;
+      s.location[m.vp_id] = m.vp_location;
+    }
+  }
+  std::sort(s.touched.begin(), s.touched.end());
+  return true;
+}
+
+/// Pre-kernel collapse (hash map + sort), kept verbatim as the
+/// reference-kernel path and the sparse-VP-id fallback.
+std::vector<geodesy::Disk> make_disks_map(
+    std::span<const Measurement> measurements, double max_rtt_ms,
+    std::vector<std::uint32_t>* vp_ids) {
   std::unordered_map<std::uint32_t, Measurement> best;
   best.reserve(measurements.size());
   for (const Measurement& m : measurements) {
-    if (m.rtt_ms <= 0.0 || m.rtt_ms > options_.max_rtt_ms) continue;
+    if (m.rtt_ms <= 0.0 || m.rtt_ms > max_rtt_ms) continue;
     const auto [it, inserted] = best.emplace(m.vp_id, m);
     if (!inserted && m.rtt_ms < it->second.rtt_ms) it->second = m;
   }
@@ -66,18 +136,48 @@ std::vector<geodesy::Disk> IGreedy::make_disks(
   return disks;
 }
 
+}  // namespace
+
+std::vector<geodesy::Disk> IGreedy::make_disks(
+    std::span<const Measurement> measurements,
+    std::vector<std::uint32_t>* vp_ids) const {
+  // Collapse to one disk per VP at its minimum RTT: queueing jitter only
+  // ever inflates RTT, so the minimum is the best propagation estimate.
+  // Output is ascending by VP id on both paths: the dense arena sorts its
+  // touched list, the map path sorts its collapsed entries — identical
+  // (vp, min-rtt, location) sequences, hence identical disks.
+  if (!options_.reference_kernel) {
+    CollapseScratch& s = collapse_scratch();
+    if (collapse_dense(measurements, options_.max_rtt_ms, s)) {
+      std::vector<geodesy::Disk> disks;
+      disks.reserve(s.touched.size());
+      vp_ids->clear();
+      vp_ids->reserve(s.touched.size());
+      for (const std::uint32_t vp : s.touched) {
+        disks.push_back(geodesy::Disk::from_rtt(s.location[vp], s.min_rtt[vp]));
+        vp_ids->push_back(vp);
+      }
+      return disks;
+    }
+  }
+  return make_disks_map(measurements, options_.max_rtt_ms, vp_ids);
+}
+
 Replica IGreedy::geolocate(const geodesy::Disk& disk,
                            std::uint32_t vp_id) const {
   Replica replica;
   replica.disk = disk;
   replica.vp_id = vp_id;
   replica.location = disk.center();
+  const bool reference = options_.reference_kernel;
   switch (options_.city_policy) {
     case CityPolicy::kLargestPopulation:
-      replica.city = cities_->most_populated_in(disk);
+      replica.city = reference ? cities_->most_populated_in_scan(disk)
+                               : cities_->most_populated_in(disk);
       break;
     case CityPolicy::kNearestToCenter: {
-      const geo::City* nearest = cities_->nearest(disk.center());
+      const geo::City* nearest = reference ? cities_->nearest_scan(disk.center())
+                                           : cities_->nearest(disk.center());
       if (nearest != nullptr && disk.contains(nearest->location())) {
         replica.city = nearest;
       }
@@ -93,20 +193,35 @@ Replica IGreedy::geolocate(const geodesy::Disk& disk,
 bool IGreedy::detect(std::span<const Measurement> measurements,
                      double max_rtt_ms) {
   // Cheapest form: disks per VP-minimum, pairwise disjointness.
-  std::unordered_map<std::uint32_t, double> best;
-  std::unordered_map<std::uint32_t, geodesy::GeoPoint> where;
+  CollapseScratch& s = collapse_scratch();
+  if (collapse_dense(measurements, max_rtt_ms, s)) {
+    s.disks.clear();
+    s.disks.reserve(s.touched.size());
+    for (const std::uint32_t vp : s.touched) {
+      s.disks.push_back(geodesy::Disk::from_rtt(s.location[vp], s.min_rtt[vp]));
+    }
+    return has_disjoint_pair(s.disks);
+  }
+  // Sparse-VP-id fallback: a single map holding (min RTT, location) per VP
+  // — the RTT and the location that produced it are one fact and travel
+  // together. The map iterates in hash order, but the verdict is an
+  // existential over UNORDERED pairs of disks ("does any disjoint pair
+  // exist?"), and each pair's test depends only on the two disks' centres
+  // and radii — so no iteration order can change the boolean.
+  std::unordered_map<std::uint32_t, std::pair<double, geodesy::GeoPoint>> best;
+  best.reserve(measurements.size());
   for (const Measurement& m : measurements) {
     if (m.rtt_ms <= 0.0 || m.rtt_ms > max_rtt_ms) continue;
-    const auto it = best.find(m.vp_id);
-    if (it == best.end() || m.rtt_ms < it->second) {
-      best[m.vp_id] = m.rtt_ms;
-      where[m.vp_id] = m.vp_location;
+    const auto [it, inserted] =
+        best.emplace(m.vp_id, std::make_pair(m.rtt_ms, m.vp_location));
+    if (!inserted && m.rtt_ms < it->second.first) {
+      it->second = {m.rtt_ms, m.vp_location};
     }
   }
   std::vector<geodesy::Disk> disks;
   disks.reserve(best.size());
-  for (const auto& [id, rtt] : best) {
-    disks.push_back(geodesy::Disk::from_rtt(where[id], rtt));
+  for (const auto& [id, entry] : best) {
+    disks.push_back(geodesy::Disk::from_rtt(entry.second, entry.first));
   }
   return has_disjoint_pair(disks);
 }
@@ -118,13 +233,15 @@ Result IGreedy::analyze(std::span<const Measurement> measurements) const {
   std::vector<geodesy::Disk> disks = make_disks(measurements, &vp_ids);
   result.usable_measurements = disks.size();
   if (disks.empty()) return result;
+  const bool reference = options_.reference_kernel;
 
   // Detection is the strict speed-of-light criterion: at least one pair of
   // disjoint disks. The collapse-and-resolve iteration below raises
   // enumeration recall but must not drive detection — an overlapping disk
   // whose city classification happens to fall outside a neighbour is not
   // evidence of anycast.
-  result.anycast = has_disjoint_pair(disks);
+  result.anycast = reference ? reference::has_disjoint_pair(disks)
+                             : has_disjoint_pair(disks);
   if (!result.anycast) {
     // Unicast (or undetectable): classic latency geolocation in the
     // smallest disk.
@@ -137,12 +254,45 @@ Result IGreedy::analyze(std::span<const Measurement> measurements) const {
     return result;
   }
 
+  // Per-disk trig, computed once: the candidate filter below tests every
+  // unconsumed disk against every fixed replica each round, and chord-space
+  // containment (scalar fallback in the guard band — identical boolean to
+  // Disk::contains) makes each of those tests one dot product.
+  thread_local std::vector<geodesy::Unit3> disk_units;
+  thread_local std::vector<geodesy::CapTrig> disk_caps;
+  if (!reference) {
+    disk_units.resize(disks.size());
+    disk_caps.resize(disks.size());
+    for (std::size_t i = 0; i < disks.size(); ++i) {
+      disk_units[i] = geodesy::unit_vector(disks[i].center());
+      disk_caps[i] = geodesy::cap_trig(disks[i].radius_km());
+    }
+  }
+
   // Working state: `fixed` holds replicas already geolocated (their disks
   // collapsed onto the classified city); `consumed` flags disks already
   // part of the solution. A flag sweep per round replaces the former
   // per-pick vector erase (which cost O(disks) per picked disk).
   std::vector<Replica> fixed;
+  std::vector<geodesy::Unit3> fixed_units;  // unit vectors of fixed locations
   std::vector<char> consumed(disks.size(), 0);
+
+  const auto explained_by_fixed = [&](std::size_t idx) {
+    if (reference) {
+      return std::any_of(fixed.begin(), fixed.end(),
+                         [&](const Replica& replica) {
+                           return disks[idx].contains(replica.location);
+                         });
+    }
+    for (std::size_t f = 0; f < fixed.size(); ++f) {
+      if (geodesy::cap_contains(disk_units[idx], fixed_units[f],
+                                disk_caps[idx], disks[idx].center(),
+                                fixed[f].location)) {
+        return true;
+      }
+    }
+    return false;
+  };
 
   for (int round = 0; round < options_.max_iterations; ++round) {
     // Candidate disks this round: unconsumed disks that do not intersect
@@ -151,11 +301,7 @@ Result IGreedy::analyze(std::span<const Measurement> measurements) const {
     candidates.reserve(disks.size());
     for (std::size_t idx = 0; idx < disks.size(); ++idx) {
       if (consumed[idx] != 0) continue;
-      const bool explained = std::any_of(
-          fixed.begin(), fixed.end(), [&](const Replica& replica) {
-            return disks[idx].contains(replica.location);
-          });
-      if (!explained) candidates.push_back(idx);
+      if (!explained_by_fixed(idx)) candidates.push_back(idx);
     }
     if (candidates.empty()) break;
 
@@ -165,8 +311,11 @@ Result IGreedy::analyze(std::span<const Measurement> measurements) const {
       candidate_disks.push_back(disks[idx]);
     }
     const std::vector<std::size_t> picked =
-        options_.exact_enumeration ? exact_mis(candidate_disks)
-                                   : greedy_mis(candidate_disks);
+        options_.exact_enumeration
+            ? (reference ? reference::exact_mis(candidate_disks)
+                         : exact_mis(candidate_disks))
+            : (reference ? reference::greedy_mis(candidate_disks)
+                         : greedy_mis(candidate_disks));
     if (picked.empty()) break;
     if (round == 0) result.first_round_replicas = picked.size();
 
@@ -182,6 +331,9 @@ Result IGreedy::analyze(std::span<const Measurement> measurements) const {
             return existing.city != nullptr && existing.city == replica.city;
           });
       if (!duplicate || replica.city == nullptr) {
+        if (!reference) {
+          fixed_units.push_back(geodesy::unit_vector(replica.location));
+        }
         fixed.push_back(replica);
         progress = true;
       }

@@ -20,17 +20,36 @@ namespace anycast::core {
 
 /// Greedy 5-approximation: scan disks by increasing radius, keep a disk
 /// when it intersects no kept disk. Returns indices into `disks`, in the
-/// order picked (i.e. by increasing radius). O(n^2) distance tests.
+/// order picked (i.e. by increasing radius). Pairwise tests run in chord
+/// space (precomputed unit vectors + cap trig, no libm per pair) with a
+/// guard-banded scalar fallback, so the result is byte-identical to the
+/// reference implementation.
 std::vector<std::size_t> greedy_mis(std::span<const geodesy::Disk> disks);
 
 /// Exact maximum independent set by branch-and-bound over the intersection
-/// graph. Exponential in the worst case; intended for validation on
-/// instances up to a few dozen disks (the paper's 10^3-seconds-per-target
-/// brute force). Returns indices in increasing order.
+/// graph, held as flat uint64_t bitset rows: the candidate set is a
+/// bitmask, the bound is a popcount, and including a disk reduces the
+/// candidates with a single AND-NOT sweep. The adjacency build prunes
+/// pairwise tests with a latitude/longitude grid over disk centres on
+/// large instances. Exponential in the worst case; intended for
+/// validation on instances up to a few dozen disks (the paper's
+/// 10^3-seconds-per-target brute force). Returns indices in increasing
+/// order — the exact same set the reference implementation returns (the
+/// branching order is replicated, see mis.cpp).
 std::vector<std::size_t> exact_mis(std::span<const geodesy::Disk> disks);
 
 /// Convenience: true when at least two disks are disjoint, i.e. the
 /// measurements are geo-inconsistent (speed-of-light violation, Fig. 3b).
 bool has_disjoint_pair(std::span<const geodesy::Disk> disks);
+
+/// The pre-kernel scalar implementations, kept verbatim as test oracles
+/// and as the "scalar" side of the bench_analysis_kernel duel. Property
+/// tests pin the fast paths above to these bit for bit; do not use them
+/// on hot paths.
+namespace reference {
+std::vector<std::size_t> greedy_mis(std::span<const geodesy::Disk> disks);
+std::vector<std::size_t> exact_mis(std::span<const geodesy::Disk> disks);
+bool has_disjoint_pair(std::span<const geodesy::Disk> disks);
+}  // namespace reference
 
 }  // namespace anycast::core

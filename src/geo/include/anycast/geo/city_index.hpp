@@ -1,19 +1,32 @@
 // Spatial queries over the city table.
 //
 // The geolocation step repeatedly asks "which cities lie inside this disk,
-// and which has the largest population?". The index sorts cities by
-// latitude so a disk query scans only the latitude band the disk can reach,
-// then filters by exact great-circle distance.
+// and which has the largest population?". The index buckets cities into a
+// 2D latitude/longitude grid (geodesy::LatLonGrid, the same pruning
+// structure the MIS adjacency build uses) with per-city unit vectors
+// precomputed, so a disk query visits only the cells the disk can reach
+// and tests each candidate in chord space — no per-city trigonometry.
+// Name lookup is a hash map; nearest() is an expanding row search over
+// the grid scored with the batch haversine.
+//
+// Every query keeps the exact semantics of the original latitude-band
+// scan (including its tie-breaking and its band arithmetic), which is
+// retained verbatim as the `*_scan` methods — the property-test oracles
+// and the scalar side of the bench_analysis_kernel duel.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <span>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "anycast/geo/city.hpp"
+#include "anycast/geodesy/chord.hpp"
 #include "anycast/geodesy/disk.hpp"
+#include "anycast/geodesy/grid.hpp"
 
 namespace anycast::geo {
 
@@ -39,16 +52,47 @@ class CityIndex {
   /// Used to resolve simulator sites and to score geolocation error.
   [[nodiscard]] const City* nearest(const geodesy::GeoPoint& point) const;
 
-  /// Case-sensitive lookup by exact name; nullptr when absent.
+  /// Case-sensitive lookup by exact name; nullptr when absent. Duplicate
+  /// names resolve to the same city the original linear scan found (the
+  /// first in ascending-latitude order).
   [[nodiscard]] const City* by_name(std::string_view name) const;
 
   [[nodiscard]] std::size_t size() const { return by_latitude_.size(); }
+
+  // ---- Reference implementations (oracles; see header comment) ----------
+
+  /// Original latitude-band scan of cities_in.
+  [[nodiscard]] std::vector<const City*> cities_in_scan(
+      const geodesy::Disk& disk) const;
+  /// Original latitude-band scan of most_populated_in.
+  [[nodiscard]] const City* most_populated_in_scan(
+      const geodesy::Disk& disk) const;
+  /// Original latitude-pruned linear scan of nearest.
+  [[nodiscard]] const City* nearest_scan(const geodesy::GeoPoint& point) const;
+  /// Original linear scan of by_name.
+  [[nodiscard]] const City* by_name_scan(std::string_view name) const;
 
  private:
   template <typename Visitor>  // Visitor(const City&)
   void visit_band(const geodesy::Disk& disk, Visitor&& visit) const;
 
+  /// Grid-pruned candidate sweep with the band scan's exact membership
+  /// test (band arithmetic + chord-space contains with scalar fallback).
+  /// Visits positions into by_latitude_, unordered.
+  template <typename Visitor>  // Visitor(std::uint32_t position)
+  void visit_grid(const geodesy::Disk& disk, Visitor&& visit) const;
+
   std::vector<const City*> by_latitude_;  // ascending latitude
+
+  // Kernel caches, all aligned with by_latitude_ positions.
+  std::vector<geodesy::GeoPoint> locations_;
+  std::vector<geodesy::Unit3> units_;
+  geodesy::LatLonGrid grid_;
+  // SoA coordinates in grid-slot order (grid_.row_indices interleaves with
+  // these by slot), for batch-haversine scoring in nearest().
+  std::vector<double> slot_lat_deg_;
+  std::vector<double> slot_lon_deg_;
+  std::unordered_map<std::string_view, const City*> name_map_;
 };
 
 /// Process-wide index over the embedded world-city table.

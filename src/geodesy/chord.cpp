@@ -1,0 +1,103 @@
+#include "anycast/geodesy/chord.hpp"
+
+#include <algorithm>
+#include <numbers>
+
+namespace anycast::geodesy {
+namespace {
+
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+
+// Radius-sum routing constants for caps_intersect. The scalar intersects()
+// compares d <= ra+rb where d = 2R*asin(min(1, .)) never exceeds
+// 2*6371*asin(1.0) = 20015.0867... km; pi*R (the exact supremum) is
+// 20015.0865 km. Sums at or above kAlwaysKm therefore intersect for any
+// centres; sums inside [kSumFallbackKm, kAlwaysKm) sit close enough to the
+// monotone limit of sin() that the band is resolved by the scalar
+// original; below kSumFallbackKm the half-angle sum is safely under pi/2
+// (margin ~1e-6 rad, far beyond any rounding) and the angle-sum identity
+// applies.
+constexpr double kAlwaysKm = 20015.09;
+constexpr double kSumFallbackKm = 20015.05;
+
+}  // namespace
+
+Unit3 unit_vector(const GeoPoint& point) {
+  const double lat = point.latitude() * kDegToRad;
+  const double lon = point.longitude() * kDegToRad;
+  const double cos_lat = std::cos(lat);
+  return Unit3{cos_lat * std::cos(lon), cos_lat * std::sin(lon),
+               std::sin(lat)};
+}
+
+CapTrig cap_trig(double radius_km) {
+  CapTrig cap;
+  cap.radius_km = radius_km < 0.0 ? 0.0 : radius_km;
+  double half = cap.radius_km / (2.0 * kEarthRadiusKm);
+  if (half >= std::numbers::pi / 2.0) {
+    half = std::numbers::pi / 2.0;
+    cap.clamped = true;
+  }
+  cap.sin_half = std::sin(half);
+  cap.cos_half = std::cos(half);
+  return cap;
+}
+
+bool caps_intersect(const Unit3& ua, const Unit3& ub, const CapTrig& a,
+                    const CapTrig& b, const GeoPoint& pa, const GeoPoint& pb) {
+  const double r_sum = a.radius_km + b.radius_km;
+  if (r_sum >= kAlwaysKm) return true;
+  if (r_sum >= kSumFallbackKm) {
+    return distance_km(pa, pb) <= r_sum;  // scalar original, rare band
+  }
+  switch (classify(chord2(ua, ub), threshold_chord2_sum(a, b))) {
+    case ChordVerdict::kTrue:
+      return true;
+    case ChordVerdict::kFalse:
+      return false;
+    case ChordVerdict::kBoundary:
+      return distance_km(pa, pb) <= r_sum;
+  }
+  return distance_km(pa, pb) <= r_sum;  // unreachable
+}
+
+bool cap_contains(const Unit3& ucenter, const Unit3& upoint,
+                  const CapTrig& cap, const GeoPoint& center,
+                  const GeoPoint& point) {
+  switch (classify(chord2(ucenter, upoint), threshold_chord2(cap))) {
+    case ChordVerdict::kTrue:
+      return true;
+    case ChordVerdict::kFalse:
+      return false;
+    case ChordVerdict::kBoundary:
+      return distance_km(center, point) <= cap.radius_km;
+  }
+  return distance_km(center, point) <= cap.radius_km;  // unreachable
+}
+
+void batch_distance_km(const GeoPoint& origin, std::span<const double> lat_deg,
+                       std::span<const double> lon_deg,
+                       std::span<double> out_km) {
+  // The exact operation sequence of the scalar distance_km(), with the
+  // origin-only terms hoisted: cos(lat1) is loop-invariant and hoisting a
+  // deterministic libm call cannot change its bits, so every element below
+  // is bit-identical to distance_km(origin, GeoPoint(lat[i], lon[i])).
+  const double lat1 = origin.latitude() * kDegToRad;
+  const double cos_lat1 = std::cos(lat1);
+  const double origin_lat = origin.latitude();
+  const double origin_lon = origin.longitude();
+  const std::size_t n = std::min({lat_deg.size(), lon_deg.size(),
+                                  out_km.size()});
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lat2 = lat_deg[i] * kDegToRad;
+    const double dlat = (lat_deg[i] - origin_lat) * kDegToRad;
+    const double dlon = (lon_deg[i] - origin_lon) * kDegToRad;
+    const double sin_dlat = std::sin(dlat / 2.0);
+    const double sin_dlon = std::sin(dlon / 2.0);
+    const double h = sin_dlat * sin_dlat +
+                     cos_lat1 * std::cos(lat2) * sin_dlon * sin_dlon;
+    out_km[i] = 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+  }
+}
+
+}  // namespace anycast::geodesy

@@ -1,0 +1,133 @@
+#include "anycast/geodesy/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace anycast::geodesy {
+namespace {
+
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+constexpr double kRadToDeg = 180.0 / std::numbers::pi;
+
+/// Conservative km-per-degree-of-latitude: slightly BELOW the true
+/// pi*R/180 = 111.19493, so radius/k overestimates the latitude band.
+constexpr double kKmPerLatDegreeFloor = 111.194;
+
+}  // namespace
+
+LatLonGrid::LatLonGrid(std::span<const GeoPoint> points, double cell_deg) {
+  cell_deg_ = std::clamp(cell_deg, 0.25, 90.0);
+  rows_ = static_cast<std::size_t>(std::ceil(180.0 / cell_deg_));
+  cols_ = static_cast<std::size_t>(std::ceil(360.0 / cell_deg_));
+  count_ = points.size();
+  const std::size_t cells = rows_ * cols_;
+  offsets_.assign(cells + 1, 0);
+  // Counting sort by cell keeps per-cell index order ascending.
+  std::vector<std::uint32_t> cell_of(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::size_t cell_id =
+        row_of(points[i].latitude()) * cols_ + col_of(points[i].longitude());
+    cell_of[i] = static_cast<std::uint32_t>(cell_id);
+    ++offsets_[cell_id + 1];
+  }
+  for (std::size_t c = 0; c < cells; ++c) offsets_[c + 1] += offsets_[c];
+  indices_.resize(points.size());
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    indices_[cursor[cell_of[i]]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::size_t LatLonGrid::row_of(double lat_deg) const {
+  const double shifted = (lat_deg + 90.0) / cell_deg_;
+  const auto row = static_cast<std::ptrdiff_t>(std::floor(shifted));
+  return static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(row, 0,
+                                 static_cast<std::ptrdiff_t>(rows_) - 1));
+}
+
+std::size_t LatLonGrid::col_of(double lon_deg) const {
+  const double shifted = (lon_deg + 180.0) / cell_deg_;
+  const auto col = static_cast<std::ptrdiff_t>(std::floor(shifted));
+  return static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(col, 0,
+                                 static_cast<std::ptrdiff_t>(cols_) - 1));
+}
+
+double LatLonGrid::row_min_lat(std::size_t row) const {
+  return -90.0 + static_cast<double>(row) * cell_deg_;
+}
+
+double LatLonGrid::row_max_lat(std::size_t row) const {
+  return std::min(90.0, -90.0 + static_cast<double>(row + 1) * cell_deg_);
+}
+
+std::span<const std::uint32_t> LatLonGrid::cell(std::size_t row,
+                                                std::size_t col) const {
+  const std::size_t cell_id = row * cols_ + col;
+  return std::span<const std::uint32_t>(indices_)
+      .subspan(offsets_[cell_id], offsets_[cell_id + 1] - offsets_[cell_id]);
+}
+
+std::span<const std::uint32_t> LatLonGrid::row_indices(std::size_t row) const {
+  const std::size_t first = offsets_[row * cols_];
+  const std::size_t last = offsets_[(row + 1) * cols_];
+  return std::span<const std::uint32_t>(indices_).subspan(first, last - first);
+}
+
+std::size_t LatLonGrid::row_offset(std::size_t row) const {
+  return offsets_[row * cols_];
+}
+
+LatLonGrid::RowBand LatLonGrid::band_of(const GeoPoint& center,
+                                        double radius_km) const {
+  const double band_deg =
+      std::max(0.0, radius_km) / kKmPerLatDegreeFloor + 1e-9;
+  RowBand band;
+  band.first_row = row_of(center.latitude() - band_deg);
+  band.last_row = row_of(center.latitude() + band_deg);
+  return band;
+}
+
+void LatLonGrid::lon_window(const GeoPoint& center, double radius_km,
+                            std::size_t row, std::size_t* first_col,
+                            std::size_t* col_count) const {
+  *first_col = 0;
+  *col_count = cols_;
+  // Haversine lower bound: a point in this row within radius_km of the
+  // centre satisfies sin(dlon/2) <= sin(r/2R) / sqrt(cos(lat_c) cos(lat_p)),
+  // with cos(lat_p) bounded below by the row edge farther from the
+  // equator. Rows touching a pole (cos <= 0) and radii past a quarter
+  // circumference keep the full wrap.
+  const double half_angle = radius_km / (2.0 * kEarthRadiusKm);
+  if (half_angle >= std::numbers::pi / 2.0 - 1e-9) return;
+  const double cos_center = std::cos(center.latitude() * kDegToRad);
+  const double row_far_lat =
+      std::max(std::abs(row_min_lat(row)), std::abs(row_max_lat(row)));
+  const double cos_row = std::cos(row_far_lat * kDegToRad);
+  const double denom = cos_center * cos_row;
+  if (denom <= 1e-12) return;
+  const double q = std::sin(half_angle) / std::sqrt(denom);
+  if (q >= 1.0 - 1e-12) return;
+  // Inflate the window beyond any rounding in the bound itself.
+  const double window_deg =
+      2.0 * std::asin(q) * kRadToDeg * (1.0 + 1e-9) + 1e-7;
+  if (window_deg >= 180.0) return;
+  // The window may wrap the antimeridian: express it as start + count,
+  // with the count taken from the UNWRAPPED column span (endpoint columns
+  // alone are ambiguous — a near-full-circle window can normalise both
+  // endpoints into the same column).
+  const double west = center.longitude() - window_deg;
+  const double east = center.longitude() + window_deg;
+  const auto west_cell =
+      static_cast<std::ptrdiff_t>(std::floor((west + 180.0) / cell_deg_));
+  const auto east_cell =
+      static_cast<std::ptrdiff_t>(std::floor((east + 180.0) / cell_deg_));
+  const auto span = static_cast<std::size_t>(east_cell - west_cell) + 1;
+  if (span >= cols_) return;  // covers every column: keep the full wrap
+  *first_col = col_of(GeoPoint(0.0, west).longitude());
+  *col_count = span;
+}
+
+}  // namespace anycast::geodesy

@@ -1,0 +1,131 @@
+// Chord-space geometry: the vectorizable fast path for disk tests.
+//
+// Every geometric predicate in the analysis kernel is a comparison of a
+// great-circle distance against a radius (or radius sum/difference). The
+// haversine evaluates that distance with two sin(), a sqrt() and an asin()
+// per pair — ~100ns of libm per test. But the *comparison* does not need
+// the distance: on the unit sphere,
+//
+//     d(a, b) <= r   <=>   chord2(a, b) <= 4 * sin^2(r / 2R)
+//
+// where chord2 is the squared 3D straight-line distance between the unit
+// vectors of a and b (chord2 = 2 - 2*dot). Both sides are monotone images
+// of the originals, so with per-point unit vectors and per-disk cap trig
+// precomputed once, each pairwise test costs one dot product and one
+// compare — no libm at all. Threshold trig for radius *sums* also needs no
+// libm: sin(ra+rb) expands over per-disk sin/cos via the angle-sum
+// identity.
+//
+// Determinism contract: every predicate here returns EXACTLY the same
+// boolean as its scalar original in disk.hpp, bit for bit. Chord-space and
+// haversine-space round differently, so near the decision boundary the
+// monotone argument alone cannot guarantee agreement; classify() therefore
+// returns a tri-state, and the kernel falls back to the scalar original
+// inside a guard band wide enough to contain the combined floating-point
+// error of both paths (~1e-13 relative; the band is 1e-9 relative plus
+// 1e-11 absolute, orders of magnitude wider). The band is hit only when a
+// distance and a radius agree to ~9 significant digits — adversarial
+// constructions, essentially never on measured RTTs — so the fallback
+// keeps byte-identical output at negligible cost. See DESIGN.md §14.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "anycast/geodesy/disk.hpp"
+#include "anycast/geodesy/geopoint.hpp"
+
+namespace anycast::geodesy {
+
+/// Unit vector of a point on the sphere (ECEF direction, radius 1).
+struct Unit3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 1.0;
+};
+
+[[nodiscard]] Unit3 unit_vector(const GeoPoint& point);
+
+/// Squared straight-line (chord) distance between two unit vectors.
+/// Monotone in great-circle distance; range [0, 4].
+[[nodiscard]] inline double chord2(const Unit3& a, const Unit3& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double dz = a.z - b.z;
+  return dx * dx + dy * dy + dz * dz;
+}
+
+/// Precomputed trig of a disk's cap half-angle r/(2R): everything a
+/// pairwise test needs, one sin/cos per disk instead of per pair.
+struct CapTrig {
+  double radius_km = 0.0;
+  double sin_half = 0.0;  // sin(min(r/(2R), pi/2))
+  double cos_half = 1.0;  // cos(min(r/(2R), pi/2))
+  bool clamped = false;   // r/(2R) >= pi/2: the cap covers the sphere
+};
+
+[[nodiscard]] CapTrig cap_trig(double radius_km);
+
+/// Chord-space decisions come in three flavours: clearly inside the
+/// threshold, clearly outside, or within the guard band where chord-space
+/// and haversine-space rounding could disagree — the caller must fall back
+/// to the scalar predicate there.
+enum class ChordVerdict { kTrue, kFalse, kBoundary };
+
+/// Guard band: |chord2 - threshold| <= kRel * threshold + kAbs falls back.
+inline constexpr double kChordGuardRel = 1e-9;
+inline constexpr double kChordGuardAbs = 1e-11;
+
+[[nodiscard]] inline ChordVerdict classify(double chord2_value,
+                                           double threshold_chord2) {
+  const double guard =
+      kChordGuardRel * threshold_chord2 + kChordGuardAbs;
+  if (chord2_value < threshold_chord2 - guard) return ChordVerdict::kTrue;
+  if (chord2_value > threshold_chord2 + guard) return ChordVerdict::kFalse;
+  return ChordVerdict::kBoundary;
+}
+
+/// Threshold chord2 for "distance <= r": 4 sin^2(r/2R).
+[[nodiscard]] inline double threshold_chord2(const CapTrig& cap) {
+  return 4.0 * cap.sin_half * cap.sin_half;
+}
+
+/// Threshold chord2 for "distance <= ra + rb" via the angle-sum identity:
+/// sin(a+b) = sin a cos b + cos a sin b — no libm per pair. Only valid
+/// when the half-angle sum stays below pi/2, where sin is monotone;
+/// caps_intersect() routes sums near or past pi*R (~20015.087 km, the
+/// maximum great-circle distance) to a short-circuit or the scalar
+/// fallback before evaluating this.
+[[nodiscard]] inline double threshold_chord2_sum(const CapTrig& a,
+                                                 const CapTrig& b) {
+  const double s = a.sin_half * b.cos_half + a.cos_half * b.sin_half;
+  return 4.0 * s * s;
+}
+
+/// Fast "disks intersect" with scalar fallback: identical boolean to
+/// Disk(pa, a.radius_km).intersects(Disk(pb, b.radius_km)).
+[[nodiscard]] bool caps_intersect(const Unit3& ua, const Unit3& ub,
+                                  const CapTrig& a, const CapTrig& b,
+                                  const GeoPoint& pa, const GeoPoint& pb);
+
+/// Fast "point inside disk" with scalar fallback: identical boolean to
+/// Disk(center, cap.radius_km).contains(point).
+[[nodiscard]] bool cap_contains(const Unit3& ucenter, const Unit3& upoint,
+                                const CapTrig& cap, const GeoPoint& center,
+                                const GeoPoint& point);
+
+// ---- SoA batch haversine ---------------------------------------------------
+//
+// distance_km() for one origin against many points laid out as parallel
+// latitude/longitude arrays. Evaluates the EXACT operation sequence of the
+// scalar distance_km() — same formula, same rounding — so every output
+// element is bit-identical to the scalar call; the win is structural
+// (origin trig hoisted out of the loop, sequential SoA loads, one tight
+// loop the compiler can pipeline libm calls through) rather than a changed
+// formula. Used where the kernel genuinely needs distances (nearest-city
+// scoring, validation error CDFs), not just comparisons.
+void batch_distance_km(const GeoPoint& origin, std::span<const double> lat_deg,
+                       std::span<const double> lon_deg,
+                       std::span<double> out_km);
+
+}  // namespace anycast::geodesy

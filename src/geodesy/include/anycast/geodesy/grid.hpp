@@ -1,0 +1,101 @@
+// Latitude/longitude bucket grid: conservative candidate pruning for
+// radius queries over point sets.
+//
+// Both halves of the analysis kernel ask the same shape of question many
+// times: "which of these points could lie within R km of this centre?" —
+// cities inside a latency disk (geolocation), disk centres within a radius
+// sum (intersection-graph construction). The grid buckets points into
+// fixed-degree cells once, then answers each query by visiting only the
+// cells a disk of that radius can reach: a latitude row band, and per row
+// a longitude window derived from the haversine lower bound
+//
+//     d >= 2R asin( sqrt(cos(lat1) cos(lat2)) * sin(dlon/2) ).
+//
+// The visit is a strict SUPERSET of the true within-radius set (bounds are
+// inflated past any rounding; pole-touching rows fall back to a full
+// wrap), so callers keep their exact predicate on the candidates and
+// results stay byte-identical to a full scan — the grid only removes work,
+// never answers. Cells store point indices in ascending order, so a
+// full-cell sweep visits candidates in a deterministic order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "anycast/geodesy/geopoint.hpp"
+
+namespace anycast::geodesy {
+
+class LatLonGrid {
+ public:
+  LatLonGrid() = default;
+
+  /// Buckets `points[i]` for i in [0, points.size()). `cell_deg` is the
+  /// cell edge in degrees (same for latitude and longitude).
+  LatLonGrid(std::span<const GeoPoint> points, double cell_deg);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  [[nodiscard]] std::size_t row_of(double lat_deg) const;
+  [[nodiscard]] std::size_t col_of(double lon_deg) const;
+
+  /// [min_lat, max_lat) span of a row (last row closed at +90).
+  [[nodiscard]] double row_min_lat(std::size_t row) const;
+  [[nodiscard]] double row_max_lat(std::size_t row) const;
+
+  /// Point indices bucketed in (row, col), ascending.
+  [[nodiscard]] std::span<const std::uint32_t> cell(std::size_t row,
+                                                    std::size_t col) const;
+
+  /// All point indices bucketed anywhere in `row` — one contiguous span
+  /// (cells are laid out row-major), west to east, ascending within each
+  /// cell. `row_offset` is the span's start in bucketed-slot space, for
+  /// callers that keep per-slot SoA side arrays.
+  [[nodiscard]] std::span<const std::uint32_t> row_indices(
+      std::size_t row) const;
+  [[nodiscard]] std::size_t row_offset(std::size_t row) const;
+
+  /// Visits the indices of every point that could lie within `radius_km`
+  /// of `center` (a superset; apply the exact test on each candidate).
+  /// Within a cell, indices arrive in ascending order; across cells, row
+  /// by row, west to east.
+  template <typename Visitor>  // Visitor(std::uint32_t index)
+  void visit_within(const GeoPoint& center, double radius_km,
+                    Visitor&& visit) const {
+    if (count_ == 0) return;
+    const RowBand band = band_of(center, radius_km);
+    for (std::size_t row = band.first_row; row <= band.last_row; ++row) {
+      std::size_t first_col = 0;
+      std::size_t col_count = cols_;
+      lon_window(center, radius_km, row, &first_col, &col_count);
+      for (std::size_t c = 0; c < col_count; ++c) {
+        const std::size_t col = (first_col + c) % cols_;
+        for (const std::uint32_t index : cell(row, col)) visit(index);
+      }
+    }
+  }
+
+ private:
+  struct RowBand {
+    std::size_t first_row = 0;
+    std::size_t last_row = 0;
+  };
+  [[nodiscard]] RowBand band_of(const GeoPoint& center,
+                                double radius_km) const;
+  /// Longitude column window for `row`; full wrap when the radius or the
+  /// row geometry defeats the bound.
+  void lon_window(const GeoPoint& center, double radius_km, std::size_t row,
+                  std::size_t* first_col, std::size_t* col_count) const;
+
+  double cell_deg_ = 4.0;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t count_ = 0;
+  std::vector<std::uint32_t> offsets_;  // rows*cols + 1 cumulative starts
+  std::vector<std::uint32_t> indices_;  // bucketed point indices
+};
+
+}  // namespace anycast::geodesy
