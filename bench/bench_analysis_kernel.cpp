@@ -114,6 +114,7 @@ int main() {
 
   bench::print_title("Analysis kernel duel: scalar reference vs "
                      "chord-space/bitset kernel");
+  bench::warn_if_scaling_invalid("bench_analysis_kernel");
   std::printf("  world: %zu targets x %zu vps, best of %d runs\n\n",
               world.hitlist.size(), world.vps.size(), kRepetitions);
 
@@ -285,6 +286,7 @@ int main() {
                  "  \"targets\": %zu,\n  \"vps\": %zu,\n"
                  "  \"detected\": %zu,\n"
                  "  \"hardware_threads\": %zu,\n"
+                 "  \"scaling_valid\": %s,\n"
                  "  \"repetitions\": %d,\n"
                  "  \"outputs_identical\": %s,\n"
                  "  \"speedup_single_thread\": %.3f,\n"
@@ -292,6 +294,7 @@ int main() {
                  "  \"meets_target\": %s,\n  \"phases\": [\n",
                  world.hitlist.size(), world.vps.size(),
                  detected_kernel.size(), concurrency::default_thread_count(),
+                 bench::scaling_valid() ? "true" : "false",
                  kRepetitions, outputs_identical ? "true" : "false", speedup,
                  kTargetSpeedup, meets_target ? "true" : "false");
     for (std::size_t i = 0; i < std::size(phases); ++i) {

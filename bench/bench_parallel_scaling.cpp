@@ -220,6 +220,7 @@ int main() {
   const bench::BenchConfig config;  // the default BenchConfig world
   bench::print_title(
       "Parallel scaling — census + analysis wall-clock, RSS, allocations");
+  bench::warn_if_scaling_invalid("bench_parallel_scaling");
 
   net::WorldConfig world_config;
   world_config.seed = config.seed;
@@ -595,6 +596,7 @@ int main() {
                  "{\n  \"bench\": \"parallel_scaling\",\n"
                  "  \"targets\": %zu,\n  \"vps\": %zu,\n"
                  "  \"hardware_threads\": %zu,\n"
+                 "  \"scaling_valid\": %s,\n"
                  "  \"outputs_identical\": %s,\n"
                  "  \"obs_overhead_pct\": %.2f,\n"
                  "  \"obs_overhead_within_budget\": %s,\n"
@@ -604,6 +606,7 @@ int main() {
                  "  \"journal_events_dropped\": %llu,\n  \"results\": [\n",
                  hitlist.size(), vps.size(),
                  concurrency::default_thread_count(),
+                 bench::scaling_valid() ? "true" : "false",
                  identical ? "true" : "false", overhead_pct,
                  overhead_ok ? "true" : "false", journal_pct,
                  journal_ok ? "true" : "false",
@@ -628,10 +631,12 @@ int main() {
                  "{\n  \"bench\": \"columnar\",\n"
                  "  \"targets\": %zu,\n  \"vps\": %zu,\n"
                  "  \"hardware_threads\": %zu,\n"
+                 "  \"scaling_valid\": %s,\n"
                  "  \"rss_resets_per_phase\": %s,\n"
                  "  \"outputs_identical\": %s,\n  \"phases\": [\n",
                  hitlist.size(), vps.size(),
                  concurrency::default_thread_count(),
+                 bench::scaling_valid() ? "true" : "false",
                  rss_resets ? "true" : "false",
                  identical ? "true" : "false");
     for (std::size_t i = 0; i < samples.size(); ++i) {

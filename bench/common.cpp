@@ -36,6 +36,20 @@ BenchWorld::BenchWorld(const BenchConfig& config)
   }
 }
 
+bool scaling_valid() { return concurrency::default_thread_count() >= 2; }
+
+void warn_if_scaling_invalid(const char* bench_name) {
+  if (scaling_valid()) return;
+  std::printf(
+      "\n"
+      "  ********************************************************************\n"
+      "  *  WARNING: %zu hardware thread(s) — scaling numbers are INVALID.  \n"
+      "  *  Every thread sweep below serializes on one core; speedups are   \n"
+      "  *  flat by construction. %s emits \"scaling_valid\": false.\n"
+      "  ********************************************************************\n",
+      concurrency::default_thread_count(), bench_name);
+}
+
 analysis::CensusReport analyze_combined(const BenchWorld& world,
                                         concurrency::ThreadPool* pool) {
   return analysis::CensusReport(world.internet,

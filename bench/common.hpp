@@ -61,6 +61,18 @@ struct BenchWorld {
   }
 };
 
+/// Whether speedup/scaling numbers measured on this host mean anything:
+/// with fewer than 2 hardware threads every "parallel" phase serializes
+/// on one core, so thread-sweep curves are flat by construction, not by
+/// defect. Benches that report scaling MUST emit this as
+/// `"scaling_valid"` in their JSON and print a prominent warning when it
+/// is false, so a single-core CI host cannot masquerade as a scaling
+/// regression (or a scaling win).
+[[nodiscard]] bool scaling_valid();
+
+/// Prints the prominent single-core disclaimer when !scaling_valid().
+void warn_if_scaling_invalid(const char* bench_name);
+
 /// Analysis over the combined census (detection + iGreedy + attribution).
 /// A multi-lane `pool` shards the sweep; the report is identical either
 /// way.

@@ -177,17 +177,18 @@ core::Result CensusAnalyzer::analyze_row(
   return igreedy_.analyze(measurements);
 }
 
-std::vector<TargetOutcome> CensusAnalyzer::analyze(
-    const census::CensusMatrix& data, const census::Hitlist& hitlist,
-    std::size_t min_vps, concurrency::ThreadPool* pool) const {
-  const std::size_t targets = std::min(data.target_count(), hitlist.size());
+std::vector<TargetOutcome> CensusAnalyzer::analyze_block(
+    const census::CensusMatrix& data, std::size_t base, std::size_t targets,
+    const census::Hitlist& hitlist, std::size_t min_vps,
+    concurrency::ThreadPool* pool) const {
   if (targets == 0) return {};
 
   // The per-target work (detection pre-filter, then iGreedy on the few
   // detected rows) only reads `this`, `data`, and `hitlist`, so a range
-  // of targets is an independent task.
+  // of targets is an independent task. Indices are local to `data`;
+  // outcomes carry the global index `base + t`.
   const auto analyze_range = [&](std::size_t begin, std::size_t end) {
-    const obs::Span range_span("analysis_range", begin);
+    const obs::Span range_span("analysis_range", base + begin);
     std::uint64_t considered = 0;
     std::uint64_t detected = 0;
     std::vector<TargetOutcome> out;
@@ -198,8 +199,9 @@ std::vector<TargetOutcome> CensusAnalyzer::analyze(
       if (!detect(row)) continue;
       ++detected;
       TargetOutcome outcome;
-      outcome.target_index = static_cast<std::uint32_t>(t);
-      outcome.slash24_index = hitlist[t].representative.slash24_index();
+      outcome.target_index = static_cast<std::uint32_t>(base + t);
+      outcome.slash24_index =
+          hitlist[base + t].representative.slash24_index();
       outcome.result = analyze_row(row);
       if (outcome.result.anycast) out.push_back(std::move(outcome));
     }
@@ -210,9 +212,6 @@ std::vector<TargetOutcome> CensusAnalyzer::analyze(
     return out;
   };
 
-  // Adoption point: range spans on worker threads attach here.
-  const obs::Span sweep_span(obs::Span::Root::kAdoptionPoint, "analysis",
-                             targets);
   std::vector<TargetOutcome> out;
   if (pool == nullptr || pool->thread_count() <= 1) {
     out = analyze_range(0, targets);
@@ -234,14 +233,62 @@ std::vector<TargetOutcome> CensusAnalyzer::analyze(
       for (auto& outcome : shard) out.push_back(std::move(outcome));
     }
   }
+  return out;
+}
+
+namespace {
+
+void emit_analysis_summary(std::size_t targets, std::size_t min_vps,
+                           std::size_t anycast) {
   obs::Journal& j = obs::journal();
   j.emit(obs::MetricClass::kSemantic, obs::Severity::kInfo,
          "analysis.summary", j.next_order(),
          {{"targets", targets},
           {"min_vps", min_vps},
-          {"anycast", out.size()}});
+          {"anycast", anycast}});
   j.commit();  // the sweep's end is a deterministic boundary, like a
                // census reduction's
+}
+
+}  // namespace
+
+std::vector<TargetOutcome> CensusAnalyzer::analyze(
+    const census::CensusMatrix& data, const census::Hitlist& hitlist,
+    std::size_t min_vps, concurrency::ThreadPool* pool) const {
+  const std::size_t targets = std::min(data.target_count(), hitlist.size());
+  if (targets == 0) return {};
+  // Adoption point: range spans on worker threads attach here.
+  const obs::Span sweep_span(obs::Span::Root::kAdoptionPoint, "analysis",
+                             targets);
+  std::vector<TargetOutcome> out =
+      analyze_block(data, 0, targets, hitlist, min_vps, pool);
+  emit_analysis_summary(targets, min_vps, out.size());
+  return out;
+}
+
+std::vector<TargetOutcome> CensusAnalyzer::analyze(
+    const census::ShardedCensusMatrix& data, const census::Hitlist& hitlist,
+    std::size_t min_vps, concurrency::ThreadPool* pool) const {
+  const std::size_t targets = std::min(data.target_count(), hitlist.size());
+  if (targets == 0) return {};
+  const obs::Span sweep_span(obs::Span::Root::kAdoptionPoint, "analysis",
+                             targets);
+  // Shards in index order, each swept exactly like a monolithic matrix
+  // over its local range; the semantic tallies are integer sums that
+  // commute across blocks, and exactly one summary event closes the
+  // sweep — so shard size cannot leak into the semantic stream.
+  std::vector<TargetOutcome> out;
+  for (std::size_t s = 0; s < data.shard_count(); ++s) {
+    const std::size_t base = data.shard_base(s);
+    if (base >= targets) break;
+    const std::size_t local =
+        std::min(data.shard(s).target_count(), targets - base);
+    auto block =
+        analyze_block(data.shard(s), base, local, hitlist, min_vps, pool);
+    out.insert(out.end(), std::make_move_iterator(block.begin()),
+               std::make_move_iterator(block.end()));
+  }
+  emit_analysis_summary(targets, min_vps, out.size());
   return out;
 }
 

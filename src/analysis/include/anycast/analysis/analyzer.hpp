@@ -14,6 +14,7 @@
 
 #include "anycast/census/census.hpp"
 #include "anycast/census/hitlist.hpp"
+#include "anycast/census/sharded.hpp"
 #include "anycast/core/igreedy.hpp"
 #include "anycast/net/types.hpp"
 
@@ -49,6 +50,18 @@ class CensusAnalyzer {
       const census::CensusMatrix& data, const census::Hitlist& hitlist,
       std::size_t min_vps = 2, concurrency::ThreadPool* pool = nullptr) const;
 
+  /// The same sweep over the sharded data plane: shards are analysed in
+  /// index order (each sharded internally exactly like the monolithic
+  /// sweep) and outcomes carry global target indices, so the result —
+  /// and the single semantic analysis.summary event — is
+  /// element-identical to analyzing the equivalent monolithic matrix,
+  /// for any shard size and thread count. Reads work on spilled shards;
+  /// their pages fault back from the spill files as the sweep touches
+  /// them.
+  [[nodiscard]] std::vector<TargetOutcome> analyze(
+      const census::ShardedCensusMatrix& data, const census::Hitlist& hitlist,
+      std::size_t min_vps = 2, concurrency::ThreadPool* pool = nullptr) const;
+
   /// The cheap detection predicate on one target row. Runs a witness-point
   /// prefilter (O(n log n) for the typical unicast row) in front of the
   /// exact pairwise test; the verdict is identical to the full O(n^2)
@@ -67,6 +80,14 @@ class CensusAnalyzer {
   [[nodiscard]] std::size_t vp_count() const { return vps_.size(); }
 
  private:
+  /// One contiguous block of rows starting at global target `base`:
+  /// min-VP gate, detection, iGreedy, semantic tallies — no summary
+  /// event (callers emit exactly one per sweep).
+  [[nodiscard]] std::vector<TargetOutcome> analyze_block(
+      const census::CensusMatrix& data, std::size_t base, std::size_t targets,
+      const census::Hitlist& hitlist, std::size_t min_vps,
+      concurrency::ThreadPool* pool) const;
+
   std::span<const net::VantagePoint> vps_;
   const geo::CityIndex* cities_;
   core::Options options_;

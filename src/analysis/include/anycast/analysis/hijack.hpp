@@ -39,10 +39,21 @@ class HijackMonitor {
   void set_reference(const census::CensusMatrix& reference,
                      const census::Hitlist& hitlist, std::size_t min_vps = 2);
 
+  /// Sharded reference: identical classification (global-index row reads
+  /// are O(1) through the shard directory), so the learned unicast set
+  /// matches the monolithic overload for any shard size.
+  void set_reference(const census::ShardedCensusMatrix& reference,
+                     const census::Hitlist& hitlist, std::size_t min_vps = 2);
+
   /// Scans a later census: raises one alarm per reference-unicast prefix
   /// that now violates the speed of light.
   [[nodiscard]] std::vector<HijackAlarm> scan(
       const census::CensusMatrix& data, const census::Hitlist& hitlist,
+      std::size_t min_vps = 2) const;
+
+  /// The same scan over the sharded data plane.
+  [[nodiscard]] std::vector<HijackAlarm> scan(
+      const census::ShardedCensusMatrix& data, const census::Hitlist& hitlist,
       std::size_t min_vps = 2) const;
 
   /// Like `scan`, restricted to the given target indices (sorted
@@ -55,13 +66,20 @@ class HijackMonitor {
       const census::CensusMatrix& data, const census::Hitlist& hitlist,
       std::span<const std::uint32_t> targets, std::size_t min_vps = 2) const;
 
+  /// Dirty-row scan over the sharded data plane (same edge-triggered
+  /// contract; target indices are global).
+  [[nodiscard]] std::vector<HijackAlarm> scan_targets(
+      const census::ShardedCensusMatrix& data, const census::Hitlist& hitlist,
+      std::span<const std::uint32_t> targets, std::size_t min_vps = 2) const;
+
   [[nodiscard]] std::size_t monitored_prefixes() const {
     return unicast_reference_.size();
   }
 
  private:
+  template <typename MatrixT>
   [[nodiscard]] std::optional<HijackAlarm> scan_one(
-      const census::CensusMatrix& data, const census::Hitlist& hitlist,
+      const MatrixT& data, const census::Hitlist& hitlist,
       std::uint32_t target_index, std::size_t min_vps) const;
 
   CensusAnalyzer analyzer_;

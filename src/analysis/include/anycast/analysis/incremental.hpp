@@ -27,6 +27,15 @@ namespace anycast::analysis {
     const census::CensusMatrix& prev, const census::CensusMatrix& next,
     concurrency::ThreadPool* pool = nullptr);
 
+/// Sharded snapshots: shard pairs are diffed in index order (global
+/// indices out), so the result equals the monolithic diff of the same
+/// data. Snapshots with different layouts (target count or shard size)
+/// are incomparable: every row of `next` is dirty.
+[[nodiscard]] std::vector<std::uint32_t> dirty_rows(
+    const census::ShardedCensusMatrix& prev,
+    const census::ShardedCensusMatrix& next,
+    concurrency::ThreadPool* pool = nullptr);
+
 /// Outcome of an incremental pass.
 struct IncrementalResult {
   /// Element-identical to `analyzer.analyze(next, hitlist, min_vps, pool)`
@@ -45,6 +54,16 @@ struct IncrementalResult {
 [[nodiscard]] IncrementalResult incremental_analyze(
     const CensusAnalyzer& analyzer, std::span<const TargetOutcome> prev_outcomes,
     const census::CensusMatrix& prev, const census::CensusMatrix& next,
+    const census::Hitlist& hitlist, std::size_t min_vps = 2,
+    concurrency::ThreadPool* pool = nullptr);
+
+/// The same incremental pass over sharded snapshots: global-index row
+/// routing is O(1), dirty detection diffs shard pairs, and the spliced
+/// result is element-identical to the monolithic pass on the same data.
+[[nodiscard]] IncrementalResult incremental_analyze(
+    const CensusAnalyzer& analyzer, std::span<const TargetOutcome> prev_outcomes,
+    const census::ShardedCensusMatrix& prev,
+    const census::ShardedCensusMatrix& next,
     const census::Hitlist& hitlist, std::size_t min_vps = 2,
     concurrency::ThreadPool* pool = nullptr);
 

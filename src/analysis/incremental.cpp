@@ -63,11 +63,38 @@ std::vector<std::uint32_t> dirty_rows(const census::CensusMatrix& prev,
   return out;
 }
 
-IncrementalResult incremental_analyze(
+std::vector<std::uint32_t> dirty_rows(const census::ShardedCensusMatrix& prev,
+                                      const census::ShardedCensusMatrix& next,
+                                      concurrency::ThreadPool* pool) {
+  const std::size_t targets = next.target_count();
+  if (!prev.same_layout(next)) {
+    std::vector<std::uint32_t> all(targets);
+    std::iota(all.begin(), all.end(), 0u);
+    return all;
+  }
+  // Shard pairs in index order, local diffs lifted to global indices:
+  // exactly the rows (and order) the monolithic diff would produce.
+  std::vector<std::uint32_t> out;
+  for (std::size_t s = 0; s < next.shard_count(); ++s) {
+    const auto base = static_cast<std::uint32_t>(next.shard_base(s));
+    for (const std::uint32_t local :
+         dirty_rows(prev.shard(s), next.shard(s), pool)) {
+      out.push_back(base + local);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// The incremental pass, parameterized over the matrix type: both data
+/// planes expose target_count() and O(1) measurements(global index), and
+/// dirty_rows overloads handle the layout-specific diff.
+template <typename MatrixT>
+IncrementalResult incremental_analyze_impl(
     const CensusAnalyzer& analyzer,
-    std::span<const TargetOutcome> prev_outcomes,
-    const census::CensusMatrix& prev, const census::CensusMatrix& next,
-    const census::Hitlist& hitlist, std::size_t min_vps,
+    std::span<const TargetOutcome> prev_outcomes, const MatrixT& prev,
+    const MatrixT& next, const census::Hitlist& hitlist, std::size_t min_vps,
     concurrency::ThreadPool* pool) {
   IncrementalResult result;
   const std::size_t targets = std::min(next.target_count(), hitlist.size());
@@ -144,6 +171,28 @@ IncrementalResult incremental_analyze(
           {"anycast", result.outcomes.size()}});
   j.commit();
   return result;
+}
+
+}  // namespace
+
+IncrementalResult incremental_analyze(
+    const CensusAnalyzer& analyzer,
+    std::span<const TargetOutcome> prev_outcomes,
+    const census::CensusMatrix& prev, const census::CensusMatrix& next,
+    const census::Hitlist& hitlist, std::size_t min_vps,
+    concurrency::ThreadPool* pool) {
+  return incremental_analyze_impl(analyzer, prev_outcomes, prev, next,
+                                  hitlist, min_vps, pool);
+}
+
+IncrementalResult incremental_analyze(
+    const CensusAnalyzer& analyzer,
+    std::span<const TargetOutcome> prev_outcomes,
+    const census::ShardedCensusMatrix& prev,
+    const census::ShardedCensusMatrix& next, const census::Hitlist& hitlist,
+    std::size_t min_vps, concurrency::ThreadPool* pool) {
+  return incremental_analyze_impl(analyzer, prev_outcomes, prev, next,
+                                  hitlist, min_vps, pool);
 }
 
 }  // namespace anycast::analysis

@@ -1,7 +1,18 @@
 #include "anycast/census/census.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 
+#if defined(__linux__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include "anycast/census/sharded.hpp"
+#include "anycast/census/storage.hpp"
 #include "anycast/concurrency/thread_pool.hpp"
 #include "anycast/obs/journal.hpp"
 #include "anycast/obs/metrics.hpp"
@@ -46,18 +57,23 @@ const CensusInstruments& census_instruments() {
 }
 
 /// Matrix instruments, fed by CensusMatrixBuilder::build and the arena.
+/// The build/value counters are kSemantic — one logical build per census
+/// whatever the shard size (see note_matrix_build). The arena counters
+/// are kTiming: how many mappings it takes to assemble the same matrix
+/// is a data-plane layout detail that legitimately varies with the shard
+/// size and spill schedule.
 struct MatrixInstruments {
   obs::Counter builds = obs::metrics().counter(
       "census_matrix_builds", obs::MetricClass::kSemantic,
-      "CensusMatrixBuilder::build calls");
+      "logical census matrix builds (one per assembled matrix)");
   obs::Counter values = obs::metrics().counter(
       "census_matrix_values", obs::MetricClass::kSemantic,
       "canonical (vp, target) samples across built matrices");
   obs::Counter arena_remaps = obs::metrics().counter(
-      "census_arena_remaps", obs::MetricClass::kSemantic,
+      "census_arena_remaps", obs::MetricClass::kTiming,
       "in-place arena regrowths (mremap/realloc, beyond the first map)");
   obs::Counter arena_maps = obs::metrics().counter(
-      "census_arena_maps", obs::MetricClass::kSemantic,
+      "census_arena_maps", obs::MetricClass::kTiming,
       "fresh arena mappings (first allocation of a buffer)");
 };
 
@@ -77,6 +93,102 @@ void note_arena_remap(bool fresh_mapping) {
   } else {
     in.arena_remaps.inc();
   }
+}
+
+void note_matrix_build(std::size_t value_count) {
+  matrix_instruments().builds.inc();
+  matrix_instruments().values.add(value_count);
+}
+
+bool VpRttArena::spill(const std::string& path) {
+#if defined(__linux__)
+  if (spilled_) return true;
+  if (size_ == 0 || data_ == nullptr) return false;
+  const std::size_t payload_bytes = size_ * sizeof(VpRtt);
+
+  // Serialize into a zeroed staging buffer so struct padding bytes land
+  // in the file as zeros — spill files must be byte-deterministic. The
+  // staging copy is transient and per-shard-sized, well under the RSS
+  // headroom the spill exists to protect.
+  std::vector<std::uint8_t> payload(payload_bytes, 0);
+  VpRtt* recs = reinterpret_cast<VpRtt*>(payload.data());
+  for (std::size_t i = 0; i < size_; ++i) {
+    recs[i].vp = data_[i].vp;
+    recs[i].rtt_ms = data_[i].rtt_ms;
+  }
+  std::uint8_t header[kSpillHeaderBytes] = {};
+  const std::uint32_t crc = crc32(payload);
+  const std::uint64_t count = size_;
+  std::memcpy(header, &kSpillMagic, 4);
+  std::memcpy(header + 4, &crc, 4);
+  std::memcpy(header + 8, &count, 8);
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(header, 1, kSpillHeaderBytes, f) == kSpillHeaderBytes &&
+      std::fwrite(payload.data(), 1, payload.size(), f) == payload.size() &&
+      std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+
+  // Swap the anonymous mapping for a read-only file-backed one: same
+  // contents, but the pages are now reclaimable (drop_resident) and the
+  // kernel faults them back from the file on demand.
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const std::size_t len = kSpillHeaderBytes + payload_bytes;
+  void* mapped = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (mapped == MAP_FAILED) return false;
+  ::munmap(data_, payload_bytes);
+  map_base_ = mapped;
+  map_len_ = len;
+  data_ = reinterpret_cast<VpRtt*>(static_cast<std::uint8_t*>(mapped) +
+                                   kSpillHeaderBytes);
+  spilled_ = true;
+  return true;
+#else
+  (void)path;
+  return false;
+#endif
+}
+
+std::size_t VpRttArena::drop_resident() {
+#if defined(__linux__)
+  if (!spilled_ || map_base_ == nullptr) return 0;
+  if (::madvise(map_base_, map_len_, MADV_DONTNEED) != 0) return 0;
+  return size_ * sizeof(VpRtt);
+#else
+  return 0;
+#endif
+}
+
+void VpRttArena::restore() {
+#if defined(__linux__)
+  if (!spilled_) return;
+  const std::size_t payload_bytes = size_ * sizeof(VpRtt);
+  void* fresh = ::mmap(nullptr, payload_bytes, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (fresh == MAP_FAILED) throw std::bad_alloc();
+  std::memcpy(fresh, data_, payload_bytes);
+  ::munmap(map_base_, map_len_);
+  data_ = static_cast<VpRtt*>(fresh);
+  map_base_ = nullptr;
+  map_len_ = 0;
+  spilled_ = false;
+  note_arena_remap(/*fresh_mapping=*/true);
+#endif
 }
 
 }  // namespace detail
@@ -217,6 +329,12 @@ void CensusMatrixBuilder::add_fragment(std::uint16_t vp,
 }
 
 CensusMatrix CensusMatrixBuilder::build() {
+  CensusMatrix matrix = build_uncounted();
+  detail::note_matrix_build(matrix.observation_count());
+  return matrix;
+}
+
+CensusMatrix CensusMatrixBuilder::build_uncounted() {
   CensusMatrix matrix(target_count_);
 
   // Pass 1 — count: cursor[t + 1] accumulates target t's raw row size.
@@ -286,8 +404,6 @@ CensusMatrix CensusMatrixBuilder::build() {
   }
   matrix.offsets_[target_count_] = write;
   values.resize(write);
-  matrix_instruments().builds.inc();
-  matrix_instruments().values.add(write);
 
   fragments_.clear();
   loose_.clear();
@@ -380,19 +496,24 @@ struct VpWork {
   std::vector<TargetRtt> fragment; // per-target minima, merged in VP order
 };
 
-}  // namespace
-
-CensusOutput run_census(const net::SimulatedInternet& internet,
-                        std::span<const net::VantagePoint> vps,
-                        const Hitlist& hitlist, Greylist& blacklist,
-                        const FastPingConfig& config,
-                        const net::FaultPlan* faults,
-                        concurrency::ThreadPool* pool) {
+/// The whole census flow, parameterized over the matrix builder so the
+/// monolithic and sharded data planes share one code path: map VPs
+/// (possibly on the pool), reduce in VP order, build, merge greylists,
+/// flush metrics. Every step runs in exactly the same sequence for both
+/// builders, so the summary, greylist, journal stream, and semantic
+/// metrics are identical whatever the data plane.
+template <typename Builder>
+auto run_census_reduce(const net::SimulatedInternet& internet,
+                       std::span<const net::VantagePoint> vps,
+                       const Hitlist& hitlist, Greylist& blacklist,
+                       const FastPingConfig& config,
+                       const net::FaultPlan* faults,
+                       concurrency::ThreadPool* pool, Builder& builder,
+                       CensusSummary& summary) {
   // Adoption point: per-VP walk spans on worker threads attach here.
   const obs::Span census_span(obs::Span::Root::kAdoptionPoint, "census");
-  CensusOutput out;
-  out.summary.vp_duration_hours.reserve(vps.size());
-  out.summary.vp_outcomes.reserve(vps.size());
+  summary.vp_duration_hours.reserve(vps.size());
+  summary.vp_outcomes.reserve(vps.size());
 
   // Map: each available VP walks the hitlist with a *private* greylist
   // and reduces its own observations to a row fragment. Walks only read
@@ -425,36 +546,63 @@ CensusOutput run_census(const net::SimulatedInternet& internet,
   // matrix fragments, and greylist merge all see VPs in exactly the order
   // the serial loop did, so the output is byte-identical for any thread
   // count.
-  CensusMatrixBuilder builder(hitlist.size());
   Greylist census_greylist;
   for (std::size_t i = 0; i < vps.size(); ++i) {
     const net::VantagePoint& vp = vps[i];
     VpWork& work = done[i];
     if (!work.ran) {
-      out.summary.vp_outcomes.push_back({vp.id, VpOutcome::kSkipped});
+      summary.vp_outcomes.push_back({vp.id, VpOutcome::kSkipped});
       continue;
     }
-    ++out.summary.active_vps;
+    ++summary.active_vps;
     const FastPingResult& vp_result = work.result;
-    out.summary.probes_sent += vp_result.probes_sent;
-    out.summary.echo_replies += vp_result.echo_replies;
-    out.summary.errors += vp_result.errors;
-    out.summary.timeouts += vp_result.timeouts;
-    out.summary.injected_timeouts += vp_result.injected_timeouts;
-    out.summary.retry_probes += vp_result.retry_probes;
-    out.summary.retry_recovered += vp_result.retry_recovered;
-    out.summary.vp_duration_hours.push_back(vp_result.duration_hours);
+    summary.probes_sent += vp_result.probes_sent;
+    summary.echo_replies += vp_result.echo_replies;
+    summary.errors += vp_result.errors;
+    summary.timeouts += vp_result.timeouts;
+    summary.injected_timeouts += vp_result.injected_timeouts;
+    summary.retry_probes += vp_result.retry_probes;
+    summary.retry_recovered += vp_result.retry_recovered;
+    summary.vp_duration_hours.push_back(vp_result.duration_hours);
     const VpOutcome outcome = census_vp_outcome(vp_result, config);
-    out.summary.vp_outcomes.push_back({vp.id, outcome});
+    summary.vp_outcomes.push_back({vp.id, outcome});
     census_greylist.merge(work.greylist);
     if (outcome == VpOutcome::kQuarantined) continue;
     builder.add_fragment(static_cast<std::uint16_t>(vp.id),
                          std::move(work.fragment));
   }
-  out.data = builder.build();
-  out.summary.greylist_new = census_greylist.size();
+  auto data = builder.build();
+  summary.greylist_new = census_greylist.size();
   blacklist.merge(census_greylist);
-  flush_census_summary_metrics(out.summary);
+  flush_census_summary_metrics(summary);
+  return data;
+}
+
+}  // namespace
+
+CensusOutput run_census(const net::SimulatedInternet& internet,
+                        std::span<const net::VantagePoint> vps,
+                        const Hitlist& hitlist, Greylist& blacklist,
+                        const FastPingConfig& config,
+                        const net::FaultPlan* faults,
+                        concurrency::ThreadPool* pool) {
+  CensusOutput out;
+  CensusMatrixBuilder builder(hitlist.size());
+  out.data = run_census_reduce(internet, vps, hitlist, blacklist, config,
+                               faults, pool, builder, out.summary);
+  return out;
+}
+
+ShardedCensusOutput run_census_sharded(
+    const net::SimulatedInternet& internet,
+    std::span<const net::VantagePoint> vps, const Hitlist& hitlist,
+    Greylist& blacklist, const FastPingConfig& config,
+    const DataPlaneConfig& plane, const net::FaultPlan* faults,
+    concurrency::ThreadPool* pool) {
+  ShardedCensusOutput out;
+  ShardedCensusMatrixBuilder builder(hitlist.size(), plane);
+  out.data = run_census_reduce(internet, vps, hitlist, blacklist, config,
+                               faults, pool, builder, out.summary);
   return out;
 }
 

@@ -22,6 +22,7 @@
 #include <cstring>
 #include <new>
 #include <span>
+#include <string>
 #include <vector>
 
 #if defined(__linux__)
@@ -61,12 +62,28 @@ namespace detail {
 /// resize into `census_arena_remaps`.
 void note_arena_remap(bool fresh_mapping);
 
+/// Counts one logical matrix build of `value_count` canonical samples
+/// into `census_matrix_builds`/`census_matrix_values`. The sharded
+/// builder calls this exactly once per assembled matrix — however many
+/// per-shard `build_uncounted` passes it took — so the semantic counters
+/// are invariant to the shard size.
+void note_matrix_build(std::size_t value_count);
+
 /// Growable buffer of (trivially copyable) VpRtt for census-scale value
 /// arenas. std::vector growth must allocate-copy-free — transiently
 /// doubling resident memory on a buffer this large — so the arena
 /// resizes in place instead: mmap/mremap/munmap directly on Linux (no
 /// copy on growth, pages returned to the kernel the moment the buffer
 /// dies, residency independent of allocator history), realloc elsewhere.
+///
+/// On top of the anonymous growth path the arena has an explicit spill
+/// tier (Linux only): `spill()` freezes the contents into a checksummed
+/// file and swaps the anonymous mapping for a read-only file-backed one,
+/// `drop_resident()` returns the resident pages to the kernel (reads
+/// transparently fault them back from the file), and `restore()` copies
+/// the contents back into a private anonymous mapping before any
+/// mutation. `resize()` restores automatically, so mutating callers
+/// never observe the spilled state.
 class VpRttArena {
  public:
   VpRttArena() = default;
@@ -76,32 +93,52 @@ class VpRttArena {
     return *this;
   }
   VpRttArena(VpRttArena&& other) noexcept
-      : data_(other.data_), size_(other.size_) {
+      : data_(other.data_),
+        size_(other.size_),
+        map_base_(other.map_base_),
+        map_len_(other.map_len_),
+        spilled_(other.spilled_) {
     other.data_ = nullptr;
     other.size_ = 0;
+    other.map_base_ = nullptr;
+    other.map_len_ = 0;
+    other.spilled_ = false;
   }
   VpRttArena& operator=(VpRttArena&& other) noexcept {
     if (this != &other) {
       release();
       data_ = other.data_;
       size_ = other.size_;
+      map_base_ = other.map_base_;
+      map_len_ = other.map_len_;
+      spilled_ = other.spilled_;
       other.data_ = nullptr;
       other.size_ = 0;
+      other.map_base_ = nullptr;
+      other.map_len_ = 0;
+      other.spilled_ = false;
     }
     return *this;
   }
   ~VpRttArena() { release(); }
 
   [[nodiscard]] const VpRtt* data() const { return data_; }
-  [[nodiscard]] VpRtt* data() { return data_; }
+  /// Mutable access restores a spilled arena first — the file-backed
+  /// mapping is read-only by contract.
+  [[nodiscard]] VpRtt* data() {
+    if (spilled_) restore();
+    return data_;
+  }
   [[nodiscard]] std::size_t size() const { return size_; }
-  VpRtt& operator[](std::size_t i) { return data_[i]; }
+  VpRtt& operator[](std::size_t i) { return data()[i]; }
   const VpRtt& operator[](std::size_t i) const { return data_[i]; }
 
   /// Exact-size resize: contents up to min(old, new) are preserved, new
   /// slots are zero pages on Linux and uninitialised otherwise — either
-  /// way every caller writes them all before reading.
+  /// way every caller writes them all before reading. A spilled arena is
+  /// restored to anonymous memory first.
   void resize(std::size_t count) {
+    if (spilled_) restore();
     if (count == 0) {
       release();
       return;
@@ -123,25 +160,67 @@ class VpRttArena {
     size_ = count;
   }
 
+  /// Spills the arena to `path` (checksummed "ANCS" file) and swaps the
+  /// anonymous mapping for a read-only file-backed one. Returns false —
+  /// with the arena unchanged — on non-Linux builds, empty arenas, or
+  /// any I/O failure. Defined in census.cpp.
+  bool spill(const std::string& path);
+
+  /// Returns the resident pages of a spilled arena to the kernel
+  /// (`madvise(MADV_DONTNEED)` on the file-backed mapping); subsequent
+  /// reads fault them back from the spill file transparently. Returns
+  /// the number of bytes dropped (0 when not spilled).
+  std::size_t drop_resident();
+
+  /// Copies a spilled arena back into a private anonymous mapping (the
+  /// spill file stays on disk for its owner to reclaim). No-op when not
+  /// spilled.
+  void restore();
+
+  /// Whether the contents currently live in a file-backed mapping.
+  [[nodiscard]] bool spilled() const { return spilled_; }
+
+  /// Bytes of value payload (excludes the spill-file header).
+  [[nodiscard]] std::size_t byte_size() const {
+    return size_ * sizeof(VpRtt);
+  }
+
  private:
   void release() {
 #if defined(__linux__)
-    if (data_ != nullptr) ::munmap(data_, size_ * sizeof(VpRtt));
+    if (spilled_) {
+      if (map_base_ != nullptr) ::munmap(map_base_, map_len_);
+    } else if (data_ != nullptr) {
+      ::munmap(data_, size_ * sizeof(VpRtt));
+    }
 #else
     std::free(data_);
 #endif
     data_ = nullptr;
     size_ = 0;
+    map_base_ = nullptr;
+    map_len_ = 0;
+    spilled_ = false;
   }
 
   void assign(const VpRttArena& other) {
     resize(other.size_);
-    if (size_ != 0) std::memcpy(data_, other.data_, size_ * sizeof(VpRtt));
+    if (size_ != 0) std::memcpy(data(), other.data_, size_ * sizeof(VpRtt));
   }
 
   VpRtt* data_ = nullptr;
   std::size_t size_ = 0;
+  // When spilled: the whole file mapping (header included); data_ points
+  // at the payload inside it.
+  void* map_base_ = nullptr;
+  std::size_t map_len_ = 0;
+  bool spilled_ = false;
 };
+
+/// Spill-file layout constants ("ANCS": magic, crc32 of payload, record
+/// count, then the raw VpRtt payload with zeroed struct padding).
+inline constexpr std::uint32_t kSpillMagic = 0x53434E41;  // "ANCS"
+inline constexpr std::size_t kSpillHeaderBytes = 16;
 
 }  // namespace detail
 
@@ -189,6 +268,23 @@ class CensusMatrix {
   /// allocation and no second value buffer whatever the row count.
   void combine_min(const CensusMatrix& other);
 
+  // -- Spill tier (ShardedCensusMatrix's RSS-budget lever) ------------------
+
+  /// Freezes the value arena into the "ANCS" spill file at `path` and
+  /// remaps it read-only file-backed. Reads (`measurements`) keep
+  /// working; mutation restores first. Returns false (matrix unchanged)
+  /// when spilling is unavailable or fails.
+  bool spill_values(const std::string& path) { return values_.spill(path); }
+  /// Returns a spilled matrix's resident value pages to the kernel;
+  /// reads fault them back from the spill file. Bytes dropped (0 when
+  /// not spilled).
+  std::size_t drop_resident_values() { return values_.drop_resident(); }
+  /// Copies spilled values back into anonymous memory.
+  void restore_values() { values_.restore(); }
+  [[nodiscard]] bool values_spilled() const { return values_.spilled(); }
+  /// Value-arena payload bytes (resident upper bound when not dropped).
+  [[nodiscard]] std::size_t value_bytes() const { return values_.byte_size(); }
+
  private:
   friend class CensusMatrixBuilder;
   detail::VpRttArena values_;           // all rows, back to back
@@ -220,6 +316,12 @@ class CensusMatrixBuilder {
 
   /// Freezes the accumulated input into a matrix and resets the builder.
   [[nodiscard]] CensusMatrix build();
+
+  /// `build()` minus the `census_matrix_builds`/`census_matrix_values`
+  /// instrument bumps. Internal per-shard builds go through this so a
+  /// sharded assembly counts exactly one logical build — keeping the
+  /// semantic metric snapshot invariant across shard sizes.
+  [[nodiscard]] CensusMatrix build_uncounted();
 
  private:
   struct Fragment {

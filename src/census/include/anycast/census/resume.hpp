@@ -56,4 +56,25 @@ ResumeReport resume_census(const net::SimulatedInternet& internet,
                            const net::FaultPlan* faults = nullptr,
                            concurrency::ThreadPool* pool = nullptr);
 
+/// Accounting for one sharded resume pass (same fields, sharded data).
+struct ShardedResumeReport {
+  ShardedCensusOutput output;
+  std::size_t vps_reused = 0;
+  std::size_t vps_rerun = 0;
+  std::size_t vps_skipped = 0;
+  std::size_t files_salvaged = 0;
+};
+
+/// resume_census over the sharded data plane: identical recovery
+/// decisions, checkpoint writes, summary, greylist, and journal/metric
+/// semantics — the recovered fragments just stream through a
+/// ShardedCensusMatrixBuilder under `plane`'s budgets.
+ShardedResumeReport resume_census_sharded(
+    const net::SimulatedInternet& internet,
+    std::span<const net::VantagePoint> vps, const Hitlist& hitlist,
+    Greylist& blacklist, const FastPingConfig& config,
+    const std::filesystem::path& dir, std::uint32_t census_id,
+    const DataPlaneConfig& plane = {}, const net::FaultPlan* faults = nullptr,
+    concurrency::ThreadPool* pool = nullptr);
+
 }  // namespace anycast::census

@@ -21,6 +21,7 @@
 
 #include "anycast/census/census.hpp"
 #include "anycast/census/record.hpp"
+#include "anycast/census/sharded.hpp"
 
 namespace anycast::census {
 
@@ -91,6 +92,15 @@ CensusMatrix collate_census_files(
 CensusMatrix collate_census_files(
     std::span<const std::filesystem::path> paths, std::size_t target_count,
     std::size_t* skipped_files = nullptr);
+
+/// Sharded collation: identical file walk and accounting, but the
+/// fragments stream through a ShardedCensusMatrixBuilder — one file in
+/// memory at a time, staged shards flushed under the plane's budgets —
+/// so a paper-scale repository collates in bounded RSS. The result is
+/// element-identical to the monolithic collation for any shard size.
+ShardedCensusMatrix collate_census_files_sharded(
+    std::span<const std::filesystem::path> paths, std::size_t target_count,
+    const DataPlaneConfig& plane, CollateStats* stats, bool salvage = true);
 
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over `bytes` — the census
 /// file trailer checksum, exposed for tests and external tooling.

@@ -5,10 +5,27 @@
 #include <cmath>
 #include <cstring>
 
+#include "anycast/obs/journal.hpp"
+#include "anycast/obs/metrics.hpp"
+
 namespace anycast::census {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x414E4331;  // "ANC1"
+
+/// Record-codec instruments. kTiming: how many damaged records a run
+/// sees depends on which checkpoints exist and what corrupted them, not
+/// on the pipeline's semantics.
+struct RecordInstruments {
+  obs::Counter dropped_oversized = obs::metrics().counter(
+      "record_dropped_oversized", obs::MetricClass::kTiming,
+      "records dropped at encode: target index beyond the 24-bit format");
+};
+
+const RecordInstruments& record_instruments() {
+  static const RecordInstruments instruments;
+  return instruments;
+}
 
 std::int16_t encode_ticks(double rtt_ms) {
   const double ticks = std::round(rtt_ms * 50.0);
@@ -142,6 +159,16 @@ std::vector<std::uint8_t> encode_binary(
   }
   if (dropped_oversized != nullptr) *dropped_oversized = dropped;
   const std::size_t kept = observations.size() - dropped;
+  // Register the instrument on every encode; count and journal only on
+  // actual drops, so a corrupted record is visible in the flight
+  // recorder, not just in an out-param most callers ignore.
+  const RecordInstruments& in = record_instruments();
+  if (dropped != 0) {
+    in.dropped_oversized.add(dropped);
+    obs::journal().emit(obs::MetricClass::kTiming, obs::Severity::kWarn,
+                        "record.dropped_oversized", 0,
+                        {{"dropped", dropped}, {"kept", kept}});
+  }
 
   std::vector<std::uint8_t> out;
   out.reserve(8 + kept * binary_bytes_per_observation());

@@ -234,10 +234,16 @@ std::optional<CensusFile> salvage_census_file(
   return out;
 }
 
-CensusMatrix collate_census_files(
-    std::span<const std::filesystem::path> paths, std::size_t target_count,
-    CollateStats* stats, bool salvage) {
-  CensusMatrixBuilder builder(target_count);
+namespace {
+
+/// The collation walk, parameterized over the matrix builder so the
+/// monolithic and sharded planes share one code path (identical file
+/// order, salvage decisions, and accounting).
+template <typename Builder>
+auto collate_into(Builder& builder,
+                  std::span<const std::filesystem::path> paths,
+                  std::size_t target_count, CollateStats* stats,
+                  bool salvage) {
   CollateStats local;
   for (const std::filesystem::path& path : paths) {
     const auto file =
@@ -262,6 +268,22 @@ CensusMatrix collate_census_files(
   }
   if (stats != nullptr) *stats = local;
   return builder.build();
+}
+
+}  // namespace
+
+CensusMatrix collate_census_files(
+    std::span<const std::filesystem::path> paths, std::size_t target_count,
+    CollateStats* stats, bool salvage) {
+  CensusMatrixBuilder builder(target_count);
+  return collate_into(builder, paths, target_count, stats, salvage);
+}
+
+ShardedCensusMatrix collate_census_files_sharded(
+    std::span<const std::filesystem::path> paths, std::size_t target_count,
+    const DataPlaneConfig& plane, CollateStats* stats, bool salvage) {
+  ShardedCensusMatrixBuilder builder(target_count, plane);
+  return collate_into(builder, paths, target_count, stats, salvage);
 }
 
 CensusMatrix collate_census_files(

@@ -39,6 +39,7 @@
 #include "anycast/analysis/hijack.hpp"
 #include "anycast/census/census.hpp"
 #include "anycast/census/hitlist.hpp"
+#include "anycast/census/sharded.hpp"
 #include "anycast/daemon/supervisor.hpp"
 #include "anycast/net/fault.hpp"
 
@@ -56,6 +57,12 @@ struct WatchConfig {
 
   census::FastPingConfig fastping;  // seed is shared by every round
   SupervisorConfig supervisor;
+
+  /// Data-plane shape for every round's matrix (shard size, RSS budget,
+  /// spill directory). The defaults reproduce the monolithic plane; any
+  /// setting leaves the committed journal stream and semantic metrics
+  /// byte-identical (DESIGN.md §15).
+  census::DataPlaneConfig data_plane;
 
   /// Chaos: when enabled, each round probes under `chaos` re-seeded per
   /// round (hash of spec seed and round number), so outages and flaps
@@ -118,7 +125,7 @@ class WatchDaemon {
 
   [[nodiscard]] std::optional<net::FaultPlan> plan_for_round(int round) const;
   void apply_churn(int round);
-  [[nodiscard]] census::CensusMatrix collate_round(
+  [[nodiscard]] census::ShardedCensusMatrix collate_round(
       int round, std::span<const std::uint32_t> quarantined) const;
   bool save_state(std::string* error) const;
   bool load_state(PersistedState* state, std::string* error) const;
@@ -140,12 +147,12 @@ class WatchDaemon {
 
   // Previous committed round (incremental-analysis input).
   int prev_round_ = 0;  // 0 = none yet
-  census::CensusMatrix prev_matrix_;
+  census::ShardedCensusMatrix prev_matrix_;
   std::vector<analysis::TargetOutcome> prev_outcomes_;
 
   // Last healthy round (drift baseline for churn/shift events).
   int baseline_round_ = 0;
-  census::CensusMatrix baseline_matrix_;
+  census::ShardedCensusMatrix baseline_matrix_;
   analysis::CensusSnapshot baseline_snapshot_;
 
   // First healthy round (hijack reference).

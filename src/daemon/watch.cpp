@@ -118,7 +118,7 @@ void WatchDaemon::apply_churn(int round) {
   }
 }
 
-census::CensusMatrix WatchDaemon::collate_round(
+census::ShardedCensusMatrix WatchDaemon::collate_round(
     int round, std::span<const std::uint32_t> quarantined) const {
   // A committed round's matrix is exactly the collation of its checkpoint
   // files minus the quarantined VPs' — the same reduction resume_census
@@ -137,7 +137,9 @@ census::CensusMatrix WatchDaemon::collate_round(
     if (std::filesystem::exists(path, ec)) paths.push_back(std::move(path));
   }
   census::CollateStats stats;
-  return census::collate_census_files(paths, hitlist_.size(), &stats, true);
+  return census::collate_census_files_sharded(paths, hitlist_.size(),
+                                              config_.data_plane, &stats,
+                                              true);
 }
 
 bool WatchDaemon::save_state(std::string* error) const {
@@ -369,9 +371,9 @@ WatchResult WatchDaemon::run(concurrency::ThreadPool* pool) {
       return result;
     }
 
-    auto report = census::resume_census(
+    auto report = census::resume_census_sharded(
         internet_, vps_, hitlist_, blacklist_, cfg, config_.out_dir,
-        static_cast<std::uint32_t>(round), faults, pool);
+        static_cast<std::uint32_t>(round), config_.data_plane, faults, pool);
     const RoundVerdict verdict =
         supervisor_.assess(round, report.output.summary);
 

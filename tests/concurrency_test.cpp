@@ -281,10 +281,10 @@ void put64(std::vector<std::uint8_t>& out, std::uint64_t v) {
   put32(out, static_cast<std::uint32_t>(v >> 32));
 }
 
-std::uint32_t census_digest(const CensusOutput& out,
-                            const Greylist& blacklist) {
+template <typename OutputT>  // CensusOutput or ShardedCensusOutput
+std::uint32_t census_digest(const OutputT& out, const Greylist& blacklist) {
   std::vector<std::uint8_t> bytes;
-  const CensusMatrix& data = out.data;
+  const auto& data = out.data;
   put64(bytes, data.target_count());
   for (std::uint32_t t = 0; t < data.target_count(); ++t) {
     const auto row = data.measurements(t);
@@ -368,6 +368,35 @@ TEST(PinnedDigests, CensusMatchesPreRefactorEngineForAnyThreadCount) {
           << "chaos=" << chaos << " threads=" << threads;
     }
   }
+}
+
+TEST(PinnedDigests, ShardedCensusMatchesPinnedDigestForAnyShardSize) {
+  // The sharded data plane — any shard size, with a 1 MiB RSS budget
+  // forcing spills, chaos on or off — lands on the exact digests pinned
+  // from the pre-CSR monolithic engine. Rows, summary, greylist: all of it.
+  const auto vps = net::make_planetlab({.node_count = 12, .seed = 91});
+  const fs::path spill_root =
+      fs::temp_directory_path() /
+      ("anycast_sharded_digest_" + std::to_string(::getpid()));
+  for (const bool chaos : {false, true}) {
+    const net::FaultPlan plan = stormy_plan();
+    const net::FaultPlan* faults = chaos ? &plan : nullptr;
+    const std::uint32_t expected =
+        chaos ? kCensusDigestChaos : kCensusDigestClean;
+    for (const std::size_t shard_targets : {1u, 37u, 1u << 20}) {
+      census::DataPlaneConfig plane;
+      plane.shard_targets = shard_targets;
+      plane.rss_budget_mb = 1;
+      plane.spill_dir = (spill_root / std::to_string(shard_targets)).string();
+      Greylist blacklist;
+      const census::ShardedCensusOutput sharded = census::run_census_sharded(
+          tiny_world(), vps, tiny_hitlist(), blacklist, loaded_config(),
+          plane, faults);
+      EXPECT_EQ(census_digest(sharded, blacklist), expected)
+          << "chaos=" << chaos << " shard_targets=" << shard_targets;
+    }
+  }
+  fs::remove_all(spill_root);
 }
 
 TEST(PinnedDigests, AnalysisMatchesPreRefactorEngineForAnyThreadCount) {
@@ -714,9 +743,29 @@ TEST_F(ParallelResumeTest, TimingMetricsAreExactlyTheDeclaredAllowlist) {
   (void)analyzer.analyze(report.output.data, tiny_hitlist(), 2, &pool);
   const portscan::PortScanner scanner(tiny_world());
   (void)scanner.scan(tiny_world().deployments().front());
+  // The sharded data plane registers its instruments too: one bounded
+  // resume with a spill budget covers shard flush/spill/restore/salvage
+  // counters and the residency gauges.
+  census::DataPlaneConfig plane;
+  plane.shard_targets = 53;
+  plane.rss_budget_mb = 1;
+  plane.spill_dir = (dir_ / "spill").string();
+  Greylist blacklist_sharded;
+  (void)census::resume_census_sharded(tiny_world(), vps, tiny_hitlist(),
+                                      blacklist_sharded, config,
+                                      dir_ / "sharded", /*census_id=*/1,
+                                      plane, /*faults=*/nullptr, &pool);
 
   const std::set<std::string> allowlist{
+      "census_arena_maps",
+      "census_arena_remaps",
       "census_blacklist_skips",
+      "census_shard_flushes",
+      "census_shard_resident_bytes",
+      "census_shard_restores",
+      "census_shard_spilled_bytes",
+      "census_shard_spills",
+      "census_spill_salvages",
       "census_vp_duration_hours",
       "checkpoint_read_failures",
       "checkpoint_reads_ok",
@@ -728,6 +777,7 @@ TEST_F(ParallelResumeTest, TimingMetricsAreExactlyTheDeclaredAllowlist) {
       "pool_indices_by_helpers",
       "pool_lane_busy_ms",
       "pool_parallel_ops",
+      "record_dropped_oversized",
       "resume_files_salvaged",
       "resume_vps_rerun",
       "resume_vps_reused",

@@ -9,6 +9,8 @@
 #include "anycast/census/storage.hpp"
 #include "anycast/geo/city_index.hpp"
 #include "anycast/net/platform.hpp"
+#include "anycast/obs/journal.hpp"
+#include "anycast/obs/metrics.hpp"
 
 namespace anycast::census {
 namespace {
@@ -309,6 +311,68 @@ TEST_F(StorageTest, OutOfRangeTargetsDropped) {
     total += data.measurements(t).size();
   }
   EXPECT_EQ(total, 1u);
+}
+
+TEST_F(StorageTest, OversizedIndexDroppedCountedAndJournaled) {
+  // An index >= 2^24 cannot come from a real hitlist (~14.7M routed /24s);
+  // the codec must drop it — never wrap it into another target's row —
+  // and make the corruption visible in the flight recorder.
+  std::vector<Observation> stream = sample_stream();
+  Observation corrupt;
+  corrupt.target_index = 1u << 24;  // first index the 24-bit field loses
+  corrupt.kind = net::ReplyKind::kEchoReply;
+  corrupt.rtt_ms = 12.0;
+  stream.insert(stream.begin() + 250, corrupt);
+
+  const auto dropped_metric = [] {
+    for (const auto& metric : obs::metrics().scrape()) {
+      if (metric.name == "record_dropped_oversized") return metric.value;
+    }
+    return std::uint64_t{0};
+  };
+  const std::uint64_t before = dropped_metric();
+  const fs::path journal_path = dir_ / "journal.jsonl";
+  ASSERT_TRUE(obs::journal().open(journal_path));
+
+  std::size_t dropped = 0;
+  const std::vector<std::uint8_t> bytes = encode_binary(stream, &dropped);
+  obs::journal().close();
+  obs::journal().set_recording(false);
+
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(dropped_metric(), before + 1);
+
+  // Journaled as a kTiming warning, so the drop shows up in run reports.
+  std::ifstream journal(journal_path);
+  const std::string text((std::istreambuf_iterator<char>(journal)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("record.dropped_oversized"), std::string::npos);
+
+  // Every other record survives, byte-exact after quantisation.
+  const auto decoded = decode_binary(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  const std::vector<Observation> clean = sample_stream();
+  ASSERT_EQ(decoded->size(), clean.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].target_index, clean[i].target_index);
+    EXPECT_EQ((*decoded)[i].kind, clean[i].kind);
+    if (clean[i].kind == net::ReplyKind::kEchoReply) {
+      EXPECT_DOUBLE_EQ((*decoded)[i].rtt_ms,
+                       quantised_rtt_ms(clean[i].rtt_ms));
+    }
+  }
+
+  // The boundary case 2^24 - 1 is a valid index and must be kept.
+  Observation edge = corrupt;
+  edge.target_index = (1u << 24) - 1;
+  std::size_t edge_dropped = 99;
+  const auto edge_bytes =
+      encode_binary(std::vector<Observation>{edge}, &edge_dropped);
+  EXPECT_EQ(edge_dropped, 0u);
+  const auto edge_decoded = decode_binary(edge_bytes);
+  ASSERT_TRUE(edge_decoded.has_value());
+  ASSERT_EQ(edge_decoded->size(), 1u);
+  EXPECT_EQ((*edge_decoded)[0].target_index, (1u << 24) - 1);
 }
 
 }  // namespace

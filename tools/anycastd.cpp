@@ -97,6 +97,15 @@ constexpr tools::FlagHelp kCensusFlags[] = {
     {"resume", "", "reuse complete checkpoints; re-run the rest"},
 };
 
+constexpr tools::FlagHelp kDataPlaneFlags[] = {
+    {"shard-targets", "N",
+     "targets per census shard (0 = one monolithic shard); any value "
+     "yields identical output"},
+    {"rss-budget-mb", "MB",
+     "resident-value budget; frozen shards beyond it spill to "
+     "<dir>/spill and fault back on access (0 = never spill)"},
+};
+
 constexpr tools::FlagHelp kWatchFlags[] = {
     {"rounds", "N", "census rounds the campaign should reach (default 3)"},
     {"chaos", "SCENARIO",
@@ -133,6 +142,8 @@ int usage() {
   std::fprintf(stderr, "  census / resume:\n");
   tools::print_flag_help(stderr, kCensusFlags);
   tools::print_flag_help(stderr, kChaosFlags);
+  std::fprintf(stderr, "  data plane (census / resume / watch / analyze):\n");
+  tools::print_flag_help(stderr, kDataPlaneFlags);
   std::fprintf(stderr, "  watch (supervised multi-round daemon):\n");
   tools::print_flag_help(stderr, kWatchFlags);
   std::fprintf(stderr,
@@ -256,6 +267,20 @@ census::FastPingConfig fastping_config_from(const Flags& flags) {
   return fastping;
 }
 
+/// Data-plane shape from the kDataPlaneFlags knobs. Spill files land
+/// under the command's own directory (checkpoint/out dir + "/spill"), so
+/// a wiped run directory also wipes its spill tier.
+census::DataPlaneConfig data_plane_from(const Flags& flags,
+                                        const fs::path& base_dir) {
+  census::DataPlaneConfig plane;
+  plane.shard_targets = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, flags.get_int("shard-targets", 0)));
+  plane.rss_budget_mb = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, flags.get_int("rss-budget-mb", 0)));
+  plane.spill_dir = (base_dir / "spill").string();
+  return plane;
+}
+
 /// The classic four-fault spec from the kChaosFlags knobs.
 net::FaultSpec chaos_spec_from(const Flags& flags) {
   net::FaultSpec spec;
@@ -292,6 +317,7 @@ int cmd_census(const Flags& flags, bool resume) {
   const auto census_id =
       static_cast<std::uint32_t>(flags.get_int("census-id", 1));
   resume = resume || flags.get_bool("resume");
+  const census::DataPlaneConfig plane = data_plane_from(flags, *out_dir);
   concurrency::ThreadPool pool = pool_from(flags);
   if (const int rc = reject_unknown(flags)) return rc;
 
@@ -320,14 +346,13 @@ int cmd_census(const Flags& flags, bool resume) {
     }
   }
   census::Greylist blacklist;
-  census::ResumeReport report;
+  census::ShardedResumeReport report;
   {
     const ProgressGuard progress =
         maybe_start_progress(pool, flags, "census");
-    report = census::resume_census(internet, vps, hitlist, blacklist,
-                                   fastping, *out_dir, census_id,
-                                   plan.has_value() ? &*plan : nullptr,
-                                   &pool);
+    report = census::resume_census_sharded(
+        internet, vps, hitlist, blacklist, fastping, *out_dir, census_id,
+        plane, plan.has_value() ? &*plan : nullptr, &pool);
   }
   const census::CensusSummary& summary = report.output.summary;
 
@@ -385,6 +410,7 @@ int cmd_watch(const Flags& flags) {
   config.churn = flags.get_bool("churn");
   config.churn_seed =
       static_cast<std::uint64_t>(flags.get_int("churn-seed", 77));
+  config.data_plane = data_plane_from(flags, *out_dir);
 
   if (const auto chaos = flags.get("chaos")) {
     net::FaultSpec spec;
@@ -484,8 +510,8 @@ int cmd_analyze(const Flags& flags) {
   }
 
   census::CollateStats stats;
-  const census::CensusMatrix data =
-      census::collate_census_files(files, hitlist.size(), &stats);
+  const census::ShardedCensusMatrix data = census::collate_census_files_sharded(
+      files, hitlist.size(), data_plane_from(flags, *in_dir), &stats);
   std::printf(
       "collated %zu files (%zu salvaged, %zu skipped), %zu responsive "
       "targets\n",
