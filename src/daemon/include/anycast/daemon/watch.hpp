@@ -47,6 +47,10 @@ namespace anycast::concurrency {
 class ThreadPool;
 }
 
+namespace anycast::serving {
+class SnapshotStore;
+}
+
 namespace anycast::daemon {
 
 struct WatchConfig {
@@ -83,6 +87,13 @@ struct WatchConfig {
   /// deterministic stand-in for kill -9. A restart over the same out_dir
   /// resumes the half-done round.
   int die_at_round = 0;  // 0 = never
+
+  /// When non-null, every committed round's frozen matrix + outcomes are
+  /// published here as an immutable SnapshotView (id = round number,
+  /// hitlist-indexed). The swap is an atomic epoch bump: readers serving
+  /// queries mid-round keep their pinned epoch, the next acquire sees the
+  /// new round — the census never stalls a query and vice versa.
+  serving::SnapshotStore* serve_store = nullptr;
 };
 
 /// Exit code the CLI maps a watchdog abort to (BSD EX_SOFTWARE).

@@ -11,6 +11,8 @@
 #include "anycast/census/storage.hpp"
 #include "anycast/obs/journal.hpp"
 #include "anycast/rng/distributions.hpp"
+#include "anycast/serving/snapshot.hpp"
+#include "anycast/serving/store.hpp"
 
 namespace anycast::daemon {
 namespace {
@@ -480,6 +482,14 @@ WatchResult WatchDaemon::run(concurrency::ThreadPool* pool) {
     prev_round_ = round;
     prev_matrix_ = std::move(report.output.data);
     prev_outcomes_ = std::move(outcomes);
+    if (config_.serve_store != nullptr) {
+      // Publish a copy of this round's frozen state: the store owns its
+      // snapshots outright so in-flight readers keep answering from old
+      // epochs while the daemon mutates its own round-to-round state.
+      config_.serve_store->publish(serving::SnapshotView::build(
+          prev_matrix_, prev_outcomes_, static_cast<std::uint64_t>(round),
+          &hitlist_));
+    }
     if (verdict.health == RoundHealth::kHealthy) {
       baseline_round_ = round;
       baseline_matrix_ = prev_matrix_;

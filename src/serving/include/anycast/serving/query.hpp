@@ -1,0 +1,59 @@
+// The serving line protocol: text queries in, deterministic text out.
+//
+// One query per line, `#` comments and blank lines skipped:
+//
+//   point <key>                 anycast verdict + row stats for one target
+//   replicas <key>              enumerated, geolocated replica set
+//   batch <key> <key> ...       vectorized point lookups, aggregate answer
+//   nearest <key> <lat> <lon>   closest replica to a client coordinate
+//   diff                        landscape delta vs. the previous snapshot
+//
+// `<key>` is either a dense target index or a dotted-quad IPv4 address
+// (resolved through the snapshot's hitlist /24 index). Answers are
+// byte-deterministic for a given snapshot pair — cli_smoke greps them and
+// the watch serve loop compares final-epoch answers across runs — so all
+// floating-point output is fixed-precision and iteration order is the
+// snapshot's own.
+//
+// Used by `anycastd serve` (file or stdin batch loop) and by the watch
+// daemon's in-campaign serve thread; tests drive it directly.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "anycast/serving/snapshot.hpp"
+
+namespace anycast::serving {
+
+/// What a batch of queries runs against. `previous` may be null; `diff`
+/// queries then answer an error.
+struct QueryContext {
+  const SnapshotView* current = nullptr;
+  const SnapshotView* previous = nullptr;
+};
+
+/// Appends the answer for one query line to `out` (one or more lines,
+/// each '\n'-terminated). Returns false on a malformed query, filling
+/// `error` instead; `out` is untouched in that case. Unknown keys are NOT
+/// errors — they answer `... unknown` (a serving plane must keep serving
+/// hostile input).
+bool answer_query(const QueryContext& context, std::string_view line,
+                  std::string& out, std::string& error);
+
+/// Result of answering a whole request text.
+struct QueryBatchResult {
+  std::size_t answered = 0;  // query lines answered (comments not counted)
+  std::size_t error_line = 0;  // 1-based line of the first malformed query
+  std::string error;           // empty on success
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Answers every query line in `text` into `out`. Parse-then-answer:
+/// `text` is validated in full first, so a malformed line anywhere means
+/// NO answers are produced (batch atomicity — a half-answered request
+/// file cannot be mistaken for a complete one).
+QueryBatchResult answer_queries(const QueryContext& context,
+                                std::string_view text, std::string& out);
+
+}  // namespace anycast::serving

@@ -1,0 +1,152 @@
+// Atomic epoch-swap publication of census snapshots (RCU-style).
+//
+// The serving plane's contract: a census build (seconds) must never stall
+// a query (microseconds), and a query must never observe a half-swapped
+// snapshot. SnapshotStore gives both with a lock-free read path:
+//
+//   Reader:  claim a slot (CAS kFree -> epoch), re-announce until the
+//            announced epoch is the one last observed, load `current_`,
+//            answer queries against that view, store kFree to unpin.
+//   Writer:  exchange `current_` to the fresh snapshot, bump `epoch_`,
+//            push the old node onto the retired list stamped with the new
+//            epoch, then reclaim every retired node whose stamp is <= the
+//            minimum epoch announced across claimed slots.
+//
+// Why this is safe (the memory-order contract, DESIGN.md §16): all shared
+// atomics (`slots_`, `epoch_`, `current_`) use seq_cst, so every claim,
+// bump, exchange, and scan falls into one total order. A reader announces
+// BEFORE loading `current_`; a writer exchanges BEFORE bumping and bumps
+// BEFORE scanning. If the writer's reclaim scan reads a slot before the
+// reader's announce lands, then — by the total order — the exchange also
+// preceded the reader's `current_` load, so the reader can only see the
+// NEW snapshot, never the node being reclaimed. If the announce lands
+// first, the scan sees it and the node survives. Announced epochs are
+// conservative (a stale-low announcement only widens protection), and a
+// node obtained after announcing epoch e always carries a retire stamp
+// > e, so the "free iff stamp <= min announced" rule can never free a
+// node a pinned reader holds. No standalone fences, no hazard-pointer
+// validation loop, no locks anywhere a reader runs — the writer-side
+// mutex only serialises publishers against each other.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "anycast/serving/snapshot.hpp"
+
+namespace anycast::serving {
+
+class SnapshotStore;
+
+/// RAII pin on one published snapshot. While alive, the view (and every
+/// arena behind it) is guaranteed resident; queries through it are
+/// wait-free. Invalid (falsey) when nothing was published yet.
+class ReadGuard {
+ public:
+  ReadGuard() = default;
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+  ReadGuard(ReadGuard&& other) noexcept { move_from(other); }
+  ReadGuard& operator=(ReadGuard&& other) noexcept {
+    if (this != &other) {
+      release();
+      move_from(other);
+    }
+    return *this;
+  }
+  ~ReadGuard() { release(); }
+
+  [[nodiscard]] bool valid() const { return view_ != nullptr; }
+  explicit operator bool() const { return valid(); }
+  [[nodiscard]] const SnapshotView& view() const { return *view_; }
+  const SnapshotView* operator->() const { return view_; }
+
+  /// Unpins early (idempotent).
+  void release();
+
+ private:
+  friend class SnapshotStore;
+  ReadGuard(SnapshotStore* store, std::size_t slot, const SnapshotView* view)
+      : store_(store), slot_(slot), view_(view) {}
+  void move_from(ReadGuard& other) {
+    store_ = other.store_;
+    slot_ = other.slot_;
+    view_ = other.view_;
+    other.store_ = nullptr;
+    other.view_ = nullptr;
+  }
+
+  SnapshotStore* store_ = nullptr;
+  std::size_t slot_ = 0;
+  const SnapshotView* view_ = nullptr;
+};
+
+class SnapshotStore {
+ public:
+  /// Concurrent pinned readers supported; a 65th reader spins until a
+  /// slot frees. Sized for "threads on one host", not "clients" — one
+  /// slot pins one epoch for a whole batch of queries.
+  static constexpr std::size_t kMaxReaderSlots = 64;
+
+  SnapshotStore() = default;
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+  ~SnapshotStore();
+
+  /// Publishes `view` as the current snapshot. Lock-free for readers:
+  /// in-flight guards keep answering from the snapshot they pinned, new
+  /// acquires see `view`. The displaced snapshot is retired and freed
+  /// once the last reader that could hold it drains. Thread-safe against
+  /// concurrent publishers.
+  void publish(SnapshotView view);
+
+  /// Pins the current snapshot. Returns an invalid guard when nothing
+  /// has been published.
+  [[nodiscard]] ReadGuard acquire();
+
+  /// Blocks until every retired snapshot has been reclaimed (readers of
+  /// old epochs drained). Current snapshot stays published.
+  void drain();
+
+  /// Monotone swap count: 0 before the first publish.
+  [[nodiscard]] std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+  /// Retired-but-not-yet-freed snapshots (test observability).
+  [[nodiscard]] std::size_t retired_count();
+  /// Snapshots freed by reclamation since construction.
+  [[nodiscard]] std::uint64_t snapshots_freed() const {
+    return freed_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  struct Node {
+    explicit Node(SnapshotView v) : view(std::move(v)) {}
+    SnapshotView view;
+  };
+  struct Retired {
+    Node* node = nullptr;
+    std::uint64_t stamp = 0;  // epoch at which the node became unreachable
+  };
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{kFreeSlot};
+  };
+  static constexpr std::uint64_t kFreeSlot = ~std::uint64_t{0};
+
+  friend class ReadGuard;
+  void release_slot(std::size_t slot);
+  /// Frees every retired node whose stamp is <= the minimum announced
+  /// epoch. Caller holds writer_mutex_.
+  void reclaim_locked();
+
+  Slot slots_[kMaxReaderSlots];
+  std::atomic<Node*> current_{nullptr};
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> freed_{0};
+  std::mutex writer_mutex_;        // publishers + reclaim bookkeeping only
+  std::vector<Retired> retired_;   // guarded by writer_mutex_
+};
+
+}  // namespace anycast::serving

@@ -1,0 +1,296 @@
+#include "anycast/serving/query.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include "anycast/ipaddr/ipv4.hpp"
+#include "anycast/obs/metrics.hpp"
+
+namespace anycast::serving {
+namespace {
+
+struct QueryInstruments {
+  obs::Counter queries = obs::metrics().counter(
+      "serving_queries", obs::MetricClass::kTiming,
+      "query lines answered by the serving plane");
+  obs::Counter unknown_keys = obs::metrics().counter(
+      "serving_unknown_keys", obs::MetricClass::kTiming,
+      "queries naming a target outside the snapshot");
+};
+
+const QueryInstruments& query_instruments() {
+  static const QueryInstruments instruments;
+  return instruments;
+}
+
+std::vector<std::string_view> split_tokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view token) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<double> parse_f64(std::string_view token) {
+  // std::from_chars<double> is still spotty across libstdc++ versions in
+  // the field; strtod on a bounded copy is equivalent here.
+  char buf[64];
+  if (token.empty() || token.size() >= sizeof(buf)) return std::nullopt;
+  token.copy(buf, token.size());
+  buf[token.size()] = '\0';
+  char* end = nullptr;
+  const double value = std::strtod(buf, &end);
+  if (end != buf + token.size()) return std::nullopt;
+  return value;
+}
+
+/// A query key resolves to a target index, to "unknown" (valid syntax,
+/// not in the snapshot), or to malformed.
+enum class KeyStatus { kResolved, kUnknown, kMalformed };
+
+KeyStatus resolve_key(const SnapshotView& view, std::string_view token,
+                      std::uint32_t& target) {
+  if (const std::optional<std::uint64_t> index = parse_u64(token)) {
+    if (*index >= view.target_count()) return KeyStatus::kUnknown;
+    target = static_cast<std::uint32_t>(*index);
+    return KeyStatus::kResolved;
+  }
+  const auto address = ipaddr::IPv4Address::parse(token);
+  if (!address) return KeyStatus::kMalformed;
+  const std::optional<std::uint32_t> hit =
+      view.target_of_address(address->slash24_index());
+  if (!hit) return KeyStatus::kUnknown;
+  target = *hit;
+  return KeyStatus::kResolved;
+}
+
+void append_fmt(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min<std::size_t>(n, sizeof(buf) - 1));
+}
+
+void answer_point(const SnapshotView& view, std::string_view key,
+                  std::uint32_t target, std::string& out) {
+  PointAnswer answer;
+  const std::uint32_t one[1] = {target};
+  view.lookup_batch(one, &answer);
+  append_fmt(out, "point %.*s target=%u anycast=%u responsive=%u vps=%u replicas=%u\n",
+             static_cast<int>(key.size()), key.data(), target, answer.anycast,
+             answer.responsive, answer.vp_count, answer.replica_count);
+}
+
+void answer_replicas(const SnapshotView& view, std::string_view key,
+                     std::uint32_t target, std::string& out) {
+  const std::span<const core::Replica> replicas = view.replicas(target);
+  append_fmt(out, "replicas %.*s target=%u count=%zu\n",
+             static_cast<int>(key.size()), key.data(), target,
+             replicas.size());
+  for (const core::Replica& replica : replicas) {
+    const std::string city =
+        replica.city != nullptr ? replica.city->display() : "-";
+    append_fmt(out, "  replica vp=%u city=\"%s\" lat=%.4f lon=%.4f\n",
+               replica.vp_id, city.c_str(), replica.location.latitude(),
+               replica.location.longitude());
+  }
+}
+
+}  // namespace
+
+bool answer_query(const QueryContext& context, std::string_view line,
+                  std::string& out, std::string& error) {
+  if (context.current == nullptr) {
+    error = "no snapshot published";
+    return false;
+  }
+  const SnapshotView& view = *context.current;
+  const std::vector<std::string_view> tokens = split_tokens(line);
+  if (tokens.empty()) return true;  // caller filters blanks; be lenient
+  const std::string_view verb = tokens[0];
+  std::string answer;
+
+  const auto unknown = [&](std::string_view key) {
+    query_instruments().unknown_keys.inc();
+    answer.append(std::string(verb) + " " + std::string(key) + " unknown\n");
+  };
+  const auto malformed = [&](const std::string& why) {
+    error = why;
+    return false;
+  };
+
+  if (verb == "point" || verb == "replicas") {
+    if (tokens.size() != 2) {
+      return malformed("expected: " + std::string(verb) + " <target|a.b.c.d>");
+    }
+    std::uint32_t target = 0;
+    switch (resolve_key(view, tokens[1], target)) {
+      case KeyStatus::kMalformed:
+        return malformed("bad target key '" + std::string(tokens[1]) + "'");
+      case KeyStatus::kUnknown:
+        unknown(tokens[1]);
+        break;
+      case KeyStatus::kResolved:
+        if (verb == "point") {
+          answer_point(view, tokens[1], target, answer);
+        } else {
+          answer_replicas(view, tokens[1], target, answer);
+        }
+        break;
+    }
+  } else if (verb == "batch") {
+    if (tokens.size() < 2) return malformed("expected: batch <key> <key> ...");
+    std::vector<std::uint32_t> targets;
+    targets.reserve(tokens.size() - 1);
+    std::size_t unknown_count = 0;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      std::uint32_t target = 0;
+      switch (resolve_key(view, tokens[i], target)) {
+        case KeyStatus::kMalformed:
+          return malformed("bad target key '" + std::string(tokens[i]) + "'");
+        case KeyStatus::kUnknown:
+          ++unknown_count;
+          break;
+        case KeyStatus::kResolved:
+          targets.push_back(target);
+          break;
+      }
+    }
+    if (unknown_count > 0) query_instruments().unknown_keys.add(unknown_count);
+    std::vector<PointAnswer> answers(targets.size());
+    view.lookup_batch(targets, answers.data());
+    std::size_t anycast = 0;
+    std::size_t responsive = 0;
+    std::size_t replicas = 0;
+    for (const PointAnswer& a : answers) {
+      anycast += a.anycast;
+      responsive += a.responsive;
+      replicas += a.replica_count;
+    }
+    append_fmt(answer,
+               "batch n=%zu unknown=%zu anycast=%zu responsive=%zu replicas=%zu\n",
+               targets.size(), unknown_count, anycast, responsive, replicas);
+  } else if (verb == "nearest") {
+    if (tokens.size() != 4) {
+      return malformed("expected: nearest <target|a.b.c.d> <lat> <lon>");
+    }
+    const std::optional<double> lat = parse_f64(tokens[2]);
+    const std::optional<double> lon = parse_f64(tokens[3]);
+    if (!lat || !lon || *lat < -90.0 || *lat > 90.0 || *lon < -180.0 ||
+        *lon > 180.0) {
+      return malformed("bad coordinate");
+    }
+    std::uint32_t target = 0;
+    switch (resolve_key(view, tokens[1], target)) {
+      case KeyStatus::kMalformed:
+        return malformed("bad target key '" + std::string(tokens[1]) + "'");
+      case KeyStatus::kUnknown:
+        unknown(tokens[1]);
+        break;
+      case KeyStatus::kResolved: {
+        double km = 0.0;
+        const core::Replica* hit =
+            view.nearest_replica(target, *lat, *lon, &km);
+        if (hit == nullptr) {
+          append_fmt(answer, "nearest %.*s target=%u none\n",
+                     static_cast<int>(tokens[1].size()), tokens[1].data(),
+                     target);
+        } else {
+          const std::string city =
+              hit->city != nullptr ? hit->city->display() : "-";
+          append_fmt(answer,
+                     "nearest %.*s target=%u vp=%u city=\"%s\" km=%.1f\n",
+                     static_cast<int>(tokens[1].size()), tokens[1].data(),
+                     target, hit->vp_id, city.c_str(), km);
+        }
+        break;
+      }
+    }
+  } else if (verb == "diff") {
+    if (tokens.size() != 1) return malformed("expected: diff");
+    if (context.previous == nullptr) {
+      return malformed("diff needs a previous snapshot (--against)");
+    }
+    const SnapshotDelta delta = view.changed_since(*context.previous);
+    using Kind = analysis::PrefixChange::Kind;
+    append_fmt(answer,
+               "diff dirty=%zu changes=%zu appeared=%zu disappeared=%zu "
+               "grew=%zu shrank=%zu moved=%zu\n",
+               delta.dirty.size(), delta.diff.changes.size(),
+               delta.diff.count(Kind::kAppeared),
+               delta.diff.count(Kind::kDisappeared),
+               delta.diff.count(Kind::kGrew), delta.diff.count(Kind::kShrank),
+               delta.diff.count(Kind::kMoved));
+    for (const analysis::PrefixChange& change : delta.diff.changes) {
+      append_fmt(answer, "  %.*s slash24=%u before=%zu after=%zu\n",
+                 static_cast<int>(analysis::to_string(change.kind).size()),
+                 analysis::to_string(change.kind).data(),
+                 change.slash24_index, change.replicas_before,
+                 change.replicas_after);
+    }
+  } else {
+    return malformed("unknown verb '" + std::string(verb) + "'");
+  }
+
+  query_instruments().queries.inc();
+  out += answer;
+  return true;
+}
+
+QueryBatchResult answer_queries(const QueryContext& context,
+                                std::string_view text, std::string& out) {
+  QueryBatchResult result;
+  // Answers accumulate in `scratch` and flush to `out` only when the
+  // whole batch parsed clean — a malformed line anywhere suppresses ALL
+  // output, so a half-answered request file cannot pass for a full one.
+  std::string scratch;
+  std::string error;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::size_t end = eol == std::string_view::npos ? text.size() : eol;
+    std::string_view line = text.substr(pos, end - pos);
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') {
+      line = line.substr(0, line.size() - 1);
+    }
+    const bool skip = line.empty() || line[0] == '#';
+    if (!skip && !answer_query(context, line, scratch, error)) {
+      result.error = error;
+      result.error_line = line_no;
+      return result;
+    }
+    if (!skip) ++result.answered;
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  out += scratch;
+  return result;
+}
+
+}  // namespace anycast::serving

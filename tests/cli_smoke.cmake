@@ -105,6 +105,68 @@ if(EXISTS ${WORK_DIR}/c3)
   message(FATAL_ERROR "census ran despite an unwritable metrics path")
 endif()
 
+# Serve leg: the query plane answers a request file against the census
+# just written, deterministically.
+file(WRITE ${WORK_DIR}/queries.txt
+  "# smoke queries\npoint 0\nbatch 0 1 2 3 4 5 6 7\nreplicas 2\n"
+  "nearest 2 48.85 2.35\n")
+execute_process(
+  COMMAND ${ANYCASTD} serve --in ${WORK_DIR}/c1 --vps 12 --unicast 400
+          --queries ${WORK_DIR}/queries.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve failed (${rc}): ${out}${err}")
+endif()
+if(NOT out MATCHES "point 0 target=0 anycast=[01] responsive=[01]")
+  message(FATAL_ERROR "serve missing point answer: ${out}")
+endif()
+if(NOT out MATCHES "batch n=8")
+  message(FATAL_ERROR "serve missing batch answer: ${out}")
+endif()
+if(NOT err MATCHES "serve: answered 4 queries from snapshot 1")
+  message(FATAL_ERROR "serve missing summary line: ${err}")
+endif()
+
+# The same answers must be byte-identical on a second run.
+execute_process(
+  COMMAND ${ANYCASTD} serve --in ${WORK_DIR}/c1 --vps 12 --unicast 400
+          --queries ${WORK_DIR}/queries.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out2 ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT out STREQUAL out2)
+  message(FATAL_ERROR "serve answers are not deterministic")
+endif()
+
+# A malformed query batch is refused atomically: rc 2, the offending
+# line named, and NO answers emitted for the lines before it.
+file(WRITE ${WORK_DIR}/bad_queries.txt "point 0\nbogus 12 13\n")
+execute_process(
+  COMMAND ${ANYCASTD} serve --in ${WORK_DIR}/c1 --vps 12 --unicast 400
+          --queries ${WORK_DIR}/bad_queries.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "malformed query batch exited ${rc}, want 2: ${err}")
+endif()
+if(NOT err MATCHES "serve: bad query at line 2")
+  message(FATAL_ERROR "malformed batch error missing line number: ${err}")
+endif()
+if(out MATCHES "point 0 target=0")
+  message(FATAL_ERROR "malformed batch still emitted answers: ${out}")
+endif()
+
+# An unwritable --metrics-out during serve fails fast, before the
+# snapshot is even loaded.
+execute_process(
+  COMMAND ${ANYCASTD} serve --in ${WORK_DIR}/c1 --vps 12 --unicast 400
+          --queries ${WORK_DIR}/queries.txt
+          --metrics-out ${WORK_DIR}/no_such_dir/serve_metrics.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "serve with unwritable --metrics-out did not fail")
+endif()
+if(NOT err MATCHES "cannot open --metrics-out path")
+  message(FATAL_ERROR "serve metrics-out error message missing: ${err}")
+endif()
+
 # Chaos leg: a fault-injected census must still produce one checkpoint per
 # VP, resume must repair the damage we do, and analyze must still work.
 execute_process(
@@ -167,6 +229,48 @@ if(NOT rc EQUAL 0)
 endif()
 if(NOT out MATCHES "anycast: [0-9]+ /24 in [0-9]+ ASes")
   message(FATAL_ERROR "chaos analyze output missing summary: ${out}")
+endif()
+
+# Diff query across two snapshot directories (c1 clean vs c2 repaired
+# chaos census of the same world).
+file(WRITE ${WORK_DIR}/diff_query.txt "diff\n")
+execute_process(
+  COMMAND ${ANYCASTD} serve --in ${WORK_DIR}/c2 --vps 12 --unicast 400
+          --against ${WORK_DIR}/c1 --queries ${WORK_DIR}/diff_query.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve diff failed (${rc}): ${out}${err}")
+endif()
+if(NOT out MATCHES "diff dirty=[0-9]+ changes=[0-9]+")
+  message(FATAL_ERROR "serve diff answer malformed: ${out}")
+endif()
+
+# A snapshot directory with a checksum-failing file is refused strictly —
+# serving silently-partial data is worse than not serving — and served
+# from the recoverable remainder only under --allow-salvage.
+file(MAKE_DIRECTORY ${WORK_DIR}/c_bad)
+file(GLOB c1_files ${WORK_DIR}/c1/*.anc)
+file(COPY ${c1_files} DESTINATION ${WORK_DIR}/c_bad)
+file(WRITE ${WORK_DIR}/c_bad/census1_vp4.anc "garbage, not a census file")
+execute_process(
+  COMMAND ${ANYCASTD} serve --in ${WORK_DIR}/c_bad --vps 12 --unicast 400
+          --queries ${WORK_DIR}/queries.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "serve accepted a checksum-failing snapshot")
+endif()
+if(NOT err MATCHES "failed checksum validation")
+  message(FATAL_ERROR "serve refusal message missing: ${err}")
+endif()
+execute_process(
+  COMMAND ${ANYCASTD} serve --in ${WORK_DIR}/c_bad --vps 12 --unicast 400
+          --queries ${WORK_DIR}/queries.txt --allow-salvage
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve --allow-salvage failed (${rc}): ${out}${err}")
+endif()
+if(NOT err MATCHES "serve: answered 4 queries")
+  message(FATAL_ERROR "salvage serve missing summary: ${err}")
 endif()
 
 # Flight recorder leg: a census with the journal, trace export, and live
@@ -291,11 +395,17 @@ endif()
 
 # Watch leg: a churning multi-round campaign must journal a byte-identical
 # semantic stream at any thread count — the tentpole determinism contract.
+# --serve-queries keeps a query reader live across every round's epoch
+# swap and answers the file once more against the final snapshot; the
+# final answers are deterministic, so they must not differ by thread
+# count either.
+file(WRITE ${WORK_DIR}/watch_queries.txt "point 0\nbatch 0 1 2 3\n")
 foreach(threads 2 8)
   execute_process(
     COMMAND ${ANYCASTD} watch --out ${WORK_DIR}/w${threads} --rounds 3
             --vps 12 --unicast 400 --churn --threads ${threads}
             --journal-out ${WORK_DIR}/w${threads}.jsonl
+            --serve-queries ${WORK_DIR}/watch_queries.txt
     RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
   if(NOT rc EQUAL 0)
     message(FATAL_ERROR "watch (${threads} threads) failed (${rc}): "
@@ -304,7 +414,21 @@ foreach(threads 2 8)
   if(NOT out MATCHES "watch: campaign at 3/3 rounds")
     message(FATAL_ERROR "watch output missing campaign summary: ${out}")
   endif()
+  if(NOT out MATCHES "point 0 target=0")
+    message(FATAL_ERROR "watch --serve-queries printed no final answers: "
+            "${out}")
+  endif()
+  if(NOT err MATCHES "serve: [0-9]+ in-campaign batches across [0-9]+ snapshot")
+    message(FATAL_ERROR "watch --serve-queries missing serving summary: "
+            "${err}")
+  endif()
+  string(REGEX MATCH "point 0 target=0[^\n]*" serve_answer_${threads}
+         "${out}")
 endforeach()
+if(NOT serve_answer_2 STREQUAL serve_answer_8)
+  message(FATAL_ERROR "watch serve answers differ by thread count: "
+          "'${serve_answer_2}' vs '${serve_answer_8}'")
+endif()
 execute_process(
   COMMAND ${ANYCASTD} report --diff ${WORK_DIR}/w2.jsonl
           --against ${WORK_DIR}/w8.jsonl

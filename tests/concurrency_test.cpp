@@ -25,6 +25,9 @@
 #include "anycast/net/platform.hpp"
 #include "anycast/obs/metrics.hpp"
 #include "anycast/portscan/scanner.hpp"
+#include "anycast/serving/query.hpp"
+#include "anycast/serving/snapshot.hpp"
+#include "anycast/serving/store.hpp"
 
 namespace anycast {
 namespace {
@@ -756,6 +759,24 @@ TEST_F(ParallelResumeTest, TimingMetricsAreExactlyTheDeclaredAllowlist) {
                                       dir_ / "sharded", /*census_id=*/1,
                                       plane, /*faults=*/nullptr, &pool);
 
+  // The serving plane's instruments: two publishes (the second retires
+  // and reclaims the first), one acquire, and one unknown-key query
+  // register the epoch-swap counters, the retired-depth gauge, and the
+  // query-path counters — all wall-clock/traffic-shaped, never semantic.
+  {
+    serving::SnapshotStore store;
+    store.publish(
+        serving::SnapshotView::build(census::CensusMatrix(4), {}, 1));
+    store.publish(
+        serving::SnapshotView::build(census::CensusMatrix(4), {}, 2));
+    serving::ReadGuard guard = store.acquire();
+    ASSERT_TRUE(guard.valid());
+    std::string out;
+    std::string error;
+    ASSERT_TRUE(serving::answer_query({&guard.view(), nullptr}, "point 99",
+                                      out, error));
+  }
+
   const std::set<std::string> allowlist{
       "census_arena_maps",
       "census_arena_remaps",
@@ -781,6 +802,12 @@ TEST_F(ParallelResumeTest, TimingMetricsAreExactlyTheDeclaredAllowlist) {
       "resume_files_salvaged",
       "resume_vps_rerun",
       "resume_vps_reused",
+      "serving_publishes",
+      "serving_queries",
+      "serving_retired_depth",
+      "serving_snapshots_freed",
+      "serving_snapshots_retired",
+      "serving_unknown_keys",
   };
   std::set<std::string> seen_timing;
   for (const obs::MetricValue& value : obs::metrics().scrape()) {

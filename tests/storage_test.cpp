@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "anycast/analysis/analyzer.hpp"
 #include "anycast/census/census.hpp"
+#include "anycast/census/sharded.hpp"
 #include "anycast/census/storage.hpp"
+#include "anycast/serving/snapshot.hpp"
 #include "anycast/geo/city_index.hpp"
 #include "anycast/net/platform.hpp"
 #include "anycast/obs/journal.hpp"
@@ -373,6 +377,210 @@ TEST_F(StorageTest, OversizedIndexDroppedCountedAndJournaled) {
   ASSERT_TRUE(edge_decoded.has_value());
   ASSERT_EQ(edge_decoded->size(), 1u);
   EXPECT_EQ((*edge_decoded)[0].target_index, (1u << 24) - 1);
+}
+
+// --- ANCS spill-file fault corpus -------------------------------------------
+//
+// The serving plane keeps spilled shards mmap'd read-only and faults their
+// pages back on demand, so the same truncation/bit-flip corpus the .anc
+// census files get must hold for .ancs spill files: strict reads refuse any
+// damage, salvage recovers exactly the whole-record prefix — including
+// while reader threads are actively faulting the snapshot back in.
+
+/// A deterministic matrix whose row sizes encode the target index, so a
+/// reader can verify any row against pure arithmetic.
+CensusMatrix spillable_matrix(std::size_t targets) {
+  CensusMatrixBuilder builder(targets);
+  for (std::uint32_t t = 0; t < targets; ++t) {
+    const std::uint16_t row = static_cast<std::uint16_t>(t % 9 + 1);
+    for (std::uint16_t vp = 0; vp < row; ++vp) {
+      builder.add(t, vp, 1.0F + static_cast<float>(t % 50) * 0.25F +
+                             static_cast<float>(vp));
+    }
+  }
+  return builder.build();
+}
+
+TEST_F(StorageTest, SpillFileTruncationCorpusStrictVsSalvage) {
+  CensusMatrix matrix = spillable_matrix(300);
+  const std::size_t total = matrix.observation_count();
+  const fs::path path = dir_ / "shard0.ancs";
+  if (!matrix.spill_values(path.string())) GTEST_SKIP() << "no spill tier";
+
+  const auto intact = read_spill_file(path.string());
+  ASSERT_TRUE(intact.has_value());
+  EXPECT_FALSE(intact->salvaged);
+  ASSERT_EQ(intact->values.size(), total);
+
+  // Truncation corpus: empty file, half a header, header only, header +
+  // half a record, and whole-record prefixes of several lengths.
+  const std::size_t header = detail::kSpillHeaderBytes;
+  const std::size_t rec = sizeof(VpRtt);
+  struct Cut {
+    std::size_t bytes;
+    // Whole records a salvage must recover; SIZE_MAX = nothing at all
+    // (nullopt even in salvage mode).
+    std::size_t recoverable;
+  };
+  const Cut corpus[] = {
+      {0, SIZE_MAX},
+      {header / 2, SIZE_MAX},
+      {header, 0},
+      {header + rec / 2, 0},
+      {header + rec, 1},
+      {header + 17 * rec + 3, 17},
+      {header + (total - 1) * rec, total - 1},
+  };
+  for (const Cut& cut : corpus) {
+    const fs::path hurt = dir_ / ("cut_" + std::to_string(cut.bytes) + ".ancs");
+    fs::copy_file(path, hurt);
+    fs::resize_file(hurt, cut.bytes);
+
+    EXPECT_FALSE(read_spill_file(hurt.string()).has_value())
+        << "strict read accepted a file cut to " << cut.bytes << " bytes";
+    const auto rescued = read_spill_file(hurt.string(), /*salvage=*/true);
+    if (cut.recoverable == SIZE_MAX) {
+      EXPECT_FALSE(rescued.has_value()) << cut.bytes;
+      continue;
+    }
+    ASSERT_TRUE(rescued.has_value()) << cut.bytes;
+    EXPECT_TRUE(rescued->salvaged);
+    ASSERT_EQ(rescued->values.size(), cut.recoverable) << cut.bytes;
+    for (std::size_t i = 0; i < cut.recoverable; ++i) {
+      EXPECT_EQ(rescued->values[i].vp, intact->values[i].vp);
+      EXPECT_EQ(rescued->values[i].rtt_ms, intact->values[i].rtt_ms);
+    }
+  }
+}
+
+TEST_F(StorageTest, SpillFileBitFlipCorpusStrictVsSalvage) {
+  CensusMatrix matrix = spillable_matrix(300);
+  const std::size_t total = matrix.observation_count();
+  const fs::path path = dir_ / "shard0.ancs";
+  if (!matrix.spill_values(path.string())) GTEST_SKIP() << "no spill tier";
+  const std::size_t header = detail::kSpillHeaderBytes;
+  const std::size_t size = fs::file_size(path);
+
+  // Payload flips: CRC catches them; the file keeps its length, so
+  // salvage keeps the declared count (damaged values and all — the
+  // caller opted into best-effort).
+  for (const std::size_t offset :
+       {header, header + size / 3, size - 1}) {
+    const fs::path hurt = dir_ / ("flip_" + std::to_string(offset) + ".ancs");
+    fs::copy_file(path, hurt);
+    std::fstream file(hurt, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    file.seekp(static_cast<std::streamoff>(offset));
+    file.write(&byte, 1);
+    file.close();
+
+    EXPECT_FALSE(read_spill_file(hurt.string()).has_value()) << offset;
+    const auto rescued = read_spill_file(hurt.string(), /*salvage=*/true);
+    ASSERT_TRUE(rescued.has_value()) << offset;
+    EXPECT_TRUE(rescued->salvaged);
+    EXPECT_EQ(rescued->values.size(), total);
+  }
+
+  // A flipped magic is not an ANCS file: even salvage refuses.
+  const fs::path bad_magic = dir_ / "bad_magic.ancs";
+  fs::copy_file(path, bad_magic);
+  {
+    std::fstream file(bad_magic,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(0);
+    file.put('X');
+  }
+  EXPECT_FALSE(read_spill_file(bad_magic.string()).has_value());
+  EXPECT_FALSE(read_spill_file(bad_magic.string(), true).has_value());
+
+  // A flipped CRC field leaves the payload intact but unverifiable:
+  // strict refuses, salvage recovers every record bit-exact.
+  const fs::path bad_crc = dir_ / "bad_crc.ancs";
+  fs::copy_file(path, bad_crc);
+  {
+    std::fstream file(bad_crc, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(5);
+    char byte = 0;
+    file.seekg(5);
+    file.read(&byte, 1);
+    file.seekp(5);
+    file.put(static_cast<char>(byte ^ 0x01));
+  }
+  EXPECT_FALSE(read_spill_file(bad_crc.string()).has_value());
+  const auto intact = read_spill_file(path.string());
+  const auto rescued = read_spill_file(bad_crc.string(), true);
+  ASSERT_TRUE(intact.has_value());
+  ASSERT_TRUE(rescued.has_value());
+  EXPECT_TRUE(rescued->salvaged);
+  ASSERT_EQ(rescued->values.size(), intact->values.size());
+  for (std::size_t i = 0; i < rescued->values.size(); ++i) {
+    EXPECT_EQ(rescued->values[i].vp, intact->values[i].vp);
+    EXPECT_EQ(rescued->values[i].rtt_ms, intact->values[i].rtt_ms);
+  }
+}
+
+TEST_F(StorageTest, SpilledSnapshotServesWhileFaultCorpusRuns) {
+  // A snapshot whose value pages live in a spill file, served to reader
+  // threads that fault them back in, while the main thread runs the
+  // strict-vs-salvage corpus against copies of the same file. Readers
+  // must never observe a wrong row; the corpus must behave exactly as it
+  // does with no load.
+  constexpr std::size_t kTargets = 400;
+  CensusMatrix matrix = spillable_matrix(kTargets);
+  const fs::path path = dir_ / "snapshot.ancs";
+  if (!matrix.spill_values(path.string())) GTEST_SKIP() << "no spill tier";
+  matrix.drop_resident_values();
+
+  const serving::SnapshotView view = serving::SnapshotView::build(
+      std::move(matrix), {}, /*id=*/1);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&view, &stop, &torn] {
+      std::vector<std::uint32_t> targets(kTargets);
+      for (std::uint32_t t = 0; t < kTargets; ++t) targets[t] = t;
+      std::vector<serving::PointAnswer> answers(kTargets);
+      while (!stop.load(std::memory_order_relaxed)) {
+        view.lookup_batch(targets, answers.data());
+        for (std::uint32_t t = 0; t < kTargets; ++t) {
+          if (answers[t].vp_count != t % 9 + 1 || answers[t].anycast != 0) {
+            torn.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  // The corpus, under load: intact strict read succeeds unsalvaged; a
+  // truncated copy is refused strictly and salvages its prefix; a
+  // bit-flipped copy is refused strictly and salvages its full count.
+  for (int round = 0; round < 20; ++round) {
+    const auto intact = read_spill_file(path.string());
+    ASSERT_TRUE(intact.has_value());
+    EXPECT_FALSE(intact->salvaged);
+
+    const fs::path cut = dir_ / ("load_cut_" + std::to_string(round));
+    fs::copy_file(path, cut);
+    const std::size_t keep = 10 + static_cast<std::size_t>(round) * 7;
+    fs::resize_file(cut, detail::kSpillHeaderBytes + keep * sizeof(VpRtt) + 1);
+    EXPECT_FALSE(read_spill_file(cut.string()).has_value());
+    const auto rescued = read_spill_file(cut.string(), true);
+    ASSERT_TRUE(rescued.has_value());
+    EXPECT_TRUE(rescued->salvaged);
+    ASSERT_EQ(rescued->values.size(), keep);
+    for (std::size_t i = 0; i < keep; ++i) {
+      EXPECT_EQ(rescued->values[i].vp, intact->values[i].vp);
+    }
+    fs::remove(cut);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(torn.load(), 0U);
 }
 
 }  // namespace

@@ -15,6 +15,11 @@
 //       collate per-VP files (salvaging damaged ones), detect/enumerate/
 //       geolocate, print the characterisation; optionally export replicas
 //       as GeoJSON
+//   anycastd serve    --in DIR [--queries FILE] [--against DIR]
+//       publish DIR's census as an immutable snapshot and answer
+//       point/replicas/batch/nearest/diff queries from a request file or
+//       stdin; refuses snapshots that fail checksum validation unless
+//       --allow-salvage
 //   anycastd portscan [--top N]
 //       TCP portscan of the top anycast ASes (Sec. 4.3)
 //   anycastd diff     --out DIR
@@ -27,14 +32,17 @@
 //
 // All commands are deterministic in --seed (and --chaos-seed).
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "anycast/analysis/analyzer.hpp"
 #include "anycast/analysis/diff.hpp"
@@ -55,6 +63,9 @@
 #include "anycast/obs/trace.hpp"
 #include "anycast/obs/trace_export.hpp"
 #include "anycast/portscan/scanner.hpp"
+#include "anycast/serving/query.hpp"
+#include "anycast/serving/snapshot.hpp"
+#include "anycast/serving/store.hpp"
 #include "flags.hpp"
 
 namespace {
@@ -119,6 +130,10 @@ constexpr tools::FlagHelp kWatchFlags[] = {
     {"die-at-round", "N",
      "watchdog drill: abort round N mid-way (half the platform "
      "checkpointed, no state commit) and exit 70; restart resumes"},
+    {"serve-queries", "FILE",
+     "serve this query batch continuously during the campaign (each "
+     "round's snapshot swapped in atomically) and print the final-round "
+     "answers on exit"},
 };
 
 constexpr tools::FlagHelp kChaosFlags[] = {
@@ -135,8 +150,8 @@ constexpr tools::FlagHelp kChaosFlags[] = {
 int usage() {
   std::fprintf(stderr,
                "usage: anycastd "
-               "<world|census|resume|watch|analyze|portscan|diff|report> "
-               "[flags]\n"
+               "<world|census|resume|watch|analyze|serve|portscan|diff|"
+               "report> [flags]\n"
                "  common flags:\n");
   tools::print_flag_help(stderr, kCommonFlags);
   std::fprintf(stderr, "  census / resume:\n");
@@ -148,6 +163,10 @@ int usage() {
   tools::print_flag_help(stderr, kWatchFlags);
   std::fprintf(stderr,
                "  analyze:  --in DIR [--geojson FILE] [--top N]\n"
+               "  serve:    --in DIR [--queries FILE] [--against DIR]\n"
+               "            [--allow-salvage]  answer point/replicas/batch/\n"
+               "            nearest/diff queries (file or stdin) from the\n"
+               "            frozen snapshot; strict checksums by default\n"
                "  portscan: [--top N]\n"
                "  diff:     [--epochs N] [--availability F]\n"
                "  report:   --in DIR [--journal FILE] [--format md|json] "
@@ -220,6 +239,14 @@ int reject_unknown(const Flags& flags) {
     std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
   }
   return 2;
+}
+
+std::optional<std::string> slurp_text(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
 }
 
 int cmd_world(const Flags& flags) {
@@ -453,14 +480,64 @@ int cmd_watch(const Flags& flags) {
     config.chaos = spec;
   }
   concurrency::ThreadPool pool = pool_from(flags);
+
+  // --serve-queries FILE: serve the request batch continuously DURING the
+  // campaign from whatever snapshot is current (epoch swaps never stall
+  // the reader), then answer it once more against the final round for a
+  // deterministic stdout.
+  const auto serve_queries = flags.get("serve-queries");
+  std::string serve_text;
+  if (serve_queries.has_value()) {
+    const auto text = slurp_text(*serve_queries);
+    if (!text.has_value()) {
+      std::fprintf(stderr, "watch: cannot read --serve-queries %s\n",
+                   serve_queries->c_str());
+      return 2;
+    }
+    serve_text = *text;
+  }
   if (const int rc = reject_unknown(flags)) return rc;
+
+  serving::SnapshotStore store;
+  if (serve_queries.has_value()) config.serve_store = &store;
 
   daemon::WatchDaemon watcher(internet, vps, geo::world_index(), hitlist,
                               config);
+  std::atomic<bool> serve_stop{false};
+  std::atomic<std::uint64_t> serve_batches{0};
+  std::atomic<std::uint64_t> serve_swaps{0};
+  std::thread serve_thread;
+  if (serve_queries.has_value()) {
+    serve_thread = std::thread([&] {
+      std::uint64_t last_id = ~std::uint64_t{0};
+      while (!serve_stop.load(std::memory_order_relaxed)) {
+        {
+          serving::ReadGuard snapshot_guard = store.acquire();
+          if (snapshot_guard) {
+            if (snapshot_guard->id() != last_id) {
+              last_id = snapshot_guard->id();
+              serve_swaps.fetch_add(1, std::memory_order_relaxed);
+            }
+            std::string scratch;
+            const serving::QueryContext context{&snapshot_guard.view(),
+                                                nullptr};
+            (void)serving::answer_queries(context, serve_text, scratch);
+            serve_batches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+
   daemon::WatchResult result;
   {
     const ProgressGuard progress = maybe_start_progress(pool, flags, "watch");
     result = watcher.run(&pool);
+  }
+  if (serve_thread.joinable()) {
+    serve_stop.store(true, std::memory_order_relaxed);
+    serve_thread.join();
   }
   if (!result.error.empty()) {
     std::fprintf(stderr, "watch: %s\n", result.error.c_str());
@@ -483,6 +560,32 @@ int cmd_watch(const Flags& flags) {
   } else {
     std::printf("watch: campaign at %d/%d rounds in %s\n",
                 result.rounds_completed, config.rounds, out_dir->c_str());
+  }
+
+  if (serve_queries.has_value() && result.exit_code == 0) {
+    // Final-epoch answers: deterministic for a given campaign, so smoke
+    // tests can pin them (in-campaign batch/swap counts go to stderr —
+    // they are timing).
+    serving::ReadGuard snapshot_guard = store.acquire();
+    if (snapshot_guard) {
+      std::string answers;
+      const serving::QueryContext context{&snapshot_guard.view(), nullptr};
+      const serving::QueryBatchResult served =
+          serving::answer_queries(context, serve_text, answers);
+      if (!served.ok()) {
+        std::fprintf(stderr, "watch: bad query at line %zu: %s\n",
+                     served.error_line, served.error.c_str());
+        return 2;
+      }
+      std::fwrite(answers.data(), 1, answers.size(), stdout);
+      std::fprintf(
+          stderr,
+          "serve: %llu in-campaign batches across %llu snapshot(s), final "
+          "round %llu\n",
+          static_cast<unsigned long long>(serve_batches.load()),
+          static_cast<unsigned long long>(serve_swaps.load()),
+          static_cast<unsigned long long>(snapshot_guard->id()));
+    }
   }
   return result.exit_code;
 }
@@ -555,6 +658,115 @@ int cmd_analyze(const Flags& flags) {
   return reject_unknown(flags);
 }
 
+/// Loads one checkpoint directory into a served snapshot: collate,
+/// analyze, freeze. Strict by default — a serving plane must not silently
+/// answer from a snapshot whose files failed their checksums; pass
+/// `allow_salvage` to serve the recovered prefix anyway.
+std::optional<serving::SnapshotView> load_snapshot(
+    const census::DataPlaneConfig& plane, const std::string& dir,
+    std::uint64_t id, bool allow_salvage,
+    std::span<const net::VantagePoint> vps, const census::Hitlist& hitlist,
+    concurrency::ThreadPool* pool) {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".anc") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "serve: no .anc files in %s\n", dir.c_str());
+    return std::nullopt;
+  }
+  census::CollateStats stats;
+  census::ShardedCensusMatrix data = census::collate_census_files_sharded(
+      files, hitlist.size(), plane, &stats, /*salvage=*/allow_salvage);
+  if (!allow_salvage && (stats.files_salvaged > 0 || stats.files_skipped > 0)) {
+    std::fprintf(stderr,
+                 "serve: refusing snapshot %s: %zu of %zu files failed "
+                 "checksum validation (--allow-salvage serves the "
+                 "recoverable prefix)\n",
+                 dir.c_str(), stats.files_salvaged + stats.files_skipped,
+                 files.size());
+    return std::nullopt;
+  }
+  const analysis::CensusAnalyzer analyzer(vps, geo::world_index());
+  std::vector<analysis::TargetOutcome> outcomes =
+      analyzer.analyze(data, hitlist, /*min_vps=*/2, pool);
+  return serving::SnapshotView::build(std::move(data), std::move(outcomes),
+                                      id, &hitlist);
+}
+
+int cmd_serve(const Flags& flags) {
+  const auto in_dir = flags.get("in");
+  if (!in_dir.has_value()) {
+    std::fprintf(stderr, "serve: --in DIR is required\n");
+    return 2;
+  }
+  const auto against = flags.get("against");
+  const auto queries_path = flags.get("queries");
+  const bool allow_salvage = flags.get_bool("allow-salvage");
+  concurrency::ThreadPool pool = pool_from(flags);
+
+  // The request text is read before the (expensive) snapshot load so a
+  // mistyped path fails in milliseconds, not after a full analysis.
+  std::string query_text;
+  if (queries_path.has_value()) {
+    const auto text = slurp_text(*queries_path);
+    if (!text.has_value()) {
+      std::fprintf(stderr, "serve: cannot read --queries %s\n",
+                   queries_path->c_str());
+      return 2;
+    }
+    query_text = *text;
+  } else {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    query_text = std::move(buffer).str();
+  }
+
+  // Same world/platform parameters as at census time (as `analyze`).
+  const net::SimulatedInternet internet(world_config_from(flags));
+  const auto vps = platform_from(flags);
+  const census::Hitlist hitlist =
+      census::Hitlist::from_world(internet).without_dead();
+  const census::DataPlaneConfig plane = data_plane_from(flags, *in_dir);
+  if (const int rc = reject_unknown(flags)) return rc;
+
+  auto current = load_snapshot(plane, *in_dir, /*id=*/1, allow_salvage, vps,
+                               hitlist, &pool);
+  if (!current.has_value()) return 1;
+  std::optional<serving::SnapshotView> previous;
+  if (against.has_value()) {
+    previous = load_snapshot(data_plane_from(flags, *against), *against,
+                             /*id=*/0, allow_salvage, vps, hitlist, &pool);
+    if (!previous.has_value()) return 1;
+  }
+
+  // Queries go through the real publication path — publish + pinned
+  // guard — not a bare view, so the one-shot CLI exercises exactly what
+  // a long-lived server would.
+  serving::SnapshotStore store;
+  store.publish(std::move(*current));
+  serving::ReadGuard guard = store.acquire();
+  serving::QueryContext context{&guard.view(),
+                                previous.has_value() ? &*previous : nullptr};
+  std::string answers;
+  const serving::QueryBatchResult result =
+      serving::answer_queries(context, query_text, answers);
+  if (!result.ok()) {
+    std::fprintf(stderr, "serve: bad query at line %zu: %s\n",
+                 result.error_line, result.error.c_str());
+    return 2;
+  }
+  std::fwrite(answers.data(), 1, answers.size(), stdout);
+  std::fprintf(stderr,
+               "serve: answered %zu queries from snapshot %llu "
+               "(%zu targets, %zu anycast)\n",
+               result.answered,
+               static_cast<unsigned long long>(guard->id()),
+               guard->target_count(), guard->anycast_count());
+  return 0;
+}
+
 int cmd_portscan(const Flags& flags) {
   const net::SimulatedInternet internet(world_config_from(flags));
   const auto top = static_cast<std::size_t>(flags.get_int("top", 100));
@@ -622,14 +834,6 @@ int cmd_diff(const Flags& flags) {
     previous = std::move(snapshot);
   }
   return 0;
-}
-
-std::optional<std::string> slurp_text(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return std::nullopt;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return std::move(buffer).str();
 }
 
 int cmd_report(const Flags& flags) {
@@ -833,6 +1037,7 @@ int main(int argc, char** argv) {
   else if (command == "resume") rc = cmd_census(*flags, /*resume=*/true);
   else if (command == "watch") rc = cmd_watch(*flags);
   else if (command == "analyze") rc = cmd_analyze(*flags);
+  else if (command == "serve") rc = cmd_serve(*flags);
   else if (command == "portscan") rc = cmd_portscan(*flags);
   else if (command == "diff") rc = cmd_diff(*flags);
   else if (command == "report") rc = cmd_report(*flags);

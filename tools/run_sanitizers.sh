@@ -40,7 +40,7 @@ run_gate() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$build" -j "$(nproc)" \
     --target concurrency_test census_test fault_test integration_test \
-             obs_test flight_recorder_test headline_test
+             obs_test flight_recorder_test headline_test serving_test
 
   # halt_on_error: a single finding fails the gate instead of scrolling
   # past. UBSAN reports are non-fatal by default, so ask for aborts too.
@@ -61,7 +61,7 @@ run_gate() {
     "${prefix[@]}" ctest --test-dir "$build" --output-on-failure "$@"
   else
     "${prefix[@]}" ctest --test-dir "$build" --output-on-failure \
-      -R 'ThreadPool|ShardRanges|Parallel|Census|Resume|Fault|Metrics|Trace|Headline|Journal|Progress'
+      -R 'ThreadPool|ShardRanges|Parallel|Census|Resume|Fault|Metrics|Trace|Headline|Journal|Progress|Serving'
   fi
   echo "$sanitizer sanitizer gate passed."
 }
