@@ -1,6 +1,7 @@
 #include "anycast/census/census.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 
@@ -15,6 +16,7 @@
 #include "anycast/census/storage.hpp"
 #include "anycast/concurrency/thread_pool.hpp"
 #include "anycast/obs/journal.hpp"
+#include "anycast/obs/latency.hpp"
 #include "anycast/obs/metrics.hpp"
 #include "anycast/obs/trace.hpp"
 #include "anycast/rng/distributions.hpp"
@@ -524,8 +526,18 @@ auto run_census_reduce(const net::SimulatedInternet& internet,
     if (!vp_available(vps[i], config)) return work;
     work.ran = true;
     const obs::Span walk_span("vp_walk", vps[i].id);
+    const auto walk_start = std::chrono::steady_clock::now();
     work.result = run_fastping(internet, vps[i], hitlist, blacklist,
                                work.greylist, config, faults);
+    // Wall-clock walk latency for the telemetry plane (kTiming by
+    // construction — never part of the semantic contract, unlike the
+    // simulated duration_hours flushed below).
+    obs::LatencyHisto::get("census_walk_us", "us",
+                           "wall-clock per-VP census walk latency")
+        .record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - walk_start)
+                .count()));
     flush_walk_metrics(work.result, vps[i].id);
     work.fragment = vp_row_fragment(work.result, hitlist.size());
     // The reduction reads only the counters, the outcome, and the

@@ -1,11 +1,13 @@
 #include "anycast/census/resume.hpp"
 
+#include <chrono>
 #include <string>
 #include <utility>
 
 #include "anycast/census/fastping.hpp"
 #include "anycast/concurrency/thread_pool.hpp"
 #include "anycast/obs/journal.hpp"
+#include "anycast/obs/latency.hpp"
 #include "anycast/obs/metrics.hpp"
 #include "anycast/obs/trace.hpp"
 
@@ -134,8 +136,15 @@ void resume_census_reduce(const net::SimulatedInternet& internet,
       // Missing, incomplete, salvaged, or mislabelled: pay for this VP
       // again. The walk is deterministic in (seed, vp), so the rewritten
       // checkpoint matches what an uninterrupted census would have saved.
+      const auto walk_start = std::chrono::steady_clock::now();
       work.result = run_fastping(internet, vp, hitlist, blacklist,
                                  work.greylist, config, faults);
+      obs::LatencyHisto::get("census_walk_us", "us",
+                             "wall-clock per-VP census walk latency")
+          .record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - walk_start)
+                  .count()));
       CensusFileHeader header{vp.id, census_id, 0};
       if (work.result.outcome == VpOutcome::kCompleted) {
         header.flags |= kCensusFileComplete;

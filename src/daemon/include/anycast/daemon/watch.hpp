@@ -42,6 +42,7 @@
 #include "anycast/census/sharded.hpp"
 #include "anycast/daemon/supervisor.hpp"
 #include "anycast/net/fault.hpp"
+#include "anycast/obs/slo.hpp"
 
 namespace anycast::concurrency {
 class ThreadPool;
@@ -87,6 +88,15 @@ struct WatchConfig {
   /// deterministic stand-in for kill -9. A restart over the same out_dir
   /// resumes the half-done round.
   int die_at_round = 0;  // 0 = never
+
+  /// SLO objectives (parsed from `--slo`), installed into the global
+  /// telemetry plane at run() start. The availability objective is fed
+  /// per round from the verdict's completed/active counts — semantic
+  /// inputs, so its violation/recovery journal events are kSemantic and
+  /// drift-gated like every other round event. Latency objectives are
+  /// evaluated by the telemetry ticker (kTiming). Empty = no tracking,
+  /// no events; burn windows restart with the process on resume.
+  std::vector<obs::SloObjective> slo;
 
   /// When non-null, every committed round's frozen matrix + outcomes are
   /// published here as an immutable SnapshotView (id = round number,

@@ -1,6 +1,7 @@
 #include "anycast/daemon/watch.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -10,6 +11,8 @@
 #include "anycast/census/resume.hpp"
 #include "anycast/census/storage.hpp"
 #include "anycast/obs/journal.hpp"
+#include "anycast/obs/latency.hpp"
+#include "anycast/obs/telemetry.hpp"
 #include "anycast/rng/distributions.hpp"
 #include "anycast/serving/snapshot.hpp"
 #include "anycast/serving/store.hpp"
@@ -332,8 +335,13 @@ WatchResult WatchDaemon::run(concurrency::ThreadPool* pool) {
   result.rounds_completed = state.rounds_completed;
 
   obs::Journal& j = obs::journal();
+  // Install (or clear) the campaign's SLO objectives. Burn windows are
+  // process-local: a resumed campaign restarts them, exactly like the
+  // escalation ladder replay restores supervisor state but not wall time.
+  obs::telemetry().set_slo(config_.slo);
   for (int round = state.rounds_completed + 1; round <= config_.rounds;
        ++round) {
+    const auto round_start = std::chrono::steady_clock::now();
     const census::FastPingConfig cfg = supervisor_.tuned(config_.fastping);
     const auto plan = plan_for_round(round);
     const net::FaultPlan* faults = plan ? &*plan : nullptr;
@@ -434,6 +442,37 @@ WatchResult WatchDaemon::run(concurrency::ThreadPool* pool) {
     record.churn_events = changes.size();
     record.hijack_alarms = alarms.size();
 
+    // Round telemetry: wall-clock latency plus the per-round window — all
+    // kTiming, real operational data outside the semantic contract. The
+    // availability SLO, by contrast, is fed from the verdict's semantic
+    // counts, so its transitions below are drift-gated journal events.
+    const double round_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - round_start)
+            .count();
+    obs::LatencyHisto::get("watch_round_ms", "ms",
+                           "wall-clock per-round watch campaign latency")
+        .record(static_cast<std::uint64_t>(round_ms));
+    const census::CensusSummary& summary = report.output.summary;
+    const double echo_rate =
+        summary.probes_sent > 0
+            ? static_cast<double>(summary.echo_replies) /
+                  static_cast<double>(summary.probes_sent)
+            : 0.0;
+    obs::telemetry().note_round(
+        static_cast<std::uint64_t>(round), verdict.coverage,
+        static_cast<double>(verdict.completed),
+        static_cast<double>(verdict.active),
+        static_cast<double>(summary.probes_sent), echo_rate,
+        static_cast<double>(record.dirty),
+        static_cast<double>(record.anycast), round_ms);
+    std::optional<obs::SloTracker::Transition> slo_transition;
+    if (obs::telemetry().has_slo()) {
+      slo_transition = obs::telemetry().observe_slo_ratio(
+          "availability", static_cast<std::uint64_t>(round),
+          verdict.completed, verdict.active - verdict.completed);
+    }
+
     if (j.recording()) {
       j.emit(obs::MetricClass::kSemantic,
              verdict.health == RoundHealth::kDegraded ? obs::Severity::kWarn
@@ -465,6 +504,20 @@ WatchResult WatchDaemon::run(concurrency::ThreadPool* pool) {
                {{"slash24", alarm.slash24_index},
                 {"target", alarm.target_index},
                 {"origins", alarm.result.replicas.size()}});
+      }
+      if (slo_transition.has_value()) {
+        // Availability burn windows are pure functions of the verdict
+        // sequence, so this event is kSemantic: byte-identical across
+        // thread counts, exactly like watch.round itself.
+        j.emit(obs::MetricClass::kSemantic,
+               slo_transition->entered ? obs::Severity::kWarn
+                                       : obs::Severity::kInfo,
+               slo_transition->entered ? "slo.violation" : "slo.recovered",
+               j.next_order(),
+               {{"objective", slo_transition->objective},
+                {"round", round},
+                {"burn_short_permille", slo_transition->burn_short_permille},
+                {"burn_long_permille", slo_transition->burn_long_permille}});
       }
       j.commit();  // one deterministic batch per round
     }

@@ -1,0 +1,137 @@
+#pragma once
+
+/// Lock-free log-linear ("HDR-style") latency histograms.
+///
+/// The MetricsRegistry histogram (metrics.hpp) carries a handful of
+/// analyst-chosen buckets and pays a binary search per observation — fine
+/// for per-round aggregates, wrong for the serving hot path, where we want
+/// every query recorded at multi-million QPS with bounded relative error
+/// across nine decades of dynamic range.
+///
+/// LatencyHisto buckets are log-linear: values below 2^kSubBits land in
+/// exact unit-wide buckets; above that, each power-of-two octave is split
+/// into 2^kSubBits equal-width sub-buckets, so bucket width never exceeds
+/// value / 2^kSubBits. Quantile estimates are therefore within
+/// kMaxRelativeError (1/128 < 1%) of the exact order statistic, and
+/// `slot_of` is a handful of bit ops — no search, no floating point.
+///
+/// Concurrency mirrors MetricsRegistry: each recording thread owns a
+/// private shard of relaxed atomics (allocated lazily on first record into
+/// that histogram), scrapes merge all shards, and exiting threads fold
+/// their shards into a retired array through a live-instance table so
+/// counts survive pool teardown. `record` takes no locks after the first
+/// call on a thread.
+///
+/// All LatencyHisto data is kTiming-class by construction: wall-clock
+/// durations never appear in semantic snapshots, pinned digests, or the
+/// drift-gated journal stream.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anycast::obs {
+
+class LatencyHisto {
+ public:
+  /// Sub-bucket resolution: 2^7 = 128 sub-buckets per octave.
+  static constexpr std::uint32_t kSubBits = 7;
+  static constexpr std::uint64_t kSubCount = 1ull << kSubBits;
+  /// Documented quantile error bound: an estimate e for exact order
+  /// statistic x satisfies x <= e <= x * (1 + kMaxRelativeError).
+  static constexpr double kMaxRelativeError =
+      1.0 / static_cast<double>(kSubCount);
+  /// Values saturate at 2^38 - 1 (~4.6 minutes in ns, ~76 hours in us);
+  /// larger values clamp into the top bucket.
+  static constexpr std::uint32_t kValueBits = 38;
+  static constexpr std::uint64_t kMaxValue = (1ull << kValueBits) - 1;
+  /// Dense slot count: the exact region plus one octave of sub-buckets per
+  /// power of two above it. 4096 slots = 32 KiB per (thread, histogram).
+  static constexpr std::uint32_t kSlots =
+      static_cast<std::uint32_t>((kValueBits - kSubBits + 1) * kSubCount);
+
+  /// Merged view of a histogram at one scrape. Bucket `s` counts values in
+  /// [slot_lower(s), slot_upper(s)).
+  struct Snapshot {
+    std::string name;
+    std::string unit;
+    std::string help;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::vector<std::uint64_t> counts;  // dense, size kSlots (empty if count==0)
+
+    /// Upper-representative quantile estimate: the largest value in the
+    /// bucket holding the ceil(q * count)-th smallest sample. Exact for
+    /// values < kSubCount; within kMaxRelativeError above. 0 when empty.
+    double quantile(double q) const;
+    /// Smallest / largest recorded value's bucket bounds (0 when empty).
+    std::uint64_t min() const;
+    std::uint64_t max() const;
+    /// Samples recorded strictly above `threshold`, counting only buckets
+    /// whose entire range exceeds it (undercounts by at most one bucket —
+    /// deterministic, which is what the SLO window math needs).
+    std::uint64_t count_above(std::uint64_t threshold) const;
+    /// Per-window delta: this snapshot minus an earlier one of the same
+    /// histogram. min/max/quantiles of the result describe the window.
+    Snapshot delta_since(const Snapshot& prev) const;
+  };
+
+  LatencyHisto(std::string_view name, std::string_view unit,
+               std::string_view help);
+  ~LatencyHisto();
+  LatencyHisto(const LatencyHisto&) = delete;
+  LatencyHisto& operator=(const LatencyHisto&) = delete;
+
+  /// Record one value (saturating at kMaxValue). Lock-free after the
+  /// calling thread's first record; a no-op while recording is disabled.
+  void record(std::uint64_t value);
+
+  /// Merge every live and retired shard into one Snapshot.
+  Snapshot snapshot() const;
+
+  /// Zero all shards (tests and bench phases).
+  void reset();
+
+  const std::string& name() const;
+  const std::string& unit() const;
+
+  /// Bucket arithmetic, exposed so tests can probe edges directly.
+  static std::uint32_t slot_of(std::uint64_t value);
+  static std::uint64_t slot_lower(std::uint32_t slot);
+  static std::uint64_t slot_upper(std::uint32_t slot);
+
+  /// Process-global named instance: first call creates (and leaks — see
+  /// metrics.cpp for why) a histogram; later calls return the same one.
+  /// unit/help are fixed by the creating call.
+  static LatencyHisto& get(std::string_view name, std::string_view unit,
+                           std::string_view help);
+
+  struct Impl;
+
+ private:
+  Impl* impl_;
+};
+
+/// Global recording kill switch (default on). The bench telemetry phase
+/// measures hot-path overhead by toggling this around identical workloads.
+void set_latency_recording(bool enabled);
+bool latency_recording();
+
+/// Snapshots of every registered global histogram, sorted by name.
+std::vector<LatencyHisto::Snapshot> latency_snapshots();
+
+/// Zero every registered global histogram (tests and bench phases).
+void latency_reset_all();
+
+/// Prometheus exposition for all global histograms: one cumulative
+/// histogram family per histo (non-empty buckets + +Inf, _sum/_count),
+/// promtool-lintable alongside MetricsRegistry::scrape_prometheus().
+std::string latency_prometheus();
+
+/// JSON array body for the "latency" section of the telemetry document:
+/// [{"name":..., "unit":..., "count":..., "sum":..., "min":..., "max":...,
+///   "p50":..., "p90":..., "p99":..., "p999":...}, ...]
+std::string latency_json();
+
+}  // namespace anycast::obs

@@ -1,0 +1,74 @@
+#pragma once
+
+/// Fixed-capacity windowed time series.
+///
+/// A TimeSeries is a named ring buffer of (t, values[]) points with a
+/// fixed field schema, fed from coarse instrumentation chokepoints — one
+/// push per wall-clock second on the serving side, one per round on the
+/// census side — so a mutex per push is free relative to the work between
+/// pushes. Rotation drops the oldest point; `total_pushed` minus `size`
+/// says how much history has scrolled off.
+///
+/// Like every telemetry surface in this layer, series data is
+/// kTiming-class: it never feeds semantic snapshots or drift-gated
+/// journal streams.
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace anycast::obs {
+
+class TimeSeries {
+ public:
+  struct Point {
+    std::uint64_t t = 0;
+    std::vector<double> v;  // one per field, same order as fields()
+  };
+
+  struct FieldStats {
+    std::size_t n = 0;
+    double last = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+  };
+
+  TimeSeries(std::string name, std::vector<std::string> fields,
+             std::size_t capacity);
+
+  /// Append one point; missing trailing values read as 0, extras drop.
+  /// At capacity the oldest point rotates out.
+  void push(std::uint64_t t, std::span<const double> values);
+
+  /// Up to the most recent `n` points, oldest first.
+  std::vector<Point> window(std::size_t n = SIZE_MAX) const;
+
+  /// Aggregates of one field over the most recent `last_n` points.
+  FieldStats stats(std::size_t field, std::size_t last_n = SIZE_MAX) const;
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& fields() const { return fields_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  std::uint64_t total_pushed() const;
+  void clear();
+
+  /// JSON object for the telemetry document: field arrays keyed by name,
+  /// oldest first — {"name":..., "t": [...], "fields": {"qps": [...]}}.
+  std::string to_json() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> fields_;
+  std::size_t capacity_;
+
+  mutable std::mutex mutex_;
+  std::vector<Point> ring_;    // capacity_ entries once full
+  std::size_t next_ = 0;       // ring write index
+  std::uint64_t pushed_ = 0;
+};
+
+}  // namespace anycast::obs

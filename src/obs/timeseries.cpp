@@ -1,0 +1,115 @@
+#include "anycast/obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace anycast::obs {
+namespace {
+
+std::string format_series_value(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  return buffer;
+}
+
+}  // namespace
+
+TimeSeries::TimeSeries(std::string name, std::vector<std::string> fields,
+                       std::size_t capacity)
+    : name_(std::move(name)), fields_(std::move(fields)), capacity_(capacity) {
+  if (capacity_ == 0) throw std::logic_error("time series capacity is zero");
+  if (fields_.empty()) throw std::logic_error("time series has no fields");
+}
+
+void TimeSeries::push(std::uint64_t t, std::span<const double> values) {
+  Point point;
+  point.t = t;
+  point.v.assign(fields_.size(), 0.0);
+  const std::size_t n = std::min(values.size(), fields_.size());
+  for (std::size_t i = 0; i < n; ++i) point.v[i] = values[i];
+
+  const std::lock_guard lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(point));
+    next_ = ring_.size() % capacity_;
+  } else {
+    ring_[next_] = std::move(point);
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++pushed_;
+}
+
+std::vector<TimeSeries::Point> TimeSeries::window(std::size_t n) const {
+  const std::lock_guard lock(mutex_);
+  const std::size_t have = ring_.size();
+  const std::size_t want = std::min(n, have);
+  std::vector<Point> out;
+  out.reserve(want);
+  // Oldest element sits at next_ once the ring is full, at 0 before that.
+  const std::size_t oldest = have < capacity_ ? 0 : next_;
+  for (std::size_t i = have - want; i < have; ++i) {
+    out.push_back(ring_[(oldest + i) % have]);
+  }
+  return out;
+}
+
+TimeSeries::FieldStats TimeSeries::stats(std::size_t field,
+                                         std::size_t last_n) const {
+  FieldStats stats;
+  if (field >= fields_.size()) return stats;
+  const std::vector<Point> points = window(last_n);
+  if (points.empty()) return stats;
+  stats.n = points.size();
+  stats.min = stats.max = points.front().v[field];
+  double total = 0.0;
+  for (const Point& p : points) {
+    const double v = p.v[field];
+    stats.min = std::min(stats.min, v);
+    stats.max = std::max(stats.max, v);
+    total += v;
+  }
+  stats.last = points.back().v[field];
+  stats.mean = total / static_cast<double>(points.size());
+  return stats;
+}
+
+std::size_t TimeSeries::size() const {
+  const std::lock_guard lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t TimeSeries::total_pushed() const {
+  const std::lock_guard lock(mutex_);
+  return pushed_;
+}
+
+void TimeSeries::clear() {
+  const std::lock_guard lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  pushed_ = 0;
+}
+
+std::string TimeSeries::to_json() const {
+  const std::vector<Point> points = window();
+  std::string out = "{\"name\": \"" + name_ + "\", \"t\": [";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(points[i].t);
+  }
+  out += "], \"fields\": {";
+  for (std::size_t f = 0; f < fields_.size(); ++f) {
+    if (f != 0) out += ", ";
+    out += "\"" + fields_[f] + "\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += format_series_value(points[i].v[f]);
+    }
+    out += "]";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace anycast::obs

@@ -7,13 +7,29 @@
 //   batch <key> <key> ...       vectorized point lookups, aggregate answer
 //   nearest <key> <lat> <lon>   closest replica to a client coordinate
 //   diff                        landscape delta vs. the previous snapshot
+//   stats                       live telemetry: snapshot id, query count,
+//                               qps (last per-second window), p50/p99/p999
+//                               end-to-end latency in us (HDR in-process
+//                               quantiles, <=1/128 relative error)
+//   slo                         per-objective burn-rate state ("slo none"
+//                               when no --slo objectives are configured)
+//   metricsdump                 the full telemetry JSON document (metrics
+//                               + latency + series + slo sections)
 //
 // `<key>` is either a dense target index or a dotted-quad IPv4 address
 // (resolved through the snapshot's hitlist /24 index). Answers are
 // byte-deterministic for a given snapshot pair — cli_smoke greps them and
 // the watch serve loop compares final-epoch answers across runs — so all
 // floating-point output is fixed-precision and iteration order is the
-// snapshot's own.
+// snapshot's own. The telemetry verbs (stats/slo/metricsdump) report live
+// wall-clock state and are exempt from that byte contract; the watch
+// serve loop's cross-run answer comparison therefore must not include
+// them.
+//
+// Every query is recorded into the per-stage LatencyHisto set
+// (serving_parse_ns, serving_{lookup,nearest,diff}_ns, serving_query_ns)
+// unless obs::set_latency_recording(false); malformed lines additionally
+// bump serving_errors and the telemetry error window.
 //
 // Used by `anycastd serve` (file or stdin batch loop) and by the watch
 // daemon's in-campaign serve thread; tests drive it directly.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -9,7 +10,9 @@
 #include <vector>
 
 #include "anycast/ipaddr/ipv4.hpp"
+#include "anycast/obs/latency.hpp"
 #include "anycast/obs/metrics.hpp"
+#include "anycast/obs/telemetry.hpp"
 
 namespace anycast::serving {
 namespace {
@@ -21,12 +24,80 @@ struct QueryInstruments {
   obs::Counter unknown_keys = obs::metrics().counter(
       "serving_unknown_keys", obs::MetricClass::kTiming,
       "queries naming a target outside the snapshot");
+  obs::Counter errors = obs::metrics().counter(
+      "serving_errors", obs::MetricClass::kTiming,
+      "malformed query lines rejected by the serving plane");
 };
 
 const QueryInstruments& query_instruments() {
   static const QueryInstruments instruments;
   return instruments;
 }
+
+/// Per-stage HDR latency histograms for the telemetry plane. Stage names
+/// line up with the SLO spec grammar (p99_<stage>_us): parse covers
+/// tokenisation, lookup covers point/replicas/batch, and query is the
+/// whole answer including output formatting.
+struct StageHistos {
+  obs::LatencyHisto& parse = obs::LatencyHisto::get(
+      "serving_parse_ns", "ns", "serving query tokenise+dispatch latency");
+  obs::LatencyHisto& lookup = obs::LatencyHisto::get(
+      "serving_lookup_ns", "ns", "point/replicas/batch answer latency");
+  obs::LatencyHisto& nearest = obs::LatencyHisto::get(
+      "serving_nearest_ns", "ns", "nearest-replica answer latency");
+  obs::LatencyHisto& diff = obs::LatencyHisto::get(
+      "serving_diff_ns", "ns", "diff answer latency");
+  obs::LatencyHisto& query = obs::LatencyHisto::get(
+      "serving_query_ns", "ns", "end-to-end serving query latency");
+};
+
+StageHistos& stage_histos() {
+  static StageHistos histos;
+  return histos;
+}
+
+/// RAII per-query recorder: two clock reads when recording is on (start
+/// and destructor; `parsed()` adds one more), none when off. Destructor
+/// placement makes every return path — including malformed rejects —
+/// record the end-to-end sample.
+class QueryTimer {
+  using Clock = std::chrono::steady_clock;
+
+ public:
+  QueryTimer() : enabled_(obs::latency_recording()) {
+    if (enabled_) start_ = Clock::now();
+  }
+  QueryTimer(const QueryTimer&) = delete;
+  QueryTimer& operator=(const QueryTimer&) = delete;
+
+  /// Call once, right after tokenisation: closes the parse stage.
+  void parsed() {
+    if (enabled_) parse_end_ = Clock::now();
+  }
+  /// Attribute the answer stage to one of the stage histograms.
+  void attribute(obs::LatencyHisto& stage) { stage_ = &stage; }
+
+  ~QueryTimer() {
+    if (!enabled_) return;
+    const Clock::time_point end = Clock::now();
+    const auto ns = [](Clock::duration d) {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+    };
+    StageHistos& histos = stage_histos();
+    if (parse_end_ != Clock::time_point{}) {
+      histos.parse.record(ns(parse_end_ - start_));
+      if (stage_ != nullptr) stage_->record(ns(end - parse_end_));
+    }
+    histos.query.record(ns(end - start_));
+  }
+
+ private:
+  bool enabled_;
+  Clock::time_point start_{};
+  Clock::time_point parse_end_{};
+  obs::LatencyHisto* stage_ = nullptr;
+};
 
 std::vector<std::string_view> split_tokens(std::string_view line) {
   std::vector<std::string_view> tokens;
@@ -129,7 +200,9 @@ bool answer_query(const QueryContext& context, std::string_view line,
     return false;
   }
   const SnapshotView& view = *context.current;
+  QueryTimer timer;
   const std::vector<std::string_view> tokens = split_tokens(line);
+  timer.parsed();
   if (tokens.empty()) return true;  // caller filters blanks; be lenient
   const std::string_view verb = tokens[0];
   std::string answer;
@@ -139,11 +212,14 @@ bool answer_query(const QueryContext& context, std::string_view line,
     answer.append(std::string(verb) + " " + std::string(key) + " unknown\n");
   };
   const auto malformed = [&](const std::string& why) {
+    query_instruments().errors.inc();
+    obs::telemetry().note_query_error();
     error = why;
     return false;
   };
 
   if (verb == "point" || verb == "replicas") {
+    timer.attribute(stage_histos().lookup);
     if (tokens.size() != 2) {
       return malformed("expected: " + std::string(verb) + " <target|a.b.c.d>");
     }
@@ -163,6 +239,7 @@ bool answer_query(const QueryContext& context, std::string_view line,
         break;
     }
   } else if (verb == "batch") {
+    timer.attribute(stage_histos().lookup);
     if (tokens.size() < 2) return malformed("expected: batch <key> <key> ...");
     std::vector<std::uint32_t> targets;
     targets.reserve(tokens.size() - 1);
@@ -195,6 +272,7 @@ bool answer_query(const QueryContext& context, std::string_view line,
                "batch n=%zu unknown=%zu anycast=%zu responsive=%zu replicas=%zu\n",
                targets.size(), unknown_count, anycast, responsive, replicas);
   } else if (verb == "nearest") {
+    timer.attribute(stage_histos().nearest);
     if (tokens.size() != 4) {
       return malformed("expected: nearest <target|a.b.c.d> <lat> <lon>");
     }
@@ -231,6 +309,7 @@ bool answer_query(const QueryContext& context, std::string_view line,
       }
     }
   } else if (verb == "diff") {
+    timer.attribute(stage_histos().diff);
     if (tokens.size() != 1) return malformed("expected: diff");
     if (context.previous == nullptr) {
       return malformed("diff needs a previous snapshot (--against)");
@@ -252,6 +331,46 @@ bool answer_query(const QueryContext& context, std::string_view line,
                  change.slash24_index, change.replicas_before,
                  change.replicas_after);
     }
+  } else if (verb == "stats") {
+    if (tokens.size() != 1) return malformed("expected: stats");
+    const obs::LatencyHisto::Snapshot snap = stage_histos().query.snapshot();
+    // qps is the last per-second window (0 until a ticker has run — the
+    // one-shot `serve` command has no ticker; watch --serve-queries does).
+    const double qps = obs::telemetry().per_second().stats(0, 1).last;
+    append_fmt(answer,
+               "stats snapshot=%llu targets=%zu anycast=%zu queries=%llu "
+               "errors=%llu qps=%.1f p50_us=%.1f p99_us=%.1f p999_us=%.1f\n",
+               static_cast<unsigned long long>(view.id()), view.target_count(),
+               view.anycast_count(),
+               static_cast<unsigned long long>(snap.count),
+               static_cast<unsigned long long>(
+                   obs::telemetry().query_errors()),
+               qps, snap.quantile(0.5) / 1e3, snap.quantile(0.99) / 1e3,
+               snap.quantile(0.999) / 1e3);
+  } else if (verb == "slo") {
+    if (tokens.size() != 1) return malformed("expected: slo");
+    const std::vector<obs::SloTracker::State> states =
+        obs::telemetry().slo_states();
+    if (states.empty()) {
+      answer += "slo none\n";
+    } else {
+      append_fmt(answer, "slo objectives=%zu\n", states.size());
+      for (const obs::SloTracker::State& s : states) {
+        append_fmt(answer,
+                   "  slo %s target=%.6g burn_short_permille=%llu "
+                   "burn_long_permille=%llu windows=%llu violations=%llu "
+                   "state=%s\n",
+                   s.objective.name.c_str(), s.objective.threshold,
+                   static_cast<unsigned long long>(s.burn_short_permille),
+                   static_cast<unsigned long long>(s.burn_long_permille),
+                   static_cast<unsigned long long>(s.windows),
+                   static_cast<unsigned long long>(s.violations),
+                   s.violating ? "violating" : "ok");
+      }
+    }
+  } else if (verb == "metricsdump") {
+    if (tokens.size() != 1) return malformed("expected: metricsdump");
+    answer += obs::telemetry().document_json();
   } else {
     return malformed("unknown verb '" + std::string(verb) + "'");
   }

@@ -468,3 +468,87 @@ endif()
 if(NOT out MATCHES "watch: campaign at 3/3 rounds")
   message(FATAL_ERROR "restarted campaign did not finish: ${out}")
 endif()
+
+# Telemetry leg: the serving protocol's introspection verbs, SLO burn
+# state, the periodic metrics flusher, and `top` over the flushed file.
+file(WRITE ${WORK_DIR}/telemetry_queries.txt
+  "point 0\nbatch 0 1 2 3\nstats\nslo\nmetricsdump\n")
+execute_process(
+  COMMAND ${ANYCASTD} serve --in ${WORK_DIR}/c1 --vps 12 --unicast 400
+          --queries ${WORK_DIR}/telemetry_queries.txt
+          --slo "p99_query_us=5000,availability=0.999"
+          --metrics-out ${WORK_DIR}/live.json --metrics-interval 0.2
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "telemetry serve failed (${rc}): ${out}${err}")
+endif()
+if(NOT out MATCHES "stats snapshot=[0-9]+ targets=[0-9]+")
+  message(FATAL_ERROR "serve stats verb missing: ${out}")
+endif()
+if(NOT out MATCHES "slo objectives=2")
+  message(FATAL_ERROR "serve slo verb missing objectives: ${out}")
+endif()
+if(NOT out MATCHES "state=ok")
+  message(FATAL_ERROR "serve slo verb missing burn state: ${out}")
+endif()
+if(NOT out MATCHES "\"latency\": \\[")
+  message(FATAL_ERROR "metricsdump missing the latency section: ${out}")
+endif()
+if(NOT err MATCHES "metrics-interval: wrote [0-9]+ periodic scrape")
+  message(FATAL_ERROR "metrics flusher summary missing: ${err}")
+endif()
+file(READ ${WORK_DIR}/live.json live_doc)
+if(NOT live_doc MATCHES "\"metrics\": \\[")
+  message(FATAL_ERROR "flushed telemetry document malformed")
+endif()
+if(NOT live_doc MATCHES "\"slo\": \\[")
+  message(FATAL_ERROR "flushed telemetry document missing slo section")
+endif()
+
+# `anycastd top` renders one frame from the flushed document.
+execute_process(
+  COMMAND ${ANYCASTD} top --metrics ${WORK_DIR}/live.json --iterations 1
+          --plain
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "anycastd top failed (${rc}): ${out}${err}")
+endif()
+if(NOT out MATCHES "anycastd top")
+  message(FATAL_ERROR "top frame missing header: ${out}")
+endif()
+if(NOT out MATCHES "serving_query_ns")
+  message(FATAL_ERROR "top frame missing latency rows: ${out}")
+endif()
+
+# top over a missing file fails with a nonzero exit, not a blank frame.
+execute_process(
+  COMMAND ${ANYCASTD} top --metrics ${WORK_DIR}/no_such_file.json
+          --iterations 1 --plain
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "top over a missing file did not fail")
+endif()
+
+# A malformed --slo spec is rejected before any work starts.
+execute_process(
+  COMMAND ${ANYCASTD} serve --in ${WORK_DIR}/c1 --vps 12 --unicast 400
+          --queries ${WORK_DIR}/queries.txt --slo "p99_bogus=1"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "bad --slo spec exited ${rc}, want 2: ${err}")
+endif()
+if(NOT err MATCHES "bad --slo spec")
+  message(FATAL_ERROR "bad --slo error message missing: ${err}")
+endif()
+
+# --metrics-interval without a --metrics-out sink is refused.
+execute_process(
+  COMMAND ${ANYCASTD} serve --in ${WORK_DIR}/c1 --vps 12 --unicast 400
+          --queries ${WORK_DIR}/queries.txt --metrics-interval 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "--metrics-interval without sink exited ${rc}: ${err}")
+endif()
+if(NOT err MATCHES "needs --metrics-out")
+  message(FATAL_ERROR "metrics-interval error message missing: ${err}")
+endif()

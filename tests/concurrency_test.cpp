@@ -24,6 +24,7 @@
 #include "anycast/net/fault.hpp"
 #include "anycast/net/platform.hpp"
 #include "anycast/obs/metrics.hpp"
+#include "anycast/obs/slo.hpp"
 #include "anycast/portscan/scanner.hpp"
 #include "anycast/serving/query.hpp"
 #include "anycast/serving/snapshot.hpp"
@@ -775,6 +776,21 @@ TEST_F(ParallelResumeTest, TimingMetricsAreExactlyTheDeclaredAllowlist) {
     std::string error;
     ASSERT_TRUE(serving::answer_query({&guard.view(), nullptr}, "point 99",
                                       out, error));
+    // A malformed line bumps serving_errors (registered with the other
+    // query instruments, but exercise the inc path too).
+    EXPECT_FALSE(
+        serving::answer_query({&guard.view(), nullptr}, "point", out, error));
+  }
+
+  // The SLO tracker's instruments (violation/recovery counters + the
+  // worst-burn gauge) register on first construction — burn rates are
+  // wall-clock operational state, never semantic.
+  {
+    std::string slo_error;
+    auto objectives = obs::parse_slo_spec("availability=0.9", &slo_error);
+    ASSERT_TRUE(objectives.has_value()) << slo_error;
+    obs::SloTracker tracker(std::move(*objectives));
+    (void)tracker.observe("availability", 1, 1, 9);
   }
 
   const std::set<std::string> allowlist{
@@ -802,12 +818,16 @@ TEST_F(ParallelResumeTest, TimingMetricsAreExactlyTheDeclaredAllowlist) {
       "resume_files_salvaged",
       "resume_vps_rerun",
       "resume_vps_reused",
+      "serving_errors",
       "serving_publishes",
       "serving_queries",
       "serving_retired_depth",
       "serving_snapshots_freed",
       "serving_snapshots_retired",
       "serving_unknown_keys",
+      "slo_recoveries",
+      "slo_violations",
+      "slo_worst_burn_permille",
   };
   std::set<std::string> seen_timing;
   for (const obs::MetricValue& value : obs::metrics().scrape()) {

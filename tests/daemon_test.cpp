@@ -16,6 +16,9 @@
 #include "anycast/daemon/watch.hpp"
 #include "anycast/geo/city_index.hpp"
 #include "anycast/net/platform.hpp"
+#include "anycast/obs/journal.hpp"
+#include "anycast/obs/slo.hpp"
+#include "anycast/obs/telemetry.hpp"
 
 namespace anycast {
 namespace {
@@ -500,6 +503,62 @@ TEST_F(WatchTest, CompletedCampaignRestartsAsNoOp) {
   EXPECT_EQ(again.exit_code, 0) << again.error;
   EXPECT_TRUE(again.rounds.empty());
   EXPECT_EQ(again.rounds_completed, 2);
+}
+
+TEST_F(WatchTest, RegionalOutageSloViolationsAreDriftGatedAcrossPools) {
+  std::string slo_error;
+  const auto objectives = obs::parse_slo_spec("availability=0.9", &slo_error);
+  ASSERT_TRUE(objectives.has_value()) << slo_error;
+
+  // A correlated regional outage plus flaky quarantine probes pushes the
+  // per-round availability ratio below the 0.9 objective: the burn tracker
+  // must journal a violation, and the event sequence — a semantic artifact
+  // computed from verdict counts, not wall clocks — must be byte-identical
+  // no matter how many threads probed the platform.
+  const auto chaos_config = [&](const fs::path& out) {
+    daemon::WatchConfig config = base_config(out);
+    config.rounds = 4;
+    config.chaos_enabled = true;
+    config.chaos.regional_rate = 0.9;
+    config.chaos.regional_fraction = 0.5;
+    config.chaos.regional_span = 0.6;
+    config.fastping.quarantine_drop_rate = 0.4;
+    config.slo = *objectives;
+    return config;
+  };
+
+  const auto journaled_run = [&](const daemon::WatchConfig& config,
+                                 concurrency::ThreadPool* pool) {
+    obs::journal().reset();
+    obs::journal().set_recording(true);
+    const auto result = run_watch(config, pool);
+    EXPECT_EQ(result.exit_code, 0) << result.error;
+    std::string text = obs::journal().semantic_text();
+    obs::journal().set_recording(false);
+    obs::journal().reset();
+    return text;
+  };
+
+  const std::string serial =
+      journaled_run(chaos_config(dir_ / "serial"), nullptr);
+  EXPECT_NE(serial.find("slo.violation"), std::string::npos)
+      << "regional outage must trip the availability burn rate";
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    concurrency::ThreadPool pool(threads);
+    const std::string pooled = journaled_run(
+        chaos_config(dir_ / ("pool" + std::to_string(threads))), &pool);
+    EXPECT_EQ(pooled, serial) << threads << "-thread pool drifted";
+  }
+
+  // A healthy campaign with the same objective never burns the budget.
+  daemon::WatchConfig healthy = base_config(dir_ / "healthy");
+  healthy.rounds = 4;
+  healthy.slo = *objectives;
+  const std::string clean = journaled_run(healthy, nullptr);
+  EXPECT_EQ(clean.find("slo.violation"), std::string::npos)
+      << "healthy rounds must not burn the availability budget";
+  obs::telemetry().set_slo({});
 }
 
 TEST_F(WatchTest, CorruptStateFileFailsLoudly) {

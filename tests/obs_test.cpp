@@ -5,10 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "anycast/obs/latency.hpp"
 #include "anycast/obs/metrics.hpp"
 #include "anycast/obs/trace.hpp"
 
@@ -501,6 +505,125 @@ TEST_F(TraceTest, SpansJsonListsEverySpan) {
   EXPECT_NE(json.find("\"name\": \"alpha\""), std::string::npos);
   EXPECT_NE(json.find("\"name\": \"beta\""), std::string::npos);
   EXPECT_NE(json.find("\"label\": 2"), std::string::npos);
+}
+
+// --- LatencyHisto quantile correctness vs exact oracle ----------------------
+//
+// The documented bound (latency.hpp): for exact order statistic x at rank
+// ceil(q*n), the estimate e satisfies x <= e <= x*(1+kMaxRelativeError)+1
+// (the +1 absorbs the half-open integer bucket edge). Checked against a
+// sort-based oracle on uniform, log-normal (the shape real RTTs take),
+// and adversarial bucket-edge samples.
+
+using anycast::obs::LatencyHisto;
+
+void check_quantiles_against_oracle(const std::vector<std::uint64_t>& samples,
+                                    const char* label) {
+  LatencyHisto histo("oracle_scratch", "ns", "oracle test");
+  histo.reset();
+  std::vector<std::uint64_t> sorted = samples;
+  for (const std::uint64_t v : samples) histo.record(v);
+  std::sort(sorted.begin(), sorted.end());
+  const LatencyHisto::Snapshot snap = histo.snapshot();
+  ASSERT_EQ(snap.count, samples.size()) << label;
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    // Same rank definition as Snapshot::quantile: the ceil(q*n)-th
+    // smallest sample, clamped to [1, n].
+    const std::size_t rank = std::min<std::size_t>(
+        sorted.size(),
+        std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::ceil(q * static_cast<double>(sorted.size())))));
+    const double oracle = static_cast<double>(sorted[rank - 1]);
+    const double estimate = snap.quantile(q);
+    EXPECT_GE(estimate, oracle) << label << " q=" << q;
+    EXPECT_LE(estimate, oracle * (1.0 + LatencyHisto::kMaxRelativeError) + 1.0)
+        << label << " q=" << q << " oracle=" << oracle;
+  }
+}
+
+TEST(LatencyHistoQuantiles, UniformSamplesWithinDocumentedBound) {
+  std::mt19937_64 rng(20150417);
+  std::uniform_int_distribution<std::uint64_t> dist(1, 50'000'000);
+  std::vector<std::uint64_t> samples(20000);
+  for (std::uint64_t& v : samples) v = dist(rng);
+  check_quantiles_against_oracle(samples, "uniform");
+}
+
+TEST(LatencyHistoQuantiles, LogNormalSamplesWithinDocumentedBound) {
+  std::mt19937_64 rng(42);
+  std::lognormal_distribution<double> dist(10.0, 2.0);  // ~22us median, ns
+  std::vector<std::uint64_t> samples(20000);
+  for (std::uint64_t& v : samples) {
+    v = static_cast<std::uint64_t>(std::llround(dist(rng))) + 1;
+  }
+  check_quantiles_against_oracle(samples, "lognormal");
+}
+
+TEST(LatencyHistoQuantiles, AdversarialBucketEdgeSamples) {
+  // Values pinned to bucket boundaries (lower, upper-1) across several
+  // octaves — the worst case for an estimator returning the bucket's
+  // upper representative — plus the exact-region edge and saturation.
+  std::vector<std::uint64_t> samples;
+  for (const std::uint32_t slot :
+       {0u, 127u, 128u, 129u, 255u, 256u, 1024u, 2048u, 4000u,
+        LatencyHisto::kSlots - 1}) {
+    const std::uint64_t lower = LatencyHisto::slot_lower(slot);
+    const std::uint64_t upper = LatencyHisto::slot_upper(slot);
+    for (int i = 0; i < 50; ++i) {
+      samples.push_back(lower);
+      samples.push_back(upper - 1);
+    }
+  }
+  check_quantiles_against_oracle(samples, "bucket-edge");
+}
+
+TEST(LatencyHistoQuantiles, ExactRegionIsExact) {
+  // Below kSubCount the buckets are unit-wide: the estimate IS the order
+  // statistic, no error at all.
+  LatencyHisto histo("oracle_exact", "ns", "oracle test");
+  for (std::uint64_t v = 1; v <= 100; ++v) histo.record(v);
+  const LatencyHisto::Snapshot snap = histo.snapshot();
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 1.0);  // rank clamps to 1
+}
+
+TEST(LatencyHistoQuantiles, LatencyPrometheusPassesExpositionLint) {
+  // The per-query histograms ride the same exposition pipeline as the
+  // registry scrape; the promtool-shaped linter must accept both, alone
+  // and concatenated (the document_prometheus composition).
+  LatencyHisto& histo =
+      LatencyHisto::get("lint_latency_ns", "ns", "lint \"edge\" case\n");
+  histo.record(50);
+  histo.record(5000);
+  histo.record(5'000'000);
+  const std::string prom = anycast::obs::latency_prometheus();
+  ASSERT_NE(prom.find("# TYPE lint_latency_ns histogram"), std::string::npos);
+  for (const std::string& error : prometheus_lint(prom).errors) {
+    ADD_FAILURE() << error;
+  }
+  MetricsRegistry registry;
+  registry.counter("side", MetricClass::kTiming, "side counter").inc();
+  const std::string combined = registry.scrape_prometheus() + prom;
+  for (const std::string& error : prometheus_lint(combined).errors) {
+    ADD_FAILURE() << "combined: " << error;
+  }
+  // Cumulative monotonicity + the +Inf == _count invariant, as promtool
+  // checks them.
+  std::uint64_t last = 0;
+  std::uint64_t inf_value = 0;
+  for (const std::string_view line : lint_lines(prom)) {
+    if (line.rfind("lint_latency_ns_bucket", 0) != 0) continue;
+    const std::size_t space = line.rfind(' ');
+    const std::uint64_t value =
+        std::stoull(std::string(line.substr(space + 1)));
+    EXPECT_GE(value, last) << line;
+    last = value;
+    if (line.find("+Inf") != std::string_view::npos) inf_value = value;
+  }
+  EXPECT_EQ(inf_value, 3u);
 }
 
 }  // namespace

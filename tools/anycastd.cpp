@@ -29,16 +29,25 @@
 //       metrics, and the re-analyzed checkpoints; with
 //       --diff A --against B, compare two journals' semantic event
 //       streams instead and print the first divergence (exit 3 on drift)
+//   anycastd top      --metrics FILE [--interval S] [--iterations N]
+//       live terminal dashboard over the telemetry document another
+//       anycastd flushes via --metrics-interval: latency histograms,
+//       per-second serving / per-round census series, SLO burn rates
 //
-// All commands are deterministic in --seed (and --chaos-seed).
+// All commands are deterministic in --seed (and --chaos-seed). The
+// telemetry plane (--slo, --metrics-interval, the serve verbs
+// stats/slo/metricsdump) reports live wall-clock state and is kTiming
+// class throughout — it never feeds the semantic contract.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -60,6 +69,8 @@
 #include "anycast/obs/journal.hpp"
 #include "anycast/obs/metrics.hpp"
 #include "anycast/obs/progress.hpp"
+#include "anycast/obs/slo.hpp"
+#include "anycast/obs/telemetry.hpp"
 #include "anycast/obs/trace.hpp"
 #include "anycast/obs/trace_export.hpp"
 #include "anycast/portscan/scanner.hpp"
@@ -82,8 +93,16 @@ constexpr tools::FlagHelp kCommonFlags[] = {
      "worker threads for census/analyze/diff (default: all cores; "
      "1 = serial; output is identical for any value)"},
     {"metrics-out", "FILE",
-     "write the pipeline metrics scrape on exit (JSON, or Prometheus "
-     "text when FILE ends in .prom); FILE must be writable up front"},
+     "write the telemetry document on exit (JSON metrics + latency + "
+     "series + slo, or Prometheus text when FILE ends in .prom); FILE "
+     "must be writable up front"},
+    {"metrics-interval", "S",
+     "also flush the telemetry document to --metrics-out every S seconds "
+     "(atomic tmp+rename, so `anycastd top` can tail it mid-run)"},
+    {"slo", "SPEC",
+     "SLO objectives, e.g. \"p99_lookup_us=50,availability=0.999\"; "
+     "multi-window burn rates tracked live (watch journals availability "
+     "transitions as semantic events)"},
     {"journal-out", "FILE",
      "record the flight-recorder event journal (JSONL; semantic events "
      "deterministic, fsynced at census boundaries); writable up front"},
@@ -136,6 +155,16 @@ constexpr tools::FlagHelp kWatchFlags[] = {
      "answers on exit"},
 };
 
+constexpr tools::FlagHelp kTopFlags[] = {
+    {"metrics", "FILE",
+     "telemetry document another anycastd flushes via --metrics-interval "
+     "(required)"},
+    {"interval", "S", "refresh period in seconds (default 2)"},
+    {"iterations", "N", "exit after N renders (0 = until interrupted)"},
+    {"plain", "", "append renders instead of clearing the screen (for "
+     "logs and tests)"},
+};
+
 constexpr tools::FlagHelp kChaosFlags[] = {
     {"chaos", "", "inject deterministic faults into the census"},
     {"chaos-seed", "N", "fault-plan seed (default 42)"},
@@ -151,7 +180,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: anycastd "
                "<world|census|resume|watch|analyze|serve|portscan|diff|"
-               "report> [flags]\n"
+               "report|top> [flags]\n"
                "  common flags:\n");
   tools::print_flag_help(stderr, kCommonFlags);
   std::fprintf(stderr, "  census / resume:\n");
@@ -161,12 +190,15 @@ int usage() {
   tools::print_flag_help(stderr, kDataPlaneFlags);
   std::fprintf(stderr, "  watch (supervised multi-round daemon):\n");
   tools::print_flag_help(stderr, kWatchFlags);
+  std::fprintf(stderr, "  top (dashboard over a --metrics-interval file):\n");
+  tools::print_flag_help(stderr, kTopFlags);
   std::fprintf(stderr,
                "  analyze:  --in DIR [--geojson FILE] [--top N]\n"
                "  serve:    --in DIR [--queries FILE] [--against DIR]\n"
                "            [--allow-salvage]  answer point/replicas/batch/\n"
-               "            nearest/diff queries (file or stdin) from the\n"
-               "            frozen snapshot; strict checksums by default\n"
+               "            nearest/diff/stats/slo/metricsdump queries\n"
+               "            (file or stdin) from the frozen snapshot;\n"
+               "            strict checksums by default\n"
                "  portscan: [--top N]\n"
                "  diff:     [--epochs N] [--availability F]\n"
                "  report:   --in DIR [--journal FILE] [--format md|json] "
@@ -438,6 +470,15 @@ int cmd_watch(const Flags& flags) {
   config.churn_seed =
       static_cast<std::uint64_t>(flags.get_int("churn-seed", 77));
   config.data_plane = data_plane_from(flags, *out_dir);
+  if (const auto slo_spec = flags.get("slo")) {
+    // Already validated in main (a bad spec exited before dispatch); the
+    // daemon re-installs these at run() start so availability transitions
+    // land in the journal as semantic round events.
+    std::string slo_error;
+    if (auto objectives = obs::parse_slo_spec(*slo_spec, &slo_error)) {
+      config.slo = std::move(*objectives);
+    }
+  }
 
   if (const auto chaos = flags.get("chaos")) {
     net::FaultSpec spec;
@@ -525,6 +566,9 @@ int cmd_watch(const Flags& flags) {
             serve_batches.fetch_add(1, std::memory_order_relaxed);
           }
         }
+        // Rotate the per-second telemetry window and evaluate latency
+        // SLOs; cheap (clock read + compare) when under a second.
+        obs::telemetry().tick();
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
     });
@@ -767,6 +811,169 @@ int cmd_serve(const Flags& flags) {
   return 0;
 }
 
+// ---------------------------------------------------------------------
+// `anycastd top`: a terminal dashboard over the telemetry document a
+// sibling anycastd flushes via --metrics-interval. The document shape is
+// our own (obs::TelemetryPlane::document_json), so a small scan-based
+// reader is enough — no JSON library dependency. Strings in the document
+// never contain brackets, so bracket depth-matching is exact.
+
+/// Bracket-matched body of the array following `"key": [`, without the
+/// outer brackets; empty when the key is missing.
+std::string_view json_array_after(std::string_view doc, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  std::size_t at = doc.find(needle);
+  if (at == std::string_view::npos) return {};
+  at = doc.find('[', at + needle.size());
+  if (at == std::string_view::npos) return {};
+  int depth = 0;
+  for (std::size_t i = at; i < doc.size(); ++i) {
+    if (doc[i] == '[') ++depth;
+    if (doc[i] == ']' && --depth == 0) return doc.substr(at + 1, i - at - 1);
+  }
+  return {};
+}
+
+/// Splits an array body into its top-level `{...}` object bodies.
+std::vector<std::string_view> json_objects(std::string_view array) {
+  std::vector<std::string_view> out;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    if (array[i] == '{' && depth++ == 0) start = i;
+    if (array[i] == '}' && --depth == 0) {
+      out.push_back(array.substr(start, i - start + 1));
+    }
+  }
+  return out;
+}
+
+/// Scalar after `"key":` inside one object: the raw token for numbers and
+/// booleans, the unquoted text for strings; empty when missing.
+std::string json_scalar(std::string_view object, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  std::size_t at = object.find(needle);
+  if (at == std::string_view::npos) return {};
+  at += needle.size();
+  while (at < object.size() && object[at] == ' ') ++at;
+  if (at >= object.size()) return {};
+  if (object[at] == '"') {
+    const std::size_t end = object.find('"', at + 1);
+    if (end == std::string_view::npos) return {};
+    return std::string(object.substr(at + 1, end - at - 1));
+  }
+  std::size_t end = at;
+  while (end < object.size() && object[end] != ',' && object[end] != '}' &&
+         object[end] != ']' && object[end] != '\n') {
+    ++end;
+  }
+  while (end > at && object[end - 1] == ' ') --end;
+  return std::string(object.substr(at, end - at));
+}
+
+/// Newest value of one series field: the last element of the field's
+/// array, or "-" when the window is still empty.
+std::string series_last(std::string_view series_object, std::string_view field) {
+  const std::string_view array = json_array_after(series_object, field);
+  const std::size_t comma = array.rfind(',');
+  std::string_view tail =
+      comma == std::string_view::npos ? array : array.substr(comma + 1);
+  while (!tail.empty() && (tail.front() == ' ' || tail.front() == '\n')) {
+    tail.remove_prefix(1);
+  }
+  while (!tail.empty() && (tail.back() == ' ' || tail.back() == '\n')) {
+    tail.remove_suffix(1);
+  }
+  return tail.empty() ? "-" : std::string(tail);
+}
+
+void render_top(std::string_view doc, const std::string& source, bool plain) {
+  if (!plain) std::printf("\x1b[2J\x1b[H");  // clear + home, like top(1)
+  std::printf("anycastd top — %s\n\n", source.c_str());
+
+  const auto histos = json_objects(json_array_after(doc, "latency"));
+  std::printf("  %-20s %-4s %12s %10s %10s %10s %10s\n", "latency", "unit",
+              "count", "p50", "p99", "p999", "max");
+  for (const std::string_view h : histos) {
+    std::printf("  %-20s %-4s %12s %10s %10s %10s %10s\n",
+                json_scalar(h, "name").c_str(), json_scalar(h, "unit").c_str(),
+                json_scalar(h, "count").c_str(), json_scalar(h, "p50").c_str(),
+                json_scalar(h, "p99").c_str(), json_scalar(h, "p999").c_str(),
+                json_scalar(h, "max").c_str());
+  }
+  if (histos.empty()) std::printf("  (no latency samples yet)\n");
+
+  for (const std::string_view s : json_objects(json_array_after(doc, "series"))) {
+    const std::string name = json_scalar(s, "name");
+    if (name == "serving_per_second") {
+      std::printf(
+          "\n  serving (last 1s window): qps %s  errors/s %s  p50 %s us  "
+          "p99 %s us  p999 %s us\n",
+          series_last(s, "qps").c_str(), series_last(s, "errors_per_s").c_str(),
+          series_last(s, "p50_us").c_str(), series_last(s, "p99_us").c_str(),
+          series_last(s, "p999_us").c_str());
+    } else if (name == "census_per_round") {
+      std::printf(
+          "\n  census (last round): coverage %s  completed %s/%s  probes %s  "
+          "echo rate %s  dirty %s  anycast %s  round %s ms\n",
+          series_last(s, "coverage").c_str(),
+          series_last(s, "completed").c_str(), series_last(s, "active").c_str(),
+          series_last(s, "probes").c_str(), series_last(s, "echo_rate").c_str(),
+          series_last(s, "dirty").c_str(), series_last(s, "anycast").c_str(),
+          series_last(s, "round_ms").c_str());
+    }
+  }
+
+  const auto slos = json_objects(json_array_after(doc, "slo"));
+  if (slos.empty()) {
+    std::printf("\n  slo: none configured\n");
+  } else {
+    std::printf("\n  slo:\n");
+    for (const std::string_view o : slos) {
+      std::printf(
+          "    %-20s target %-10s burn %s/%s permille (short/long)  %s  "
+          "[%s violations / %s windows]\n",
+          json_scalar(o, "objective").c_str(),
+          json_scalar(o, "threshold").c_str(),
+          json_scalar(o, "burn_short_permille").c_str(),
+          json_scalar(o, "burn_long_permille").c_str(),
+          json_scalar(o, "violating") == "true" ? "VIOLATING" : "ok",
+          json_scalar(o, "violations").c_str(),
+          json_scalar(o, "windows").c_str());
+    }
+  }
+}
+
+int cmd_top(const Flags& flags) {
+  const auto metrics = flags.get("metrics");
+  const double interval = flags.get_double("interval", 2.0);
+  const auto iterations = flags.get_int("iterations", 0);
+  const bool plain = flags.get_bool("plain");
+  if (!metrics.has_value()) {
+    std::fprintf(stderr,
+                 "top: --metrics FILE is required (point it at the file a "
+                 "daemon writes via --metrics-interval)\n");
+    return 2;
+  }
+  if (const int rc = reject_unknown(flags)) return rc;
+  for (std::int64_t iter = 0; iterations == 0 || iter < iterations; ++iter) {
+    if (iter > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(std::max(0.1, interval)));
+    }
+    // The flusher writes via tmp+rename, so this read never sees a torn
+    // document — at worst a whole previous one.
+    const auto text = slurp_text(*metrics);
+    if (!text.has_value()) {
+      std::fprintf(stderr, "top: cannot read %s\n", metrics->c_str());
+      return 1;
+    }
+    render_top(*text, *metrics, plain);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 int cmd_portscan(const Flags& flags) {
   const net::SimulatedInternet internet(world_config_from(flags));
   const auto top = static_cast<std::size_t>(flags.get_int("top", 100));
@@ -949,20 +1156,24 @@ int validate_out_path(const char* flag_name, const std::string& path) {
   return 0;
 }
 
+bool prometheus_path(const std::string& path) {
+  return path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+}
+
+/// One telemetry document: the metrics scrape extended with latency,
+/// series, and slo sections (the `metrics` array keeps its exact legacy
+/// shape, so scrape-file consumers keep working).
+std::string metrics_document(const std::string& path) {
+  return prometheus_path(path) ? obs::telemetry().document_prometheus()
+                               : obs::telemetry().document_json();
+}
+
 int write_metrics_out(const std::string& path) {
-  const std::string body =
-      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0
-          ? obs::metrics().scrape_prometheus()
-          : obs::metrics().scrape_json();
-  std::FILE* out = std::fopen(path.c_str(), "wb");
-  if (out == nullptr ||
-      std::fwrite(body.data(), 1, body.size(), out) != body.size()) {
-    if (out != nullptr) std::fclose(out);
+  if (!obs::write_file_atomic(path, metrics_document(path))) {
     std::fprintf(stderr, "anycastd: failed writing metrics to %s\n",
                  path.c_str());
     return 1;
   }
-  std::fclose(out);
   return 0;
 }
 
@@ -1031,6 +1242,69 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --slo is validated up front for every subcommand (a campaign that
+  // runs for hours and then reports a spec typo is as bad as an
+  // unwritable journal) and installed into the global telemetry plane;
+  // cmd_watch additionally threads it into the daemon config so
+  // availability transitions reach the semantic journal.
+  if (const auto slo_spec = flags->get("slo")) {
+    std::string slo_error;
+    auto objectives = obs::parse_slo_spec(*slo_spec, &slo_error);
+    if (!objectives.has_value()) {
+      std::fprintf(stderr, "anycastd: bad --slo spec: %s\n",
+                   slo_error.c_str());
+      return 2;
+    }
+    obs::telemetry().set_slo(std::move(*objectives));
+  }
+
+  // --metrics-interval: a background flusher writes the live telemetry
+  // document to --metrics-out every S seconds (tmp+rename, so a reader —
+  // `anycastd top` — never sees a torn file). First flush is immediate.
+  const double metrics_interval = flags->get_double("metrics-interval", 0.0);
+  if (flags->has("metrics-interval") && metrics_interval <= 0.0) {
+    std::fprintf(stderr, "anycastd: --metrics-interval must be > 0\n");
+    return 2;
+  }
+  if (metrics_interval > 0.0 && !metrics_out.has_value()) {
+    std::fprintf(stderr,
+                 "anycastd: --metrics-interval needs --metrics-out FILE to "
+                 "flush into\n");
+    return 2;
+  }
+  // Reject unknown commands before the flusher thread exists: the late
+  // `return usage()` below must never destroy a joinable thread.
+  constexpr std::string_view kCommands[] = {
+      "world", "census", "resume",   "watch", "analyze",
+      "serve", "portscan", "diff",   "report", "top"};
+  if (std::find(std::begin(kCommands), std::end(kCommands), command) ==
+      std::end(kCommands)) {
+    return usage();
+  }
+  std::thread flusher;
+  std::mutex flusher_mutex;
+  std::condition_variable flusher_cv;
+  bool flusher_stop = false;
+  std::uint64_t flushes = 0;
+  if (metrics_interval > 0.0) {
+    flusher = std::thread([&] {
+      std::unique_lock<std::mutex> lock(flusher_mutex);
+      for (;;) {
+        lock.unlock();
+        obs::telemetry().tick();  // rotate windows + evaluate latency SLOs
+        const bool ok =
+            obs::write_file_atomic(*metrics_out, metrics_document(*metrics_out));
+        lock.lock();
+        if (ok) ++flushes;
+        if (flusher_cv.wait_for(
+                lock, std::chrono::duration<double>(metrics_interval),
+                [&] { return flusher_stop; })) {
+          return;
+        }
+      }
+    });
+  }
+
   int rc = 0;
   if (command == "world") rc = cmd_world(*flags);
   else if (command == "census") rc = cmd_census(*flags, /*resume=*/false);
@@ -1041,8 +1315,19 @@ int main(int argc, char** argv) {
   else if (command == "portscan") rc = cmd_portscan(*flags);
   else if (command == "diff") rc = cmd_diff(*flags);
   else if (command == "report") rc = cmd_report(*flags);
+  else if (command == "top") rc = cmd_top(*flags);
   else return usage();
 
+  if (flusher.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(flusher_mutex);
+      flusher_stop = true;
+    }
+    flusher_cv.notify_one();
+    flusher.join();
+    std::fprintf(stderr, "metrics-interval: wrote %llu periodic scrape(s)\n",
+                 static_cast<unsigned long long>(flushes));
+  }
   if (metrics_out.has_value()) {
     const int write_rc = write_metrics_out(*metrics_out);
     if (rc == 0) rc = write_rc;
